@@ -1,0 +1,66 @@
+"""Ablation — the ten-second matching window (§3.4).
+
+The paper chose ten seconds "because there is a clear knee at ten seconds
+when examining the graph of window size to percent of downtime matched"
+(the graph itself was omitted for space).  This bench regenerates that
+sweep: matched-failure fraction and matched-downtime fraction as functions
+of the window, with the knee visible as the flattening after ~10 s.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+from repro.core.matching import MatchConfig, match_failures
+from repro.core.report import format_percent, render_table
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+WINDOWS = [1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0]
+
+
+def sweep(analysis):
+    syslog = analysis.syslog_failures
+    isis = analysis.isis_failures
+    isis_hours = sum(f.duration for f in isis) / SECONDS_PER_HOUR
+    points = []
+    for window in WINDOWS:
+        result = match_failures(syslog, isis, MatchConfig(window=window))
+        matched_fraction = result.matched_count / len(isis) if isis else 0.0
+        matched_hours = sum(b.duration for _, b in result.pairs) / SECONDS_PER_HOUR
+        downtime_fraction = matched_hours / isis_hours if isis_hours else 0.0
+        points.append((window, matched_fraction, downtime_fraction))
+    return points
+
+
+def build_table(analysis) -> str:
+    points = sweep(analysis)
+    rows = [
+        [
+            f"{window:.0f}s",
+            format_percent(matched, digits=1),
+            format_percent(downtime, digits=1),
+        ]
+        for window, matched, downtime in points
+    ]
+    return render_table(
+        ["Window", "IS-IS failures matched", "IS-IS downtime matched"],
+        rows,
+        title="Ablation: matching-window sweep (paper reports a knee at 10s)",
+    )
+
+
+def test_ablation_window(benchmark, paper_analysis):
+    table = benchmark.pedantic(
+        build_table, args=(paper_analysis,), rounds=1, iterations=1
+    )
+    emit("ablation_window", table)
+
+    points = dict(
+        (window, matched) for window, matched, _ in sweep(paper_analysis)
+    )
+    # Monotone non-decreasing in the window.
+    ordered = [points[w] for w in WINDOWS]
+    assert all(b >= a - 1e-12 for a, b in zip(ordered, ordered[1:]))
+    # The knee: growth from 1s to 10s dwarfs growth from 10s to 60s.
+    early_gain = points[10.0] - points[1.0]
+    late_gain = points[60.0] - points[10.0]
+    assert early_gain > 2 * late_gain

@@ -1,0 +1,65 @@
+"""Extension — grading both channels against the simulator's actual truth.
+
+The paper must *assume* IS-IS is ground truth; the simulation can check
+that assumption.  This bench grades each channel's reconstructed failures
+against the injected ones (same ±10 s matching) and reports recall,
+precision, and downtime error — quantifying how gold the gold standard is.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+from repro.core.groundtruth import grade_both_channels
+from repro.core.report import format_percent, render_table
+
+
+def build_table(dataset, analysis) -> str:
+    grades = grade_both_channels(
+        dataset, analysis.syslog_failures, analysis.isis_failures
+    )
+    rows = []
+    for label in ("isis", "syslog"):
+        grade = grades[label]
+        rows.append(
+            [
+                grade.channel,
+                f"{grade.truth_count:,}",
+                f"{grade.reconstructed_count:,}",
+                format_percent(grade.recall, digits=1),
+                format_percent(grade.precision, digits=1),
+                f"{100 * grade.downtime_error_fraction:+.1f}%",
+            ]
+        )
+    return render_table(
+        [
+            "Channel",
+            "True failures",
+            "Reconstructed",
+            "Recall",
+            "Precision",
+            "Downtime error",
+        ],
+        rows,
+        title=(
+            "Extension: channels graded against generative ground truth "
+            "(validates the paper's IS-IS-as-ground-truth assumption)"
+        ),
+    )
+
+
+def test_groundtruth(benchmark, paper_dataset, paper_analysis):
+    table = benchmark(build_table, paper_dataset, paper_analysis)
+    emit("groundtruth", table)
+
+    grades = grade_both_channels(
+        paper_dataset,
+        paper_analysis.syslog_failures,
+        paper_analysis.isis_failures,
+    )
+    isis, syslog = grades["isis"], grades["syslog"]
+    assert isis.recall > syslog.recall
+    assert isis.precision >= syslog.precision - 0.02
+    assert isis.recall > 0.6
+    assert abs(isis.downtime_error_fraction) < abs(
+        syslog.downtime_error_fraction
+    ) + 0.15

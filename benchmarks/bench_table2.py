@@ -1,0 +1,97 @@
+"""Table 2 — % of state transitions matching syslog, by LSP field.
+
+Paper values:
+
+=====================  ===============  ===============
+Syslog type            IS reachability  IP reachability
+=====================  ===============  ===============
+IS-IS Down             82%              25%
+IS-IS Up               85%              23%
+physical media Down    31%              52%
+physical media Up      34%              53%
+=====================  ===============  ===============
+
+Expected shape: IS reachability matches IS-IS syslog ~3x better than IP
+reachability does, while IP reachability tracks physical-media messages
+better than IS reachability — the basis for §3.4's choice of IS
+reachability for link state.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+from repro.core.matching import transition_match_fraction
+from repro.core.report import format_percent, render_table
+
+PAPER = {
+    ("isis", "down"): ("82%", "25%"),
+    ("isis", "up"): ("85%", "23%"),
+    ("media", "down"): ("31%", "52%"),
+    ("media", "up"): ("34%", "53%"),
+}
+
+
+def build_table(analysis) -> str:
+    config = analysis.options.matching
+    fractions = {}
+    for field, reference in (
+        ("IS", analysis.isis.is_transitions),
+        ("IP", analysis.isis.ip_transitions),
+    ):
+        for category, messages in (
+            ("isis", analysis.syslog.isis_messages),
+            ("media", analysis.syslog.physical_messages),
+        ):
+            fractions[(field, category)] = transition_match_fraction(
+                reference, messages, config
+            )
+
+    rows = []
+    for category, label in (("isis", "IS-IS"), ("media", "physical media")):
+        for direction in ("down", "up"):
+            paper_is, paper_ip = PAPER[(category, direction)]
+            rows.append(
+                [
+                    f"{label} {direction.capitalize()}",
+                    format_percent(fractions[("IS", category)][direction]),
+                    paper_is,
+                    format_percent(fractions[("IP", category)][direction]),
+                    paper_ip,
+                ]
+            )
+    return render_table(
+        ["Syslog type", "IS reach", "(paper)", "IP reach", "(paper)"],
+        rows,
+        title="Table 2: State transitions matching syslog messages by LSP field",
+    )
+
+
+def test_table2(benchmark, paper_analysis):
+    table = benchmark(build_table, paper_analysis)
+    emit("table2", table)
+
+    config = paper_analysis.options.matching
+    is_vs_isis = transition_match_fraction(
+        paper_analysis.isis.is_transitions,
+        paper_analysis.syslog.isis_messages,
+        config,
+    )
+    ip_vs_isis = transition_match_fraction(
+        paper_analysis.isis.ip_transitions,
+        paper_analysis.syslog.isis_messages,
+        config,
+    )
+    is_vs_media = transition_match_fraction(
+        paper_analysis.isis.is_transitions,
+        paper_analysis.syslog.physical_messages,
+        config,
+    )
+    ip_vs_media = transition_match_fraction(
+        paper_analysis.isis.ip_transitions,
+        paper_analysis.syslog.physical_messages,
+        config,
+    )
+    # Shape assertions from §3.4's argument.
+    assert is_vs_isis["down"] > 2 * ip_vs_isis["down"]
+    assert is_vs_isis["down"] > 0.7
+    assert ip_vs_media["down"] > is_vs_media["down"]

@@ -1,0 +1,149 @@
+"""Table 5 — per-link statistics, Core vs CPE, syslog vs IS-IS.
+
+Paper values (median / average / 95th):
+
+Annualised failures per link:  Core syslog 5.7/14.2/46.2, IS-IS 6.6/16.1/46.2;
+                               CPE syslog 11.3/49.1/249, IS-IS 12.3/45.5/253.
+Failure duration (seconds):    Core syslog 52/1078/6318, IS-IS 42/1527/6683;
+                               CPE syslog 10/814/665, IS-IS 12/1140/825.
+Time between failures (hours): Core 0.2/343/2014 vs 0.2/347/2147;
+                               CPE 0.01/116/673 vs 0.03/136/845.
+Annualised downtime (hours):   Core 0.6/4/24 vs 0.8/7/26;
+                               CPE 1.9/11/49 vs 2.4/14/51.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+from repro.core.statistics import class_statistics
+from repro.core.report import render_table
+
+PAPER = {
+    # (class, channel) -> metric -> (median, average, p95)
+    ("Core", "Syslog"): {
+        "failures": ("5.7", "14.2", "46.2"),
+        "duration": ("52", "1078", "6318"),
+        "tbf": ("0.2", "343", "2014"),
+        "downtime": ("0.6", "4", "24"),
+    },
+    ("Core", "IS-IS"): {
+        "failures": ("6.6", "16.1", "46.2"),
+        "duration": ("42", "1527", "6683"),
+        "tbf": ("0.2", "347", "2147"),
+        "downtime": ("0.8", "7", "26"),
+    },
+    ("CPE", "Syslog"): {
+        "failures": ("11.3", "49.1", "249"),
+        "duration": ("10", "814", "665"),
+        "tbf": ("0.01", "116", "673"),
+        "downtime": ("1.9", "11", "49"),
+    },
+    ("CPE", "IS-IS"): {
+        "failures": ("12.3", "45.5", "253"),
+        "duration": ("12", "1140", "825"),
+        "tbf": ("0.03", "136", "845"),
+        "downtime": ("2.4", "14", "51"),
+    },
+}
+
+METRIC_LABELS = {
+    "failures": "Annualized failures per link",
+    "duration": "Failure duration (seconds)",
+    "tbf": "Time between failures (hours)",
+    "downtime": "Annualized link downtime (hours)",
+}
+
+
+def compute_blocks(analysis):
+    links = analysis.resolver.single_links()
+    core = [l for l in links if l.is_core]
+    cpe = [l for l in links if not l.is_core]
+    blocks = {}
+    for class_label, selection in (("Core", core), ("CPE", cpe)):
+        for channel_label, failures in (
+            ("Syslog", analysis.syslog_failures),
+            ("IS-IS", analysis.isis_failures),
+        ):
+            blocks[(class_label, channel_label)] = class_statistics(
+                failures, selection, analysis.horizon_start, analysis.horizon_end
+            )
+    return blocks
+
+
+def build_table(analysis) -> str:
+    blocks = compute_blocks(analysis)
+    sections = []
+    for metric, attribute in (
+        ("failures", "failures_per_link_year"),
+        ("duration", "duration_seconds"),
+        ("tbf", "time_between_failures_hours"),
+        ("downtime", "downtime_hours_per_year"),
+    ):
+        rows = []
+        for stat_name, index in (("Median", "median"), ("Average", "average"), ("95%", "p95")):
+            row = [stat_name]
+            for class_label in ("Core", "CPE"):
+                for channel_label in ("Syslog", "IS-IS"):
+                    stats = getattr(blocks[(class_label, channel_label)], attribute)
+                    value = getattr(stats, index)
+                    paper_idx = {"median": 0, "average": 1, "p95": 2}[index]
+                    paper = PAPER[(class_label, channel_label)][metric][paper_idx]
+                    row.append(f"{value:,.2f}" if value < 10 else f"{value:,.0f}")
+                    row.append(f"[{paper}]")
+            rows.append(row)
+        sections.append(
+            render_table(
+                [
+                    "Statistic",
+                    "Core/Syslog", "(paper)",
+                    "Core/IS-IS", "(paper)",
+                    "CPE/Syslog", "(paper)",
+                    "CPE/IS-IS", "(paper)",
+                ],
+                rows,
+                title=METRIC_LABELS[metric],
+            )
+        )
+    return (
+        "Table 5: Statistics for syslog-inferred and IS-IS listener-reported failures\n\n"
+        + "\n\n".join(sections)
+    )
+
+
+def test_table5(benchmark, paper_analysis):
+    table = benchmark(build_table, paper_analysis)
+    emit("table5", table)
+
+    blocks = compute_blocks(paper_analysis)
+    core_isis = blocks[("Core", "IS-IS")]
+    cpe_isis = blocks[("CPE", "IS-IS")]
+    core_sys = blocks[("Core", "Syslog")]
+    cpe_sys = blocks[("CPE", "Syslog")]
+
+    # CPE links fail more often than Core links, in both channels.
+    assert (
+        cpe_isis.failures_per_link_year.median
+        > core_isis.failures_per_link_year.median
+    )
+    assert (
+        cpe_sys.failures_per_link_year.median
+        > core_sys.failures_per_link_year.median
+    )
+    # CPE failures are shorter at the median than Core failures.
+    assert cpe_isis.duration_seconds.median < core_isis.duration_seconds.median
+    # Rates are heavy tailed: average well above median.
+    assert (
+        cpe_isis.failures_per_link_year.average
+        > 2 * cpe_isis.failures_per_link_year.median
+    )
+    # Downtime per CPE link-year exceeds Core at the median (averages are
+    # dominated by a handful of giant outages and too noisy to rank).
+    assert (
+        cpe_isis.downtime_hours_per_year.median
+        > core_isis.downtime_hours_per_year.median
+    )
+    # Magnitudes land in the paper's ballpark.
+    assert 3.0 <= core_isis.failures_per_link_year.median <= 13.0
+    assert 6.0 <= cpe_isis.failures_per_link_year.median <= 25.0
+    assert 10.0 <= core_isis.duration_seconds.median <= 90.0
+    assert 4.0 <= cpe_isis.duration_seconds.median <= 30.0

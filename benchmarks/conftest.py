@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench consumes the same paper-scale campaign: seed 2013, 387 days
+(Oct 20, 2010 – Nov 11, 2011), CENIC-shaped topology.  The scenario and
+analysis run once per session; individual benches time their own table
+computation and print the table the paper reports, side by side with the
+paper's published values.
+
+Set ``REPRO_BENCH_DAYS`` to shrink the horizon for quick iterations (counts
+scale roughly linearly with duration; percentages and distributions hold).
+"""
+
+from __future__ import annotations
+
+import os
+import pytest
+
+from repro import AnalysisResult, Dataset, ScenarioConfig, run_analysis, run_scenario
+
+PAPER_SEED = 2013
+PAPER_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "387"))
+
+
+@pytest.fixture(scope="session")
+def paper_dataset() -> Dataset:
+    """The 13-month simulated CENIC measurement campaign."""
+    return run_scenario(ScenarioConfig(seed=PAPER_SEED, duration_days=PAPER_DAYS))
+
+
+@pytest.fixture(scope="session")
+def paper_analysis(paper_dataset: Dataset) -> AnalysisResult:
+    """The full §3–§4 methodology applied to the campaign."""
+    return run_analysis(paper_dataset)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Handling ambiguous syslog: double downs, double ups, and what to assume.
+
+A syslog stream is not a clean alternation of Down and Up.  When a Down
+arrives while the link is already reconstructed as down (or an Up while
+up), the window between the repeated messages is ambiguous: was the
+opposite message lost, or is the repeat a spurious restatement?
+
+This example classifies every ambiguous window against IS-IS ground truth
+(the paper's Table 6 method) and then evaluates the three correction
+strategies end to end, reproducing the paper's recommendation to leave the
+link in its previous state.
+
+Run:  python examples/ambiguity_strategies.py
+"""
+
+from repro import AnalysisOptions, ScenarioConfig, run_analysis, run_scenario
+from repro.core.ambiguity import AmbiguityCause, analyze_ambiguous_transitions
+from repro.core.extract_syslog import SyslogExtractionConfig
+from repro.core.report import format_percent, render_table
+from repro.intervals.timeline import AmbiguityStrategy
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+
+def main() -> None:
+    print("Simulating 120 days (seed 5)...")
+    dataset = run_scenario(ScenarioConfig(seed=5, duration_days=120.0))
+    result = run_analysis(dataset)
+
+    # ------------------------------------------------------ classification
+    report = analyze_ambiguous_transitions(
+        result.syslog.timelines,
+        result.isis.is_transitions,
+        result.isis.timelines,
+        result.horizon_start,
+        result.horizon_end,
+    )
+    rows = []
+    for cause, label in (
+        (AmbiguityCause.LOST_MESSAGE, "Lost message"),
+        (AmbiguityCause.SPURIOUS_RETRANSMISSION, "Spurious restatement"),
+        (AmbiguityCause.UNKNOWN, "Unknown"),
+    ):
+        rows.append(
+            [label, report.count("down", cause), report.count("up", cause)]
+        )
+    rows.append(["Total", report.total("down"), report.total("up")])
+    print()
+    print(
+        render_table(
+            ["Cause (vs IS-IS ground truth)", "Double Down", "Double Up"],
+            rows,
+            title="Why repeated same-direction messages happen (Table 6 method)",
+        )
+    )
+    print(
+        f"Ambiguous windows cover "
+        f"{format_percent(report.ambiguous_period_fraction, digits=1)} of the "
+        f"measurement period (paper: 7.8%)."
+    )
+
+    # --------------------------------------------------------- strategies
+    print("\nRe-running the full pipeline under each strategy...")
+    rows = []
+    isis_hours = None
+    for strategy in (
+        AmbiguityStrategy.PREVIOUS_STATE,
+        AmbiguityStrategy.ASSUME_DOWN,
+        AmbiguityStrategy.ASSUME_UP,
+        AmbiguityStrategy.DISCARD,
+    ):
+        analysis = run_analysis(
+            dataset, AnalysisOptions(syslog=SyslogExtractionConfig(strategy=strategy))
+        )
+        syslog_hours = (
+            sum(f.duration for f in analysis.syslog_failures) / SECONDS_PER_HOUR
+        )
+        if isis_hours is None:
+            isis_hours = (
+                sum(f.duration for f in analysis.isis_failures) / SECONDS_PER_HOUR
+            )
+        rows.append(
+            [
+                strategy.value,
+                f"{len(analysis.syslog_failures):,}",
+                f"{syslog_hours:,.0f}",
+                f"{syslog_hours - isis_hours:+,.0f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Strategy", "Syslog failures", "Downtime (h)", "vs IS-IS (h)"],
+            rows,
+            title=f"Strategy comparison (IS-IS downtime: {isis_hours:,.0f} h)",
+        )
+    )
+    print(
+        "\nPaper §4.3: 'assuming the link remains in the previous state"
+        "\npushes link downtime as seen by syslog closest to matching link"
+        "\ndowntime as seen by IS-IS' — DISCARD (the authors' earlier"
+        "\napproach) simply throws the ambiguous time away."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Customer isolation analysis (§4.4): when reconstruction error amplifies.
+
+Most customers are multi-homed and the backbone has rings, so deciding
+that a customer was cut off requires *simultaneously correct* state for
+several links — any single wrong link state flips the conclusion.  This
+example computes per-site isolation from both channels, compares them, and
+digs into the kind of egregious mismatch the paper calls out (a site
+isolated for hours that syslog barely notices, and vice versa).
+
+Run:  python examples/customer_isolation.py
+"""
+
+from repro import ScenarioConfig, run_analysis, run_scenario
+from repro.core.isolation import (
+    compute_isolation,
+    intersect_isolation,
+    isolation_summary,
+    match_isolation_events,
+)
+from repro.core.report import render_table
+from repro.intervals import Interval, IntervalSet
+
+
+def down_map(failures):
+    spans = {}
+    for failure in failures:
+        spans.setdefault(failure.link, []).append(
+            Interval(failure.start, failure.end)
+        )
+    return {link: IntervalSet(items) for link, items in spans.items()}
+
+
+def main() -> None:
+    print("Simulating 120 days (seed 33)...")
+    dataset = run_scenario(ScenarioConfig(seed=33, duration_days=120.0))
+    result = run_analysis(dataset)
+    network = dataset.network
+
+    print("Computing per-site isolation from each channel...")
+    isis_iso = compute_isolation(
+        network, down_map(result.isis_failures),
+        result.horizon_start, result.horizon_end,
+    )
+    syslog_iso = compute_isolation(
+        network, down_map(result.syslog_failures),
+        result.horizon_start, result.horizon_end,
+    )
+    inter = intersect_isolation(isis_iso, syslog_iso)
+
+    summaries = {
+        "IS-IS": isolation_summary(isis_iso),
+        "Syslog": isolation_summary(syslog_iso),
+        "Intersection": isolation_summary(inter),
+    }
+    print()
+    print(
+        render_table(
+            ["Source", "Isolating events", "Sites impacted", "Downtime (days)"],
+            [
+                [label, f"{s.event_count:,}", s.sites_impacted, f"{s.downtime_days:.2f}"]
+                for label, s in summaries.items()
+            ],
+            title="Customer isolation, per channel (compare paper Table 7)",
+        )
+    )
+
+    # Events one channel reports that the other never overlaps.
+    _, syslog_only = match_isolation_events(
+        summaries["Syslog"].events, isis_iso
+    )
+    _, isis_only = match_isolation_events(
+        summaries["IS-IS"].events, syslog_iso
+    )
+    print()
+    print(
+        render_table(
+            ["Quantity", "Count", "Downtime (days)"],
+            [
+                [
+                    "Syslog-only isolating events",
+                    len(syslog_only),
+                    f"{sum(e.duration for e in syslog_only) / 86400:.2f}",
+                ],
+                [
+                    "IS-IS-only isolating events",
+                    len(isis_only),
+                    f"{sum(e.duration for e in isis_only) / 86400:.2f}",
+                ],
+            ],
+            title="Disagreements (the amplification the paper warns about)",
+        )
+    )
+
+    # The most egregious per-site disagreement.
+    worst_site, worst_gap = None, 0.0
+    for site in isis_iso:
+        gap = abs(
+            isis_iso[site].total_duration() - syslog_iso[site].total_duration()
+        )
+        if gap > worst_gap:
+            worst_site, worst_gap = site, gap
+    if worst_site:
+        print()
+        print(
+            f"Most contested site: {worst_site} — IS-IS says "
+            f"{isis_iso[worst_site].total_duration() / 3600:.1f}h isolated, "
+            f"syslog says "
+            f"{syslog_iso[worst_site].total_duration() / 3600:.1f}h "
+            f"(disagreement {worst_gap / 3600:.1f}h)."
+        )
+        attachments = network.sites[worst_site].attachment_routers
+        print(f"  attachments: {', '.join(attachments)}")
+
+    print(
+        "\nTakeaway (§4.4): errors that look tolerable per link compound"
+        "\nwhen a metric needs several links to be right at once."
+    )
+
+
+if __name__ == "__main__":
+    main()

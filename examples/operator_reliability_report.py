@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""An operator's reliability report from syslog alone.
+
+The paper's motivating scenario: a network operator has *only* syslog (no
+IGP listener) and wants the reliability picture — per-class failure rates,
+downtime, worst links, flap offenders.  This example produces that report,
+then — because this is a simulation — grades it against the IS-IS view the
+operator doesn't have.
+
+Run:  python examples/operator_reliability_report.py
+"""
+
+from repro import ScenarioConfig, run_analysis, run_scenario
+from repro.core.statistics import (
+    annualized_downtime_hours,
+    annualized_failure_counts,
+    class_statistics,
+)
+from repro.core.report import render_table
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+
+def main() -> None:
+    print("Simulating 90 days of operations (seed 21)...")
+    dataset = run_scenario(ScenarioConfig(seed=21, duration_days=90.0))
+    result = run_analysis(dataset)
+
+    links = result.resolver.single_links()
+    core = [l for l in links if l.is_core]
+    cpe = [l for l in links if not l.is_core]
+
+    # ---------------------------------------------------------- class view
+    rows = []
+    for label, selection in (("Core", core), ("CPE", cpe)):
+        stats = class_statistics(
+            result.syslog_failures, selection,
+            result.horizon_start, result.horizon_end,
+        )
+        rows.append(
+            [
+                label,
+                len(selection),
+                f"{stats.failures_per_link_year.median:.1f}",
+                f"{stats.failures_per_link_year.average:.1f}",
+                f"{stats.duration_seconds.median:.0f}s",
+                f"{stats.downtime_hours_per_year.median:.2f}h",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "Class", "Links",
+                "Median fail/yr", "Mean fail/yr",
+                "Median duration", "Median downtime/yr",
+            ],
+            rows,
+            title="Reliability by link class (syslog reconstruction)",
+        )
+    )
+
+    # --------------------------------------------------------- worst links
+    downtime = annualized_downtime_hours(
+        result.syslog_failures, links, result.horizon_start, result.horizon_end
+    )
+    counts = annualized_failure_counts(
+        result.syslog_failures, links, result.horizon_start, result.horizon_end
+    )
+    worst = sorted(downtime.items(), key=lambda kv: -kv[1])[:8]
+    print()
+    print(
+        render_table(
+            ["Link", "Downtime h/yr", "Failures/yr"],
+            [
+                [name[:58], f"{hours:.1f}", f"{counts[name]:.1f}"]
+                for name, hours in worst
+            ],
+            title="Worst links by annualised downtime",
+        )
+    )
+
+    # ------------------------------------------------------ flap offenders
+    by_link = {}
+    for episode in result.flap_episodes:
+        by_link.setdefault(episode.link, []).append(episode)
+    offenders = sorted(by_link.items(), key=lambda kv: -len(kv[1]))[:5]
+    print()
+    print(
+        render_table(
+            ["Link", "Flap episodes", "Failures inside"],
+            [
+                [
+                    name[:58],
+                    len(episodes),
+                    sum(e.failure_count for e in episodes),
+                ]
+                for name, episodes in offenders
+            ],
+            title="Flap offenders (ten-minute rule)",
+        )
+    )
+
+    # ------------------------------------------------- grade vs ground IGP
+    syslog_hours = sum(f.duration for f in result.syslog_failures) / SECONDS_PER_HOUR
+    isis_hours = sum(f.duration for f in result.isis_failures) / SECONDS_PER_HOUR
+    missed = len(result.failure_match.only_b)
+    print()
+    print(
+        render_table(
+            ["Check", "Result"],
+            [
+                [
+                    "Downtime error vs IS-IS",
+                    f"{100 * (syslog_hours - isis_hours) / isis_hours:+.0f}%",
+                ],
+                [
+                    "IS-IS failures invisible to this report",
+                    f"{missed:,} of {len(result.isis_failures):,}",
+                ],
+                [
+                    "Verdict",
+                    "aggregate statistics: usable; "
+                    "failure-for-failure accounting: do not",
+                ],
+            ],
+            title="Grading the syslog-only report against the hidden IS-IS view",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

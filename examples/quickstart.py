@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a measurement campaign and compare the channels.
+
+This is the 60-second tour of the library:
+
+1. run a (shortened) CENIC-like measurement campaign — failures are
+   injected into a simulated network that is observed simultaneously by a
+   central syslog collector and a passive IS-IS listener;
+2. run the paper's analysis methodology over the resulting dataset;
+3. print the headline comparison: how many failures each channel saw, how
+   well they agree, and where syslog falls short.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ScenarioConfig, run_analysis, run_scenario
+from repro.core.report import format_percent, render_table
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+
+def main() -> None:
+    # Two months is plenty to see every phenomenon; the paper-scale run
+    # (387 days) is what benchmarks/ uses.
+    print("Simulating a 60-day measurement campaign (seed 7)...")
+    dataset = run_scenario(ScenarioConfig(seed=7, duration_days=60.0))
+    summary = dataset.summary
+    print(
+        f"  topology: {summary.router_count_core} core + "
+        f"{summary.router_count_cpe} CPE routers, "
+        f"{summary.link_count_core + summary.link_count_cpe} links"
+    )
+    print(
+        f"  observed: {summary.syslog_delivered:,} syslog messages, "
+        f"{summary.lsp_record_count:,} LSPs; "
+        f"{summary.ground_truth_failure_count:,} failures actually happened"
+    )
+
+    print("\nRunning the paper's analysis (reconstruct, sanitise, match)...")
+    result = run_analysis(dataset)
+
+    syslog = result.syslog_failures
+    isis = result.isis_failures
+    match = result.failure_match
+    syslog_hours = sum(f.duration for f in syslog) / SECONDS_PER_HOUR
+    isis_hours = sum(f.duration for f in isis) / SECONDS_PER_HOUR
+
+    print()
+    print(
+        render_table(
+            ["", "Syslog", "IS-IS"],
+            [
+                ["Failures reconstructed", f"{len(syslog):,}", f"{len(isis):,}"],
+                ["Downtime (hours)", f"{syslog_hours:,.0f}", f"{isis_hours:,.0f}"],
+            ],
+            title="The two channels' views of the same network",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ["Failures matched (both channels)", f"{match.matched_count:,}"],
+                [
+                    "Syslog-only (false positives)",
+                    f"{len(match.only_a):,} "
+                    f"({format_percent(len(match.only_a) / max(1, len(syslog)))})",
+                ],
+                [
+                    "IS-IS-only (missed by syslog)",
+                    f"{len(match.only_b):,} "
+                    f"({format_percent(len(match.only_b) / max(1, len(isis)))})",
+                ],
+                ["Flapping episodes detected", f"{len(result.flap_episodes):,}"],
+                [
+                    "Long (>24h) syslog failures ticket-checked",
+                    f"{result.syslog_sanitized.long_failures_checked}",
+                ],
+                [
+                    "Spurious downtime removed by ticket check (hours)",
+                    f"{result.syslog_sanitized.spurious_downtime_hours:,.0f}",
+                ],
+            ],
+            title="Agreement and disagreement",
+        )
+    )
+
+    print(
+        "\nThe paper's bottom line, visible even at this scale: syslog"
+        "\ncaptures aggregate failure behaviour well, but misses failures"
+        "\n(especially during flapping), fabricates short false positives,"
+        "\nand needs its long failures cross-checked against trouble tickets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""How sensitive is the comparison to the matching window?
+
+The paper matches failures across channels when starts and ends agree
+within ten seconds, chosen for the knee in the window-vs-matched-downtime
+curve.  This example sweeps the window and prints the curve, then shows
+what a careless choice (1 s, or 60 s) would have done to the headline
+"syslog misses X% of failures" number.
+
+Run:  python examples/window_sensitivity.py
+"""
+
+from repro import ScenarioConfig, run_analysis, run_scenario
+from repro.core.matching import MatchConfig, match_failures
+from repro.core.report import format_percent, render_table
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+
+def main() -> None:
+    print("Simulating 90 days (seed 14)...")
+    dataset = run_scenario(ScenarioConfig(seed=14, duration_days=90.0))
+    result = run_analysis(dataset)
+    syslog = result.syslog_failures
+    isis = result.isis_failures
+    isis_hours = sum(f.duration for f in isis) / SECONDS_PER_HOUR
+
+    rows = []
+    headline = {}
+    for window in (0.5, 1, 2, 5, 10, 15, 20, 30, 60, 120):
+        match = match_failures(syslog, isis, MatchConfig(window=window))
+        matched_fraction = match.matched_count / len(isis)
+        missed_fraction = len(match.only_b) / len(isis)
+        matched_hours = (
+            sum(b.duration for _, b in match.pairs) / SECONDS_PER_HOUR
+        )
+        rows.append(
+            [
+                f"{window:g}s",
+                f"{match.matched_count:,}",
+                format_percent(matched_fraction, digits=1),
+                format_percent(matched_hours / isis_hours, digits=1),
+                format_percent(missed_fraction, digits=1),
+            ]
+        )
+        headline[window] = missed_fraction
+    print()
+    print(
+        render_table(
+            [
+                "Window",
+                "Matched",
+                "IS-IS failures matched",
+                "IS-IS downtime matched",
+                "'syslog misses'",
+            ],
+            rows,
+            title="Matching-window sweep (paper: knee at 10s)",
+        )
+    )
+
+    print(
+        f"\nHeadline sensitivity: with a 1s window you would report that "
+        f"syslog misses {format_percent(headline[1])} of IS-IS failures; "
+        f"at 10s, {format_percent(headline[10])}; at 60s, "
+        f"{format_percent(headline[60])}."
+    )
+    print(
+        "Past the knee the number barely moves — the residual misses are"
+        "\nreal absences (lost messages), not timing skew."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Calibration diagnostics: run a scenario and print paper-shaped numbers."""
+import sys, time
+from repro import ScenarioConfig, run_scenario, run_analysis
+from repro.core.matching import transition_match_fraction, MatchConfig
+from repro.core.statistics import class_statistics, ks_compare, failure_durations
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+days = float(sys.argv[1]) if len(sys.argv) > 1 else 90.0
+seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+t0 = time.time()
+ds = run_scenario(ScenarioConfig(seed=seed, duration_days=days))
+res = run_analysis(ds)
+print('run %.0fs  days=%.0f seed=%d' % (time.time()-t0, days, seed))
+print('gt failures:', ds.summary.ground_truth_failure_count)
+
+# Table 2 shape
+mc = MatchConfig()
+for name, ref in (('IS', res.isis.is_transitions), ('IP', res.isis.ip_transitions)):
+    fi = transition_match_fraction(ref, res.syslog.isis_messages, mc)
+    fp = transition_match_fraction(ref, res.syslog.physical_messages, mc)
+    print('T2 %s-reach (n=%d): isis-syslog down %.0f%% up %.0f%% | media down %.0f%% up %.0f%%'
+          % (name, len(ref), 100*fi['down'], 100*fi['up'], 100*fp['down'], 100*fp['up']))
+
+# Table 3
+cov = res.coverage
+for d in ('down','up'):
+    print('T3 %s: None %.0f%% One %.0f%% Both %.0f%% (n=%d)' % (
+        d.upper(), 100*cov.fraction(d,0), 100*cov.fraction(d,1), 100*cov.fraction(d,2), cov.total(d)))
+# flap attribution of unmatched
+from repro.core.flapping import in_flap
+um = cov.unmatched
+inflap = sum(1 for t in um if in_flap(res.flap_intervals, t.link, t.time))
+print('T3 unmatched in flap: %.0f%% of %d' % (100*inflap/max(1,len(um)), len(um)))
+
+# Table 4
+sf, isf = res.syslog_failures, res.isis_failures
+fm = res.failure_match
+sd = sum(f.duration for f in sf)/3600; idt = sum(f.duration for f in isf)/3600
+from repro.intervals import IntervalSet, Interval
+def downtime_overlap(fa, fb):
+    bya, byb = {}, {}
+    for f in fa: bya.setdefault(f.link, []).append(Interval(f.start,f.end))
+    for f in fb: byb.setdefault(f.link, []).append(Interval(f.start,f.end))
+    tot = 0.0
+    for l, ivs in bya.items():
+        if l in byb:
+            tot += IntervalSet(ivs).intersection(IntervalSet(byb[l])).total_duration()
+    return tot/3600
+print('T4: count syslog %d isis %d matched %d | downtime h: syslog %.0f isis %.0f overlap %.0f'
+      % (len(sf), len(isf), fm.matched_count, sd, idt, downtime_overlap(sf, isf)))
+print('    syslog-only %d (%.0f%% of syslog) partial %d; isis-only %d partial %d'
+      % (len(fm.only_a), 100*len(fm.only_a)/max(1,len(sf)), len(fm.partial_a), len(fm.only_b), len(fm.partial_b)))
+print('    sanitize: long checked %d removed %d spurious h %.0f; outage-removed s/i %d/%d'
+      % (res.syslog_sanitized.long_failures_checked, len(res.syslog_sanitized.removed_unverified_long),
+         res.syslog_sanitized.spurious_downtime_hours,
+         len(res.syslog_sanitized.removed_listener_overlap), len(res.isis_sanitized.removed_listener_overlap)))
+
+# Table 5
+links = res.resolver.links()
+core = [l for l in links if l.is_core]
+cpe = [l for l in links if not l.is_core]
+hs, he = res.horizon_start, res.horizon_end
+for label, sel in (('Core', core), ('CPE', cpe)):
+    for src, fl in (('syslog', sf), ('isis', isf)):
+        st = class_statistics(fl, sel, hs, he)
+        print('T5 %s %s: fail/yr med %.1f avg %.1f p95 %.0f | dur med %.0f avg %.0f p95 %.0f | down med %.1f avg %.1f p95 %.0f'
+              % (label, src, st.failures_per_link_year.median, st.failures_per_link_year.average, st.failures_per_link_year.p95,
+                 st.duration_seconds.median, st.duration_seconds.average, st.duration_seconds.p95,
+                 st.downtime_hours_per_year.median, st.downtime_hours_per_year.average, st.downtime_hours_per_year.p95))

@@ -1,0 +1,39 @@
+"""repro — a reproduction of Turner et al., "A Comparison of Syslog and
+IS-IS for Network Failure Analysis" (IMC 2013).
+
+The library has two halves:
+
+* a **measurement-environment simulator** (:mod:`repro.topology`,
+  :mod:`repro.isis`, :mod:`repro.syslog`, :mod:`repro.simulation`,
+  :mod:`repro.ticketing`) standing in for the proprietary CENIC traces, and
+* the **analysis methodology** (:mod:`repro.core`) that reconstructs and
+  compares failures from the two observation channels.
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_scenario, run_analysis
+
+    dataset = run_scenario(ScenarioConfig(seed=7, duration_days=60))
+    result = run_analysis(dataset)
+    print(len(result.syslog_failures), len(result.isis_failures))
+
+See ``examples/`` for complete walk-throughs and ``benchmarks/`` for the
+code regenerating every table and figure of the paper.
+"""
+
+from repro.core.pipeline import AnalysisOptions, AnalysisResult, run_analysis
+from repro.simulation.dataset import Dataset
+from repro.simulation.scenario import ScenarioConfig, ScenarioRunner, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisResult",
+    "run_analysis",
+    "Dataset",
+    "ScenarioConfig",
+    "ScenarioRunner",
+    "run_scenario",
+    "__version__",
+]

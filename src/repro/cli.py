@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+Three subcommands mirror the paper's workflow:
+
+``repro simulate``
+    Run a measurement campaign and save the dataset directory (configs/,
+    syslog.log, isis.dump, ground_truth.json, tickets.json, meta.json).
+
+``repro analyze``
+    Load a saved dataset (or simulate one on the fly with ``--seed``) and
+    print the headline comparison: failures per channel, matching, and
+    sanitisation accounting.
+
+``repro report``
+    Print one of the paper's tables computed from a dataset.
+
+Examples::
+
+    repro simulate --seed 7 --days 60 --out campaign/
+    repro analyze campaign/ --seed 7
+    repro report campaign/ --seed 7 --table table4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import AnalysisResult, Dataset, ScenarioConfig, run_analysis, run_scenario
+from repro.core.report import format_percent, render_table
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Syslog vs IS-IS failure analysis (IMC 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run a campaign and save it")
+    simulate.add_argument("--seed", type=int, default=2013)
+    simulate.add_argument("--days", type=float, default=60.0)
+    simulate.add_argument("--out", required=True, help="output directory")
+
+    analyze = sub.add_parser("analyze", help="analyse a saved or fresh campaign")
+    analyze.add_argument("dataset", nargs="?", help="saved dataset directory")
+    analyze.add_argument("--seed", type=int, default=2013)
+    analyze.add_argument("--days", type=float, default=60.0)
+
+    report = sub.add_parser("report", help="print one of the paper's tables")
+    report.add_argument("dataset", nargs="?", help="saved dataset directory")
+    report.add_argument("--seed", type=int, default=2013)
+    report.add_argument("--days", type=float, default=60.0)
+    report.add_argument(
+        "--table",
+        choices=["table4", "table5", "flaps"],
+        default="table4",
+    )
+    return parser
+
+
+def _load_or_run(args: argparse.Namespace) -> Dataset:
+    if args.dataset:
+        # The network is regenerated from the scenario seed; topology
+        # parameters are deterministic in it.
+        network = build_cenic_like_network(CenicParameters(seed=args.seed))
+        return Dataset.load(args.dataset, network)
+    print(
+        f"(no dataset directory given: simulating seed={args.seed} "
+        f"days={args.days:g})",
+        file=sys.stderr,
+    )
+    return run_scenario(ScenarioConfig(seed=args.seed, duration_days=args.days))
+
+
+def _print_analysis(result: AnalysisResult) -> None:
+    syslog = result.syslog_failures
+    isis = result.isis_failures
+    match = result.failure_match
+    syslog_hours = sum(f.duration for f in syslog) / SECONDS_PER_HOUR
+    isis_hours = sum(f.duration for f in isis) / SECONDS_PER_HOUR
+    print(
+        render_table(
+            ["Quantity", "Syslog", "IS-IS"],
+            [
+                ["Failures", f"{len(syslog):,}", f"{len(isis):,}"],
+                ["Downtime (h)", f"{syslog_hours:,.0f}", f"{isis_hours:,.0f}"],
+            ],
+            title="Channel comparison",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ["Matched failures", f"{match.matched_count:,}"],
+                [
+                    "Syslog-only",
+                    f"{len(match.only_a):,} "
+                    f"({format_percent(len(match.only_a) / max(1, len(syslog)))})",
+                ],
+                [
+                    "IS-IS-only",
+                    f"{len(match.only_b):,} "
+                    f"({format_percent(len(match.only_b) / max(1, len(isis)))})",
+                ],
+                ["Flap episodes", f"{len(result.flap_episodes):,}"],
+                [
+                    "Spurious downtime removed (h)",
+                    f"{result.syslog_sanitized.spurious_downtime_hours:,.0f}",
+                ],
+            ],
+            title="Matching and sanitisation",
+        )
+    )
+
+
+def _print_report(result: AnalysisResult, table: str) -> None:
+    if table == "table4":
+        _print_analysis(result)
+        return
+    if table == "table5":
+        from repro.core.statistics import class_statistics
+
+        links = result.resolver.single_links()
+        rows = []
+        for label, selection in (
+            ("Core", [l for l in links if l.is_core]),
+            ("CPE", [l for l in links if not l.is_core]),
+        ):
+            for channel, failures in (
+                ("Syslog", result.syslog_failures),
+                ("IS-IS", result.isis_failures),
+            ):
+                stats = class_statistics(
+                    failures, selection, result.horizon_start, result.horizon_end
+                )
+                rows.append(
+                    [
+                        label,
+                        channel,
+                        f"{stats.failures_per_link_year.median:.1f}",
+                        f"{stats.duration_seconds.median:.0f}",
+                        f"{stats.downtime_hours_per_year.median:.2f}",
+                    ]
+                )
+        print(
+            render_table(
+                [
+                    "Class", "Channel",
+                    "Median fail/yr", "Median dur (s)", "Median down h/yr",
+                ],
+                rows,
+                title="Per-link statistics (Table 5 medians)",
+            )
+        )
+        return
+    if table == "flaps":
+        episodes = sorted(
+            result.flap_episodes, key=lambda e: -e.failure_count
+        )[:15]
+        print(
+            render_table(
+                ["Link", "Failures", "Duration (h)"],
+                [
+                    [
+                        e.link[:58],
+                        e.failure_count,
+                        f"{(e.end - e.start) / 3600:.2f}",
+                    ]
+                    for e in episodes
+                ],
+                title="Largest flapping episodes (ten-minute rule)",
+            )
+        )
+        return
+    raise ValueError(f"unknown table {table!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        dataset = run_scenario(
+            ScenarioConfig(seed=args.seed, duration_days=args.days)
+        )
+        dataset.save(args.out)
+        summary = dataset.summary
+        print(
+            f"saved {args.out}: {summary.syslog_delivered:,} syslog messages, "
+            f"{summary.lsp_record_count:,} LSP records, "
+            f"{summary.ground_truth_failure_count:,} ground-truth failures"
+        )
+        return 0
+    if args.command == "analyze":
+        result = run_analysis(_load_or_run(args))
+        _print_analysis(result)
+        return 0
+    if args.command == "report":
+        result = run_analysis(_load_or_run(args))
+        _print_report(result, args.table)
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""The paper's contribution: failure analysis from syslog and IS-IS.
+
+This package implements the methodology of §3.4 and the analyses of §4:
+
+* :mod:`repro.core.events` — the common vocabulary (link-level transitions
+  and failures) both observation channels are reduced to;
+* :mod:`repro.core.links` — the common naming convention: resolving syslog
+  ``(hostname, port)``, IS-IS ``(origin, neighbor)`` adjacencies, and /31
+  prefixes onto canonical links via the mined config inventory;
+* :mod:`repro.core.extract_syslog` / :mod:`repro.core.extract_isis` — per
+  channel: raw records → per-router messages → merged link transitions →
+  state timelines → failures;
+* :mod:`repro.core.matching` — the ten-second transition and failure
+  matching of §3.4, including Table 3's None/One/Both accounting;
+* :mod:`repro.core.flapping` — the ten-minute flap rule of §4.1;
+* :mod:`repro.core.sanitize` — §4.2's cleaning: listener-outage removal and
+  ticket verification of >24 h failures;
+* :mod:`repro.core.statistics` — Table 5 statistics, CDFs, and the KS
+  consistency tests;
+* :mod:`repro.core.false_positives` — §4.3's false-positive taxonomy;
+* :mod:`repro.core.ambiguity` — §4.3's double-up/double-down analysis
+  (Table 6) and the three correction strategies;
+* :mod:`repro.core.isolation` — §4.4's customer isolation analysis;
+* :mod:`repro.core.pipeline` — one call from dataset to full results;
+* :mod:`repro.core.report` — plain-text table rendering for the benches.
+"""
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.links import LinkRecord, LinkResolver
+from repro.core.extract_syslog import (
+    SyslogExtraction,
+    SyslogExtractionConfig,
+    extract_syslog,
+)
+from repro.core.extract_isis import (
+    IsisExtraction,
+    IsisExtractionConfig,
+    extract_isis,
+    replay_lsp_records,
+)
+from repro.core.matching import (
+    FailureMatchResult,
+    MatchConfig,
+    TransitionCoverage,
+    count_matching_reporters,
+    match_failures,
+    transition_match_fraction,
+)
+from repro.core.flapping import FlapEpisode, detect_flap_episodes, flap_intervals
+from repro.core.sanitize import SanitizationConfig, SanitizationReport, sanitize_failures
+from repro.core.statistics import (
+    ClassStatistics,
+    KsResult,
+    annualized_downtime_hours,
+    annualized_failure_counts,
+    class_statistics,
+    empirical_cdf,
+    failure_durations,
+    ks_compare,
+    time_between_failures_hours,
+)
+from repro.core.false_positives import FalsePositiveReport, classify_false_positives
+from repro.core.ambiguity import (
+    AmbiguityCause,
+    AmbiguityReport,
+    StrategyEvaluation,
+    analyze_ambiguous_transitions,
+    evaluate_ambiguity_strategies,
+)
+from repro.core.isolation import (
+    IsolationEvent,
+    IsolationSummary,
+    compute_isolation,
+    isolation_summary,
+    match_isolation_events,
+)
+from repro.core.causes import (
+    AttributedCause,
+    CauseAttributionReport,
+    attribute_cause,
+    attribute_failures,
+    grade_attribution,
+)
+from repro.core.figures import figure1_svgs, render_cdf_svg, write_figure1
+from repro.core.groundtruth import (
+    ChannelGrade,
+    grade_both_channels,
+    grade_channel,
+    ground_truth_failure_events,
+)
+from repro.core.pipeline import AnalysisOptions, AnalysisResult, run_analysis
+from repro.core.report import render_table
+
+__all__ = [
+    "FailureEvent",
+    "LinkMessage",
+    "Transition",
+    "LinkRecord",
+    "LinkResolver",
+    "SyslogExtraction",
+    "SyslogExtractionConfig",
+    "extract_syslog",
+    "IsisExtraction",
+    "IsisExtractionConfig",
+    "extract_isis",
+    "replay_lsp_records",
+    "FailureMatchResult",
+    "MatchConfig",
+    "TransitionCoverage",
+    "count_matching_reporters",
+    "match_failures",
+    "transition_match_fraction",
+    "FlapEpisode",
+    "detect_flap_episodes",
+    "flap_intervals",
+    "SanitizationConfig",
+    "SanitizationReport",
+    "sanitize_failures",
+    "ClassStatistics",
+    "KsResult",
+    "annualized_downtime_hours",
+    "annualized_failure_counts",
+    "class_statistics",
+    "empirical_cdf",
+    "failure_durations",
+    "ks_compare",
+    "time_between_failures_hours",
+    "FalsePositiveReport",
+    "classify_false_positives",
+    "AmbiguityCause",
+    "AmbiguityReport",
+    "StrategyEvaluation",
+    "analyze_ambiguous_transitions",
+    "evaluate_ambiguity_strategies",
+    "IsolationEvent",
+    "IsolationSummary",
+    "compute_isolation",
+    "isolation_summary",
+    "match_isolation_events",
+    "AttributedCause",
+    "CauseAttributionReport",
+    "attribute_cause",
+    "attribute_failures",
+    "grade_attribution",
+    "figure1_svgs",
+    "render_cdf_svg",
+    "write_figure1",
+    "ChannelGrade",
+    "grade_both_channels",
+    "grade_channel",
+    "ground_truth_failure_events",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "run_analysis",
+    "render_table",
+]

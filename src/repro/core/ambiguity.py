@@ -1,0 +1,218 @@
+"""Ambiguous state changes: double downs and double ups (§4.3, Table 6).
+
+A failure in syslog is a Down followed by an Up, but the stream also
+contains Downs preceded by Downs and Ups preceded by Ups.  The window
+between the repeated messages is ambiguous: either the opposite message was
+lost (the link really changed state twice) or the repeat is a spurious
+retransmission (the link never moved).  With IS-IS as ground truth the two
+are distinguishable:
+
+* **lost message** — both syslog messages correspond to real IS-IS state
+  changes of the same direction (two IS-IS transitions, so the opposite
+  transition between them was missed by syslog);
+* **spurious retransmission** — the link was already in the repeated
+  message's state when the repeat arrived;
+* **unknown** — neither test passes.
+
+The module also evaluates the three correction strategies (assume down,
+assume up, keep previous state) by rebuilding the syslog timelines under
+each and comparing total downtime against IS-IS — reproducing the paper's
+conclusion that *previous state* comes closest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.events import Transition
+from repro.core.links import LinkRecord
+from repro.core.reconstruct import build_timelines
+from repro.intervals.timeline import (
+    DOWN,
+    AmbiguityStrategy,
+    LinkState,
+    LinkStateTimeline,
+    StateAnomaly,
+)
+from repro.util.timefmt import SECONDS_PER_HOUR
+
+
+class AmbiguityCause(enum.Enum):
+    LOST_MESSAGE = "lost_message"
+    SPURIOUS_RETRANSMISSION = "spurious_retransmission"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ClassifiedAnomaly:
+    """One double-down/double-up window with its diagnosed cause."""
+
+    link: str
+    anomaly: StateAnomaly
+    cause: AmbiguityCause
+
+
+@dataclass
+class AmbiguityReport:
+    """Table 6: ambiguous state changes by cause and direction."""
+
+    classified: List[ClassifiedAnomaly] = field(default_factory=list)
+    #: Fraction of (links × measurement period) covered by ambiguous windows.
+    ambiguous_period_fraction: float = 0.0
+
+    def count(self, direction: str, cause: AmbiguityCause) -> int:
+        return sum(
+            1
+            for item in self.classified
+            if item.anomaly.direction == direction and item.cause is cause
+        )
+
+    def total(self, direction: str) -> int:
+        return sum(1 for item in self.classified if item.anomaly.direction == direction)
+
+    def cause_fraction(self, direction: str, cause: AmbiguityCause) -> float:
+        total = self.total(direction)
+        return self.count(direction, cause) / total if total else 0.0
+
+
+def _has_transition_near(
+    transitions: Sequence[Transition], time: float, window: float
+) -> bool:
+    return any(abs(t.time - time) <= window for t in transitions)
+
+
+def analyze_ambiguous_transitions(
+    syslog_timelines: Dict[str, LinkStateTimeline],
+    isis_transitions: Sequence[Transition],
+    isis_timelines: Dict[str, LinkStateTimeline],
+    horizon_start: float,
+    horizon_end: float,
+    window: float = 10.0,
+) -> AmbiguityReport:
+    """Classify every syslog double-down/up against IS-IS ground truth."""
+    by_link_direction: Dict[Tuple[str, str], List[Transition]] = {}
+    for transition in isis_transitions:
+        by_link_direction.setdefault(
+            (transition.link, transition.direction), []
+        ).append(transition)
+
+    report = AmbiguityReport()
+    ambiguous_seconds = 0.0
+    link_count = 0
+    for link, timeline in sorted(syslog_timelines.items()):
+        link_count += 1
+        isis_timeline = isis_timelines.get(link)
+        for anomaly in timeline.anomalies:
+            ambiguous_seconds += anomaly.duration
+            same_direction = by_link_direction.get((link, anomaly.direction), [])
+            first_real = _has_transition_near(
+                same_direction, anomaly.window_start, window
+            )
+            second_real = _has_transition_near(
+                same_direction, anomaly.window_end, window
+            )
+            if first_real and second_real:
+                cause = AmbiguityCause.LOST_MESSAGE
+            else:
+                expected = (
+                    LinkState.DOWN if anomaly.direction == DOWN else LinkState.UP
+                )
+                probe = min(
+                    max(anomaly.window_end, horizon_start),
+                    horizon_end - 1e-6,
+                )
+                if (
+                    isis_timeline is not None
+                    and isis_timeline.state_at(probe) is expected
+                ):
+                    cause = AmbiguityCause.SPURIOUS_RETRANSMISSION
+                else:
+                    cause = AmbiguityCause.UNKNOWN
+            report.classified.append(ClassifiedAnomaly(link, anomaly, cause))
+
+    total_period = (horizon_end - horizon_start) * max(link_count, 1)
+    report.ambiguous_period_fraction = (
+        ambiguous_seconds / total_period if total_period else 0.0
+    )
+    return report
+
+
+@dataclass(frozen=True)
+class StrategyEvaluation:
+    """Downtime error of one ambiguity strategy against IS-IS.
+
+    Two error views are kept: the **net** total-downtime difference (where
+    a phantom-downtime overshoot on one link can cancel missed downtime on
+    another) and the **per-link absolute** error sum, which is the honest
+    distance between the two reconstructions — strategies are ranked by
+    the latter.
+    """
+
+    strategy: AmbiguityStrategy
+    syslog_downtime_hours: float
+    isis_downtime_hours: float
+    per_link_absolute_error_hours: float
+
+    @property
+    def error_hours(self) -> float:
+        """Net (signed) total-downtime difference."""
+        return self.syslog_downtime_hours - self.isis_downtime_hours
+
+    @property
+    def absolute_error_hours(self) -> float:
+        return abs(self.error_hours)
+
+
+def evaluate_ambiguity_strategies(
+    syslog_transitions: Sequence[Transition],
+    isis_timelines: Dict[str, LinkStateTimeline],
+    links: Sequence[LinkRecord],
+    horizon_start: float,
+    horizon_end: float,
+    strategies: Sequence[AmbiguityStrategy] = (
+        AmbiguityStrategy.ASSUME_DOWN,
+        AmbiguityStrategy.ASSUME_UP,
+        AmbiguityStrategy.PREVIOUS_STATE,
+    ),
+) -> List[StrategyEvaluation]:
+    """Rebuild syslog state under each strategy; rank by per-link error.
+
+    Only links present in both channels' views are compared, so the
+    difference measures the strategy, not coverage.  Ranking uses the
+    per-link absolute downtime error (see :class:`StrategyEvaluation`).
+    """
+    isis_links = set(isis_timelines)
+    link_names = [record.name for record in links if record.name in isis_links]
+    isis_downtime_by_link = {
+        name: isis_timelines[name].downtime() for name in link_names
+    }
+    isis_downtime = sum(isis_downtime_by_link.values()) / SECONDS_PER_HOUR
+
+    evaluations: List[StrategyEvaluation] = []
+    for strategy in strategies:
+        timelines = build_timelines(
+            syslog_transitions,
+            horizon_start,
+            horizon_end,
+            strategy=strategy,
+            links=link_names,
+        )
+        syslog_downtime = sum(
+            timelines[name].downtime() for name in link_names
+        ) / SECONDS_PER_HOUR
+        per_link_error = sum(
+            abs(timelines[name].downtime() - isis_downtime_by_link[name])
+            for name in link_names
+        ) / SECONDS_PER_HOUR
+        evaluations.append(
+            StrategyEvaluation(
+                strategy=strategy,
+                syslog_downtime_hours=syslog_downtime,
+                isis_downtime_hours=isis_downtime,
+                per_link_absolute_error_hours=per_link_error,
+            )
+        )
+    evaluations.sort(key=lambda e: e.per_link_absolute_error_hours)
+    return evaluations

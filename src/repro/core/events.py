@@ -1,0 +1,96 @@
+"""The common event vocabulary both channels are reduced to.
+
+The paper's comparison requires reducing syslog messages and IS-IS LSP
+deltas to the same three-level hierarchy (§3.4):
+
+``LinkMessage``
+    One channel record attributed to a link: a single router's syslog
+    message, or a single origin's reachability withdrawal/advertisement.
+``Transition``
+    A link-level state change: same-direction messages from the link's two
+    ends merged within a small window.  Carries which ends reported — the
+    raw material for Table 3's None/One/Both accounting.
+``FailureEvent``
+    A DOWN transition followed by an UP transition on the same link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.intervals.timeline import DOWN, UP
+
+#: Channel labels used in ``source`` fields.
+SOURCE_SYSLOG = "syslog"
+SOURCE_ISIS_IS = "isis-is"
+SOURCE_ISIS_IP = "isis-ip"
+
+
+@dataclass(frozen=True)
+class LinkMessage:
+    """One single-reporter record attributed to a canonical link.
+
+    ``reporter`` is the hostname of the router whose syslog message (or
+    whose LSP) produced this record; ``category`` distinguishes IS-IS
+    protocol messages from physical-media messages (Table 2's rows), and
+    ``reason`` carries the Cisco cause phrase where present.
+    """
+
+    time: float
+    link: str
+    direction: str
+    reporter: str
+    source: str
+    category: str = "isis"
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in (UP, DOWN):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A link-level state change merged from one or both ends' reports."""
+
+    time: float
+    link: str
+    direction: str
+    source: str
+    reporters: FrozenSet[str]
+    messages: Tuple[LinkMessage, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.direction not in (UP, DOWN):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if not self.reporters:
+            raise ValueError("a transition needs at least one reporter")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A reconstructed failure: DOWN at ``start``, UP at ``end``."""
+
+    link: str
+    start: float
+    end: float
+    source: str
+    start_transition: Optional[Transition] = None
+    end_transition: Optional[Transition] = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("failure must have positive duration")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "FailureEvent") -> bool:
+        """Positive-measure overlap on the same link."""
+        return (
+            self.link == other.link
+            and self.start < other.end
+            and other.start < self.end
+        )

@@ -1,0 +1,241 @@
+"""Rendering Figure 1: CDF plots as standalone SVG files.
+
+The environment this library targets is offline and matplotlib-free, so a
+small purpose-built SVG renderer handles the one plot family the paper
+needs: step CDFs with a log-scaled x axis, two series (syslog vs IS-IS),
+axes, ticks, and a legend.  The output is plain SVG 1.1 — viewable in any
+browser and diffable in review.
+
+`figure1_svgs` produces the paper's three CPE panels; `write_figure1`
+saves them plus the underlying data as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.statistics import (
+    annualized_downtime_hours,
+    failure_durations,
+    time_between_failures_hours,
+)
+
+_WIDTH, _HEIGHT = 480, 320
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 60, 16, 28, 44
+_COLORS = {"Syslog": "#c23b22", "IS-IS": "#1f5fa6"}
+_DASHES = {"Syslog": "", "IS-IS": "6,3"}
+
+
+@dataclass(frozen=True)
+class CdfSeries:
+    """One empirical CDF: sorted positive values."""
+
+    label: str
+    values: Tuple[float, ...]
+
+    def points(self) -> List[Tuple[float, float]]:
+        ordered = sorted(v for v in self.values if v > 0)
+        n = len(ordered)
+        return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(first, last + 1)]
+
+
+def _fmt_tick(value: float) -> str:
+    if value >= 1:
+        return f"{value:g}"
+    return f"{value:g}"
+
+
+def render_cdf_svg(
+    series: Sequence[CdfSeries],
+    title: str,
+    x_label: str,
+) -> str:
+    """Render step CDFs on a log-x axis as an SVG document."""
+    populated = [s for s in series if any(v > 0 for v in s.values)]
+    if not populated:
+        raise ValueError("nothing to plot")
+
+    lo = min(min(v for v in s.values if v > 0) for s in populated)
+    hi = max(max(s.values) for s in populated)
+    if hi <= lo:
+        hi = lo * 10.0
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def x_pos(value: float) -> float:
+        frac = (math.log10(value) - log_lo) / (log_hi - log_lo)
+        return _MARGIN_L + frac * plot_w
+
+    def y_pos(fraction: float) -> float:
+        return _MARGIN_T + (1.0 - fraction) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13">{title}</text>',
+    ]
+
+    # Axes frame.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444"/>'
+    )
+    # Y ticks at 0, .25, .5, .75, 1.
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = y_pos(frac)
+        parts.append(
+            f'<line x1="{_MARGIN_L - 4}" y1="{y:.1f}" x2="{_MARGIN_L}" '
+            f'y2="{y:.1f}" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{frac:g}</text>'
+        )
+        if 0.0 < frac < 1.0:
+            parts.append(
+                f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+                f'x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" '
+                f'stroke="#ddd" stroke-width="0.6"/>'
+            )
+    # X ticks at decades.
+    for tick in _log_ticks(lo, hi):
+        if tick < lo * 0.999 or tick > hi * 1.001:
+            continue
+        x = x_pos(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{y_pos(0.0):.1f}" x2="{x:.1f}" '
+            f'y2="{y_pos(0.0) + 4:.1f}" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y_pos(0.0) + 16:.1f}" '
+            f'text-anchor="middle">{_fmt_tick(tick)}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.0f}" y="{_HEIGHT - 8}" '
+        f'text-anchor="middle">{x_label}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{_MARGIN_T + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {_MARGIN_T + plot_h / 2:.0f})">'
+        f'cumulative fraction</text>'
+    )
+
+    # Step curves.
+    for s in populated:
+        color = _COLORS.get(s.label, "#333")
+        dash = _DASHES.get(s.label, "")
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        coords = []
+        previous_y = y_pos(0.0)
+        first_x = None
+        for value, fraction in s.points():
+            x, y = x_pos(value), y_pos(fraction)
+            if first_x is None:
+                coords.append(f"M{x:.1f},{previous_y:.1f}")
+                first_x = x
+            coords.append(f"L{x:.1f},{previous_y:.1f}")
+            coords.append(f"L{x:.1f},{y:.1f}")
+            previous_y = y
+        parts.append(
+            f'<path d="{" ".join(coords)}" fill="none" stroke="{color}" '
+            f'stroke-width="1.6"{dash_attr}/>'
+        )
+
+    # Legend.
+    legend_x = _MARGIN_L + 12
+    legend_y = _MARGIN_T + 14
+    for i, s in enumerate(populated):
+        color = _COLORS.get(s.label, "#333")
+        y = legend_y + 16 * i
+        parts.append(
+            f'<line x1="{legend_x}" y1="{y - 4}" x2="{legend_x + 22}" '
+            f'y2="{y - 4}" stroke="{color}" stroke-width="1.6"/>'
+        )
+        parts.append(f'<text x="{legend_x + 28}" y="{y}">{s.label}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure1_series(analysis) -> Dict[str, Dict[str, CdfSeries]]:
+    """The three CPE panels' series from an analysis result."""
+    cpe = [l for l in analysis.resolver.single_links() if not l.is_core]
+    names = {l.name for l in cpe}
+    panels: Dict[str, Dict[str, CdfSeries]] = {
+        "duration": {},
+        "downtime": {},
+        "tbf": {},
+    }
+    for label, failures in (
+        ("Syslog", analysis.syslog_failures),
+        ("IS-IS", analysis.isis_failures),
+    ):
+        cpe_failures = [f for f in failures if f.link in names]
+        panels["duration"][label] = CdfSeries(
+            label, tuple(failure_durations(cpe_failures))
+        )
+        panels["downtime"][label] = CdfSeries(
+            label,
+            tuple(
+                annualized_downtime_hours(
+                    cpe_failures, cpe, analysis.horizon_start, analysis.horizon_end
+                ).values()
+            ),
+        )
+        panels["tbf"][label] = CdfSeries(
+            label, tuple(time_between_failures_hours(cpe_failures))
+        )
+    return panels
+
+
+_PANEL_META = {
+    "duration": ("(a) Failure duration, CPE links", "failure duration (seconds)"),
+    "downtime": ("(b) Annualized link downtime, CPE links", "downtime (hours per year)"),
+    "tbf": ("(c) Time between failures, CPE links", "time between failures (hours)"),
+}
+
+
+def figure1_svgs(analysis) -> Dict[str, str]:
+    """All three Figure 1 panels as SVG documents, keyed by panel name."""
+    panels = figure1_series(analysis)
+    return {
+        name: render_cdf_svg(
+            list(series.values()), *(_PANEL_META[name])
+        )
+        for name, series in panels.items()
+    }
+
+
+def write_figure1(analysis, directory: Union[str, Path]) -> List[Path]:
+    """Write figure1a/b/c.svg plus the raw series as CSV; returns paths."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    panels = figure1_series(analysis)
+    for suffix, name in (("a", "duration"), ("b", "downtime"), ("c", "tbf")):
+        svg_path = root / f"figure1{suffix}.svg"
+        svg_path.write_text(
+            render_cdf_svg(list(panels[name].values()), *(_PANEL_META[name])),
+            encoding="utf-8",
+        )
+        written.append(svg_path)
+        csv_path = root / f"figure1{suffix}.csv"
+        lines = ["series,value"]
+        for label, series in panels[name].items():
+            lines.extend(f"{label},{value:.6f}" for value in sorted(series.values))
+        csv_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        written.append(csv_path)
+    return written

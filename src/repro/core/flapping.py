@@ -1,0 +1,105 @@
+"""Flap detection: the ten-minute rule of §4.1.
+
+"Two or more consecutive failures on the same link separated by less than
+10 minutes" form a flapping episode.  Flap periods matter because syslog's
+reliability collapses inside them: the paper finds most unmatched IS-IS
+transitions (67 % of DOWNs, 61 % of UPs) fall in flap periods, and less
+than half of syslog's own transitions are matched there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.events import FailureEvent, Transition
+from repro.intervals import Interval, IntervalSet
+
+#: §4.1's threshold: failures closer than this form one flapping episode.
+DEFAULT_FLAP_GAP = 600.0
+
+
+@dataclass(frozen=True)
+class FlapEpisode:
+    """A run of rapid consecutive failures on one link."""
+
+    link: str
+    start: float
+    end: float
+    failure_count: int
+
+    def __post_init__(self) -> None:
+        if self.failure_count < 2:
+            raise ValueError("a flap episode needs at least two failures")
+        if self.end <= self.start:
+            raise ValueError("flap episode must have positive duration")
+
+    @property
+    def span(self) -> Interval:
+        return Interval(self.start, self.end)
+
+
+def detect_flap_episodes(
+    failures: Sequence[FailureEvent],
+    gap_threshold: float = DEFAULT_FLAP_GAP,
+) -> List[FlapEpisode]:
+    """Group failures into flap episodes per the ten-minute rule."""
+    if gap_threshold <= 0:
+        raise ValueError("gap threshold must be positive")
+    by_link: Dict[str, List[FailureEvent]] = {}
+    for failure in failures:
+        by_link.setdefault(failure.link, []).append(failure)
+
+    episodes: List[FlapEpisode] = []
+    for link in sorted(by_link):
+        ordered = sorted(by_link[link], key=lambda f: f.start)
+        run: List[FailureEvent] = []
+        for failure in ordered:
+            if run and failure.start - run[-1].end < gap_threshold:
+                run.append(failure)
+                continue
+            if len(run) >= 2:
+                episodes.append(
+                    FlapEpisode(link, run[0].start, run[-1].end, len(run))
+                )
+            run = [failure]
+        if len(run) >= 2:
+            episodes.append(FlapEpisode(link, run[0].start, run[-1].end, len(run)))
+    episodes.sort(key=lambda e: (e.start, e.link))
+    return episodes
+
+
+def flap_intervals(
+    episodes: Sequence[FlapEpisode],
+    guard: float = 0.0,
+) -> Dict[str, IntervalSet]:
+    """Per-link interval sets covering flap episodes (± an optional guard)."""
+    spans: Dict[str, List[Interval]] = {}
+    for episode in episodes:
+        spans.setdefault(episode.link, []).append(
+            Interval(max(0.0, episode.start - guard), episode.end + guard)
+        )
+    return {link: IntervalSet(items) for link, items in spans.items()}
+
+
+def in_flap(
+    intervals: Dict[str, IntervalSet], link: str, time: float
+) -> bool:
+    """True when ``time`` on ``link`` falls inside a flap episode."""
+    interval_set = intervals.get(link)
+    return interval_set is not None and interval_set.contains(time)
+
+
+def transitions_in_flap(
+    transitions: Sequence[Transition],
+    intervals: Dict[str, IntervalSet],
+) -> Tuple[List[Transition], List[Transition]]:
+    """Split transitions into (inside flap, outside flap)."""
+    inside: List[Transition] = []
+    outside: List[Transition] = []
+    for transition in transitions:
+        if in_flap(intervals, transition.link, transition.time):
+            inside.append(transition)
+        else:
+            outside.append(transition)
+    return inside, outside

@@ -1,0 +1,139 @@
+"""Customer isolation analysis (§4.4).
+
+CENIC's customers are mostly multi-homed and the backbone is ring-rich, so
+a customer is cut off only when *several* links are down simultaneously.
+That makes isolation a worst case for reconstruction error: a single wrong
+link state on any member of the cut flips the conclusion.
+
+The computation: from the topology, a site is **isolated** over exactly the
+instants at which none of its attachment routers can reach the backbone
+root in the graph of currently-up links — the per-site isolation set is the
+intersection of its attachment routers' unreachability sets, which come
+from one sweep of :func:`repro.topology.connectivity.unreachable_intervals`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.intervals import Interval, IntervalSet
+from repro.topology.connectivity import unreachable_intervals
+from repro.topology.model import Network
+from repro.util.timefmt import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class IsolationEvent:
+    """One maximal interval during which a site was isolated."""
+
+    site: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class IsolationSummary:
+    """Table 7's row: isolating events, sites impacted, downtime days."""
+
+    events: Tuple[IsolationEvent, ...]
+    sites_impacted: int
+    downtime_days: float
+
+    @property
+    def event_count(self) -> int:
+        return len(self.events)
+
+
+def compute_isolation(
+    network: Network,
+    down_intervals: Dict[str, IntervalSet],
+    horizon_start: float,
+    horizon_end: float,
+    root: Optional[str] = None,
+) -> Dict[str, IntervalSet]:
+    """Per-site isolation interval sets from per-link down interval sets.
+
+    ``down_intervals`` is keyed by **canonical link name** (the analysis
+    vocabulary); links absent from the mapping are treated as always up.
+    ``root`` anchors "the backbone" — any router that is never expected to
+    be cut off; defaults to the alphabetically first core router.
+    """
+    by_canonical = {
+        link.canonical_name: link_id for link_id, link in network.links.items()
+    }
+    down_by_link_id = {
+        by_canonical[canonical]: intervals
+        for canonical, intervals in down_intervals.items()
+        if canonical in by_canonical
+    }
+    unreachable = unreachable_intervals(
+        network, down_by_link_id, horizon_start, horizon_end, root=root
+    )
+    return {
+        site_name: IntervalSet.intersect_all(
+            [unreachable[router] for router in site.attachment_routers]
+        )
+        for site_name, site in network.sites.items()
+    }
+
+
+def isolation_summary(
+    per_site: Dict[str, IntervalSet],
+) -> IsolationSummary:
+    """Collapse per-site isolation sets into Table 7's aggregate row."""
+    events: List[IsolationEvent] = []
+    impacted = 0
+    downtime = 0.0
+    for site in sorted(per_site):
+        intervals = per_site[site]
+        if not intervals:
+            continue
+        impacted += 1
+        for interval in intervals:
+            events.append(IsolationEvent(site, interval.start, interval.end))
+            downtime += interval.duration
+    events.sort(key=lambda e: (e.start, e.site))
+    return IsolationSummary(
+        events=tuple(events),
+        sites_impacted=impacted,
+        downtime_days=downtime / SECONDS_PER_DAY,
+    )
+
+
+def intersect_isolation(
+    per_site_a: Dict[str, IntervalSet],
+    per_site_b: Dict[str, IntervalSet],
+) -> Dict[str, IntervalSet]:
+    """Per-site intersection — Table 7's "Intersection" row."""
+    result: Dict[str, IntervalSet] = {}
+    for site in set(per_site_a) | set(per_site_b):
+        a = per_site_a.get(site, IntervalSet())
+        b = per_site_b.get(site, IntervalSet())
+        result[site] = a.intersection(b)
+    return result
+
+
+def match_isolation_events(
+    events_a: Sequence[IsolationEvent],
+    per_site_b: Dict[str, IntervalSet],
+) -> Tuple[List[IsolationEvent], List[IsolationEvent]]:
+    """Split ``events_a`` into (overlapping-b, disjoint-from-b).
+
+    Used for §4.4's unmatched-event accounting: events one channel reports
+    that the other never overlaps at all.
+    """
+    overlapping: List[IsolationEvent] = []
+    disjoint: List[IsolationEvent] = []
+    for event in events_a:
+        other = per_site_b.get(event.site, IntervalSet())
+        probe = IntervalSet([Interval(event.start, event.end)])
+        if other.intersection(probe):
+            overlapping.append(event)
+        else:
+            disjoint.append(event)
+    return overlapping, disjoint

@@ -1,0 +1,152 @@
+"""The common naming convention: resolving observations onto links.
+
+Syslog names links by ``(hostname, port)``; IS-IS LSPs name them by OSI
+system IDs and /31 prefixes.  Neither can be compared directly, so the
+paper maps both onto a canonical link name
+``(host1:port1, host2:port2)`` derived from the mined configuration archive
+(§3.4).  :class:`LinkResolver` is that mapping:
+
+* ``resolve_port(router, port)`` — for syslog messages;
+* ``resolve_adjacency(origin_sysid, neighbor_sysid)`` — for Extended IS
+  Reachability changes; returns nothing for *multi-link* device pairs,
+  which IS reachability cannot tell apart and the paper therefore omits;
+* ``resolve_prefix(prefix)`` — for Extended IP Reachability changes, which
+  identify individual physical links because every link has its own /31.
+
+Link *classification* (Core vs CPE, Table 5's split) uses the hostname
+conventions encoded in the configs, as an operator-side analysis would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.topology.configmine import MinedInventory, MinedLink
+
+
+@dataclass(frozen=True)
+class LinkRecord:
+    """A canonical link as the analysis knows it."""
+
+    name: str  # "(host1:port1, host2:port2)"
+    router_a: str
+    port_a: str
+    router_b: str
+    port_b: str
+    subnet: int
+    is_core: bool
+    multi_link: bool  # True when its device pair has parallel links
+
+    @property
+    def device_pair(self) -> FrozenSet[str]:
+        return frozenset((self.router_a, self.router_b))
+
+
+def _hostname_is_core(hostname: str) -> bool:
+    """CENIC-style role inference from the hostname.
+
+    Backbone routers carry ``-core-`` or ``-agg-`` name stems; everything
+    else is customer-premises equipment.
+    """
+    return "-core-" in hostname or "-agg-" in hostname
+
+
+class LinkResolver:
+    """Maps channel-native names onto canonical links (see module doc)."""
+
+    def __init__(self, inventory: MinedInventory) -> None:
+        pair_counts: Dict[FrozenSet[str], int] = {}
+        for mined in inventory.links:
+            pair = frozenset((mined.router_a, mined.router_b))
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+
+        self._links: Dict[str, LinkRecord] = {}
+        self._by_port: Dict[Tuple[str, str], LinkRecord] = {}
+        self._by_subnet: Dict[int, LinkRecord] = {}
+        self._by_pair: Dict[FrozenSet[str], List[LinkRecord]] = {}
+        for mined in inventory.links:
+            record = self._record_from_mined(mined, pair_counts)
+            self._links[record.name] = record
+            self._by_port[(record.router_a, record.port_a)] = record
+            self._by_port[(record.router_b, record.port_b)] = record
+            self._by_subnet[record.subnet] = record
+            self._by_pair.setdefault(record.device_pair, []).append(record)
+
+        self._hostname_by_sysid = dict(inventory.system_id_to_hostname)
+        self._sysid_by_hostname = dict(inventory.hostname_to_system_id)
+
+    @staticmethod
+    def _record_from_mined(
+        mined: MinedLink, pair_counts: Dict[FrozenSet[str], int]
+    ) -> LinkRecord:
+        pair = frozenset((mined.router_a, mined.router_b))
+        both_core = _hostname_is_core(mined.router_a) and _hostname_is_core(
+            mined.router_b
+        )
+        return LinkRecord(
+            name=mined.canonical_name,
+            router_a=mined.router_a,
+            port_a=mined.port_a,
+            router_b=mined.router_b,
+            port_b=mined.port_b,
+            subnet=mined.subnet,
+            is_core=both_core,
+            multi_link=pair_counts[pair] > 1,
+        )
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def links(self) -> List[LinkRecord]:
+        """All canonical links, sorted by name."""
+        return [self._links[name] for name in sorted(self._links)]
+
+    def single_links(self) -> List[LinkRecord]:
+        """Links whose device pair has no parallel links (IS-resolvable)."""
+        return [record for record in self.links() if not record.multi_link]
+
+    def record(self, name: str) -> LinkRecord:
+        return self._links[name]
+
+    def hostname_for(self, system_id: str) -> Optional[str]:
+        return self._hostname_by_sysid.get(system_id)
+
+    def system_id_for(self, hostname: str) -> Optional[str]:
+        return self._sysid_by_hostname.get(hostname)
+
+    # ---------------------------------------------------------- resolution
+    def resolve_port(self, router: str, port: str) -> Optional[LinkRecord]:
+        """The link behind a syslog message's (router, interface)."""
+        return self._by_port.get((router, port))
+
+    def resolve_prefix(self, prefix: int, prefix_length: int) -> Optional[LinkRecord]:
+        """The link numbered from a /31; other prefixes are not links."""
+        if prefix_length != 31:
+            return None
+        return self._by_subnet.get(prefix)
+
+    def resolve_adjacency(
+        self, origin_system_id: str, neighbor_system_id: str
+    ) -> Tuple[Optional[LinkRecord], bool]:
+        """The link behind an IS reachability change.
+
+        Returns ``(record, is_multi_link)``.  ``record`` is ``None`` when
+        the device pair is unknown **or** joined by parallel links — an IS
+        reachability entry covers the whole pair, so no single physical link
+        can be charged (§3.4); the flag distinguishes the two cases.
+        """
+        origin = self._hostname_by_sysid.get(origin_system_id)
+        neighbor = self._hostname_by_sysid.get(neighbor_system_id)
+        if origin is None or neighbor is None:
+            return None, False
+        candidates = self._by_pair.get(frozenset((origin, neighbor)), [])
+        if not candidates:
+            return None, False
+        if len(candidates) > 1:
+            return None, True
+        return candidates[0], False
+
+    def links_between(self, host_a: str, host_b: str) -> List[LinkRecord]:
+        return list(self._by_pair.get(frozenset((host_a, host_b)), []))

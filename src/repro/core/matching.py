@@ -1,0 +1,235 @@
+"""Matching transitions and failures across channels (§3.4).
+
+Two failures **match** when they are on the same link with start times
+within the matching window and end times within the window; a transition
+and a message match when they share link and direction within the window.
+The paper chose ten seconds after observing a knee in the
+window-size-vs-matched-downtime curve — reproduced by the window-sweep
+ablation bench.
+
+Three queries cover the paper's tables:
+
+* :func:`transition_match_fraction` — Table 2's cells: what fraction of a
+  reference transition set has at least one matching syslog message of a
+  given category;
+* :func:`count_matching_reporters` — Table 3: for each IS-IS transition,
+  did zero, one, or both of the link's routers send a matching message;
+* :func:`match_failures` — Table 4's overlap and §4.3's false positives:
+  greedy one-to-one failure matching plus partial-overlap accounting.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.intervals.timeline import LinkStateTimeline
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """The matching window of §3.4 (seconds, applied to starts and ends)."""
+
+    window: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError("matching window must be non-negative")
+
+
+class _MessageIndex:
+    """(link, direction) → sorted message times, for windowed lookups."""
+
+    def __init__(self, messages: Sequence[LinkMessage]) -> None:
+        self._times: Dict[Tuple[str, str], List[float]] = {}
+        self._reporters: Dict[Tuple[str, str], List[Tuple[float, str]]] = {}
+        for message in messages:
+            key = (message.link, message.direction)
+            self._times.setdefault(key, []).append(message.time)
+            self._reporters.setdefault(key, []).append((message.time, message.reporter))
+        for key in self._times:
+            self._times[key].sort()
+            self._reporters[key].sort()
+
+    def any_within(self, link: str, direction: str, time: float, window: float) -> bool:
+        times = self._times.get((link, direction))
+        if not times:
+            return False
+        index = bisect.bisect_left(times, time - window)
+        return index < len(times) and times[index] <= time + window
+
+    def reporters_within(
+        self, link: str, direction: str, time: float, window: float
+    ) -> frozenset:
+        entries = self._reporters.get((link, direction), [])
+        index = bisect.bisect_left(entries, (time - window, ""))
+        found = set()
+        while index < len(entries) and entries[index][0] <= time + window:
+            found.add(entries[index][1])
+            index += 1
+        return frozenset(found)
+
+
+def transition_match_fraction(
+    reference: Sequence[Transition],
+    messages: Sequence[LinkMessage],
+    config: MatchConfig = MatchConfig(),
+) -> Dict[str, float]:
+    """Fraction of reference transitions matched by ≥1 message, by direction.
+
+    This is one cell of Table 2: e.g. reference = IP-reachability
+    transitions, messages = syslog physical-media messages.
+    """
+    index = _MessageIndex(messages)
+    matched = {"down": 0, "up": 0}
+    totals = {"down": 0, "up": 0}
+    for transition in reference:
+        totals[transition.direction] += 1
+        if index.any_within(
+            transition.link, transition.direction, transition.time, config.window
+        ):
+            matched[transition.direction] += 1
+    return {
+        direction: (matched[direction] / totals[direction]) if totals[direction] else 0.0
+        for direction in ("down", "up")
+    }
+
+
+@dataclass
+class TransitionCoverage:
+    """Table 3: reference transitions by how many distinct routers matched."""
+
+    #: counts[direction][n] where n is 0 ("None"), 1 ("One"), 2 ("Both").
+    counts: Dict[str, Dict[int, int]] = field(
+        default_factory=lambda: {"down": {0: 0, 1: 0, 2: 0}, "up": {0: 0, 1: 0, 2: 0}}
+    )
+    #: The transitions that matched no message, for flap attribution (§4.1).
+    unmatched: List[Transition] = field(default_factory=list)
+
+    def total(self, direction: str) -> int:
+        return sum(self.counts[direction].values())
+
+    def fraction(self, direction: str, bucket: int) -> float:
+        total = self.total(direction)
+        return self.counts[direction][bucket] / total if total else 0.0
+
+
+def count_matching_reporters(
+    reference: Sequence[Transition],
+    messages: Sequence[LinkMessage],
+    config: MatchConfig = MatchConfig(),
+) -> TransitionCoverage:
+    """For each reference transition, how many distinct routers reported it."""
+    index = _MessageIndex(messages)
+    coverage = TransitionCoverage()
+    for transition in reference:
+        reporters = index.reporters_within(
+            transition.link, transition.direction, transition.time, config.window
+        )
+        bucket = min(len(reporters), 2)
+        coverage.counts[transition.direction][bucket] += 1
+        if bucket == 0:
+            coverage.unmatched.append(transition)
+    return coverage
+
+
+@dataclass
+class FailureMatchResult:
+    """Greedy one-to-one failure matching between two channels."""
+
+    pairs: List[Tuple[FailureEvent, FailureEvent]] = field(default_factory=list)
+    only_a: List[FailureEvent] = field(default_factory=list)
+    only_b: List[FailureEvent] = field(default_factory=list)
+    #: Unmatched failures that nevertheless overlap something on the other
+    #: side — the paper's "partial" matches.
+    partial_a: List[FailureEvent] = field(default_factory=list)
+    partial_b: List[FailureEvent] = field(default_factory=list)
+
+    @property
+    def matched_count(self) -> int:
+        return len(self.pairs)
+
+
+def match_failures(
+    failures_a: Sequence[FailureEvent],
+    failures_b: Sequence[FailureEvent],
+    config: MatchConfig = MatchConfig(),
+) -> FailureMatchResult:
+    """Match failures across channels per §3.4's definition.
+
+    Matching is greedy in time order and one-to-one: each ``a`` failure
+    takes the earliest unconsumed ``b`` failure on the same link whose start
+    and end both fall within the window.  Unmatched failures that still
+    intersect some failure on the other side are recorded as partial.
+    """
+    result = FailureMatchResult()
+    by_link_b: Dict[str, List[FailureEvent]] = {}
+    for failure in failures_b:
+        by_link_b.setdefault(failure.link, []).append(failure)
+    for link in by_link_b:
+        by_link_b[link].sort(key=lambda f: f.start)
+
+    consumed: Dict[str, List[bool]] = {
+        link: [False] * len(items) for link, items in by_link_b.items()
+    }
+
+    for failure in sorted(failures_a, key=lambda f: (f.start, f.link)):
+        candidates = by_link_b.get(failure.link, [])
+        used = consumed.get(failure.link, [])
+        match_index: Optional[int] = None
+        for i, candidate in enumerate(candidates):
+            if used[i]:
+                continue
+            if candidate.start > failure.start + config.window:
+                break
+            if (
+                abs(candidate.start - failure.start) <= config.window
+                and abs(candidate.end - failure.end) <= config.window
+            ):
+                match_index = i
+                break
+        if match_index is None:
+            result.only_a.append(failure)
+        else:
+            used[match_index] = True
+            result.pairs.append((failure, candidates[match_index]))
+
+    for link, candidates in by_link_b.items():
+        for i, candidate in enumerate(candidates):
+            if not consumed[link][i]:
+                result.only_b.append(candidate)
+    result.only_b.sort(key=lambda f: (f.start, f.link))
+
+    # Partial-overlap accounting for the unmatched remainder.
+    a_by_link: Dict[str, List[FailureEvent]] = {}
+    for failure in failures_a:
+        a_by_link.setdefault(failure.link, []).append(failure)
+    result.partial_a = [
+        failure
+        for failure in result.only_a
+        if any(failure.overlaps(other) for other in by_link_b.get(failure.link, []))
+    ]
+    result.partial_b = [
+        failure
+        for failure in result.only_b
+        if any(failure.overlaps(other) for other in a_by_link.get(failure.link, []))
+    ]
+    return result
+
+
+def downtime_overlap_seconds(
+    timelines_a: Dict[str, LinkStateTimeline],
+    timelines_b: Dict[str, LinkStateTimeline],
+) -> float:
+    """Seconds during which both channels agree a link is down (Table 4)."""
+    total = 0.0
+    for link, timeline_a in timelines_a.items():
+        timeline_b = timelines_b.get(link)
+        if timeline_b is None:
+            continue
+        total += (
+            timeline_a.down_intervals.intersection(timeline_b.down_intervals)
+        ).total_duration()
+    return total

@@ -1,0 +1,134 @@
+"""Shared reconstruction machinery used by both channel extractors.
+
+Both channels go through the same funnel (§3.4):
+
+1. per-reporter :class:`~repro.core.events.LinkMessage` records, sorted by
+   generation time;
+2. **merging**: consecutive same-direction messages on a link within a
+   merge window collapse into one link-level
+   :class:`~repro.core.events.Transition` (the two ends of a link report
+   the same state change a detection skew apart);
+3. **timeline building** under an ambiguity strategy;
+4. **failure extraction**: each complete DOWN span becomes a
+   :class:`~repro.core.events.FailureEvent`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.intervals.timeline import (
+    AmbiguityStrategy,
+    LinkStateTimeline,
+)
+
+
+def merge_messages(
+    messages: Sequence[LinkMessage],
+    merge_window: float,
+    source: str,
+) -> List[Transition]:
+    """Collapse per-reporter messages into link-level transitions.
+
+    Messages are grouped per link in time order; a run of same-direction
+    messages whose times all fall within ``merge_window`` of the run's first
+    message forms one transition stamped with the first message's time.  A
+    direction change, or a same-direction message outside the window, starts
+    a new transition — the latter is exactly the "double down/up" case whose
+    handling §4.3 studies.
+    """
+    if merge_window < 0:
+        raise ValueError("merge window must be non-negative")
+    by_link: Dict[str, List[LinkMessage]] = {}
+    for message in messages:
+        by_link.setdefault(message.link, []).append(message)
+
+    transitions: List[Transition] = []
+    for link in sorted(by_link):
+        run: List[LinkMessage] = []
+        for message in sorted(by_link[link], key=lambda m: m.time):
+            if (
+                run
+                and message.direction == run[0].direction
+                and message.time - run[0].time <= merge_window
+            ):
+                run.append(message)
+                continue
+            if run:
+                transitions.append(_transition_from_run(run, source))
+            run = [message]
+        if run:
+            transitions.append(_transition_from_run(run, source))
+    transitions.sort(key=lambda t: (t.time, t.link))
+    return transitions
+
+
+def _transition_from_run(run: List[LinkMessage], source: str) -> Transition:
+    return Transition(
+        time=run[0].time,
+        link=run[0].link,
+        direction=run[0].direction,
+        source=source,
+        reporters=frozenset(message.reporter for message in run),
+        messages=tuple(run),
+    )
+
+
+def build_timelines(
+    transitions: Sequence[Transition],
+    horizon_start: float,
+    horizon_end: float,
+    strategy: AmbiguityStrategy = AmbiguityStrategy.PREVIOUS_STATE,
+    links: Optional[Sequence[str]] = None,
+) -> Dict[str, LinkStateTimeline]:
+    """One timeline per link from its transition stream.
+
+    With ``links`` given, links with no transitions at all still get an
+    (all-UP) timeline — they existed and simply never failed, which matters
+    for per-link statistics.
+    """
+    by_link: Dict[str, List[Tuple[float, str]]] = {}
+    for transition in transitions:
+        by_link.setdefault(transition.link, []).append(
+            (transition.time, transition.direction)
+        )
+    if links is not None:
+        for link in links:
+            by_link.setdefault(link, [])
+    return {
+        link: LinkStateTimeline.from_transitions(
+            events, horizon_start, horizon_end, strategy=strategy
+        )
+        for link, events in by_link.items()
+    }
+
+
+def failures_from_timelines(
+    timelines: Dict[str, LinkStateTimeline],
+    transitions: Sequence[Transition],
+    source: str,
+) -> List[FailureEvent]:
+    """Complete DOWN spans become failures, with their transitions attached.
+
+    Censored spans (downtime running into either horizon edge) are not
+    failures — their true start or end was never observed.
+    """
+    index: Dict[Tuple[str, float, str], Transition] = {
+        (t.link, t.time, t.direction): t for t in transitions
+    }
+    failures: List[FailureEvent] = []
+    for link in sorted(timelines):
+        for span in timelines[link].down_spans(include_censored=False):
+            failures.append(
+                FailureEvent(
+                    link=link,
+                    start=span.start,
+                    end=span.end,
+                    source=source,
+                    start_transition=index.get((link, span.start, "down")),
+                    end_transition=index.get((link, span.end, "up")),
+                )
+            )
+    failures.sort(key=lambda f: (f.start, f.link))
+    return failures

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Benches print the same rows the paper's tables report; this helper keeps
+the formatting consistent and readable in captured pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(['a', 'b'], [[1, 'x']], title='T'))
+    T
+    a  b
+    -  -
+    1  x
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError("row width disagrees with header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append(format_row(["-" * width for width in widths]))
+    lines.extend(format_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_percent(fraction: float, digits: int = 0) -> str:
+    """``0.823 -> '82%'`` (or ``'82.3%'`` with ``digits=1``)."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def format_hours(hours: float, digits: int = 0) -> str:
+    return f"{hours:,.{digits}f}"

@@ -1,0 +1,195 @@
+"""Failure statistics, CDFs, and KS consistency tests (§4.2).
+
+Table 5 reports, per link class (Core/CPE) and channel (syslog/IS-IS):
+
+* **annualised failures per link** — counts normalised to link lifetime
+  (here: the analysis horizon, since simulated links live the whole study);
+* **failure duration** (seconds, over individual failures);
+* **time between failures** (hours, gaps between consecutive failures on
+  the same link);
+* **annualised link downtime** (hours per link-year).
+
+Each metric is summarised by median / average / 95th percentile, and pairs
+of channels are compared for distributional consistency with the two-sample
+Kolmogorov–Smirnov test — the paper's finding being that failures-per-link
+and downtime pass while failure duration does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core.events import FailureEvent
+from repro.core.links import LinkRecord
+from repro.util.timefmt import SECONDS_PER_HOUR, SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Median / average / 95th percentile of a sample."""
+
+    median: float
+    average: float
+    p95: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "SummaryStats":
+        if not values:
+            return cls(median=0.0, average=0.0, p95=0.0, count=0)
+        array = np.asarray(values, dtype=float)
+        return cls(
+            median=float(np.median(array)),
+            average=float(np.mean(array)),
+            p95=float(np.percentile(array, 95)),
+            count=len(values),
+        )
+
+
+@dataclass(frozen=True)
+class ClassStatistics:
+    """Table 5's four metrics for one link class and one channel."""
+
+    failures_per_link_year: SummaryStats
+    duration_seconds: SummaryStats
+    time_between_failures_hours: SummaryStats
+    downtime_hours_per_year: SummaryStats
+
+
+def _horizon_years(horizon_start: float, horizon_end: float) -> float:
+    years = (horizon_end - horizon_start) / SECONDS_PER_YEAR
+    if years <= 0:
+        raise ValueError("empty horizon")
+    return years
+
+
+def annualized_failure_counts(
+    failures: Sequence[FailureEvent],
+    links: Sequence[LinkRecord],
+    horizon_start: float,
+    horizon_end: float,
+) -> Dict[str, float]:
+    """Failures per link-year for every link (zero-failure links included)."""
+    years = _horizon_years(horizon_start, horizon_end)
+    counts: Dict[str, float] = {record.name: 0.0 for record in links}
+    for failure in failures:
+        if failure.link in counts:
+            counts[failure.link] += 1.0
+    return {link: count / years for link, count in counts.items()}
+
+
+def failure_durations(failures: Sequence[FailureEvent]) -> List[float]:
+    """Individual failure durations in seconds."""
+    return [failure.duration for failure in failures]
+
+
+def time_between_failures_hours(
+    failures: Sequence[FailureEvent],
+) -> List[float]:
+    """Gaps between consecutive failures on the same link, in hours.
+
+    Measured start-to-start minus the failure itself (i.e. the up time
+    separating failure k's end from failure k+1's start).
+    """
+    by_link: Dict[str, List[FailureEvent]] = {}
+    for failure in failures:
+        by_link.setdefault(failure.link, []).append(failure)
+    gaps: List[float] = []
+    for link_failures in by_link.values():
+        ordered = sorted(link_failures, key=lambda f: f.start)
+        for previous, current in zip(ordered, ordered[1:]):
+            gaps.append(max(0.0, current.start - previous.end) / SECONDS_PER_HOUR)
+    return gaps
+
+
+def annualized_downtime_hours(
+    failures: Sequence[FailureEvent],
+    links: Sequence[LinkRecord],
+    horizon_start: float,
+    horizon_end: float,
+) -> Dict[str, float]:
+    """Downtime hours per link-year for every link."""
+    years = _horizon_years(horizon_start, horizon_end)
+    downtime: Dict[str, float] = {record.name: 0.0 for record in links}
+    for failure in failures:
+        if failure.link in downtime:
+            downtime[failure.link] += failure.duration
+    return {
+        link: seconds / SECONDS_PER_HOUR / years for link, seconds in downtime.items()
+    }
+
+
+def class_statistics(
+    failures: Sequence[FailureEvent],
+    links: Sequence[LinkRecord],
+    horizon_start: float,
+    horizon_end: float,
+) -> ClassStatistics:
+    """Table 5's metric block for one (link class, channel) cell.
+
+    ``links`` selects the class: pass only the Core (or CPE) link records,
+    and only failures on those links are counted.
+    """
+    names = {record.name for record in links}
+    class_failures = [f for f in failures if f.link in names]
+    per_link = annualized_failure_counts(
+        class_failures, links, horizon_start, horizon_end
+    )
+    downtime = annualized_downtime_hours(
+        class_failures, links, horizon_start, horizon_end
+    )
+    return ClassStatistics(
+        failures_per_link_year=SummaryStats.from_values(list(per_link.values())),
+        duration_seconds=SummaryStats.from_values(failure_durations(class_failures)),
+        time_between_failures_hours=SummaryStats.from_values(
+            time_between_failures_hours(class_failures)
+        ),
+        downtime_hours_per_year=SummaryStats.from_values(list(downtime.values())),
+    )
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """Two-sample Kolmogorov–Smirnov outcome."""
+
+    statistic: float
+    pvalue: float
+    alpha: float
+
+    @property
+    def consistent(self) -> bool:
+        """True when the test does not reject distributional equality."""
+        return self.pvalue >= self.alpha
+
+
+def ks_compare(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    alpha: float = 0.05,
+) -> KsResult:
+    """Two-tailed two-sample KS test, the paper's goodness-of-fit check."""
+    if not sample_a or not sample_b:
+        raise ValueError("KS comparison needs non-empty samples")
+    statistic, pvalue = scipy_stats.ks_2samp(sample_a, sample_b)
+    return KsResult(statistic=float(statistic), pvalue=float(pvalue), alpha=alpha)
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative fractions, for Figure 1 style plots."""
+    if not values:
+        return np.array([]), np.array([])
+    xs = np.sort(np.asarray(values, dtype=float))
+    ys = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ys
+
+
+def cdf_at(values: Sequence[float], probe_points: Sequence[float]) -> List[float]:
+    """The empirical CDF evaluated at given points (for tabular benches)."""
+    if not values:
+        return [0.0 for _ in probe_points]
+    xs = np.sort(np.asarray(values, dtype=float))
+    return [float(np.searchsorted(xs, point, side="right")) / len(xs) for point in probe_points]

@@ -1,0 +1,23 @@
+"""Interval algebra and link-state timelines.
+
+Everything in the analysis reduces to operations on sets of half-open time
+intervals: downtime is the measure of a link's DOWN interval set, matching
+overlap is intersection, customer isolation is the intersection of the DOWN
+sets of a topological cut, and sanitisation subtracts listener-outage windows.
+
+:class:`Interval` is a single half-open ``[start, end)`` span;
+:class:`IntervalSet` is a normalised disjoint union supporting the usual set
+algebra; :class:`LinkStateTimeline` turns a sequence of up/down transitions
+(possibly inconsistent, as raw syslog is) into interval sets per state.
+"""
+
+from repro.intervals.interval import Interval, IntervalSet
+from repro.intervals.timeline import AmbiguityStrategy, LinkStateTimeline, LinkState
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "AmbiguityStrategy",
+    "LinkState",
+    "LinkStateTimeline",
+]

@@ -1,0 +1,223 @@
+"""Half-open time intervals and normalised interval sets.
+
+All interval endpoints are floats (simulation seconds).  Intervals are
+half-open ``[start, end)`` so that abutting intervals tile time without
+overlap and the measure of a union is the sum of the measures of disjoint
+parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` with ``start <= end``.
+
+    Zero-length intervals are permitted as inputs to :class:`IntervalSet`
+    (they are dropped during normalisation) but ``start > end`` is an error.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        """True when the interval has zero measure."""
+        return self.end == self.start
+
+    def contains(self, instant: float) -> bool:
+        """True when ``instant`` lies inside the half-open span.
+
+        >>> Interval(1.0, 2.0).contains(1.0), Interval(1.0, 2.0).contains(2.0)
+        (True, False)
+        """
+        return self.start <= instant < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share positive measure.
+
+        Abutting intervals (``a.end == b.start``) do not overlap.
+        """
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The overlapping span, or ``None`` when disjoint/abutting."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def shift(self, delta: float) -> "Interval":
+        """Translate the interval by ``delta`` seconds."""
+        return Interval(self.start + delta, self.end + delta)
+
+
+class IntervalSet:
+    """An immutable, normalised union of disjoint half-open intervals.
+
+    Construction accepts intervals in any order, overlapping or abutting;
+    normalisation sorts, drops empties, and merges touching spans so that the
+    internal representation is canonical.  Two interval sets covering the same
+    points always compare equal.
+
+    >>> s = IntervalSet([Interval(0, 1), Interval(1, 2), Interval(5, 6)])
+    >>> list(s)
+    [Interval(start=0, end=2), Interval(start=5, end=6)]
+    >>> s.total_duration()
+    3
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: Tuple[Interval, ...] = tuple(self._normalise(intervals))
+
+    @staticmethod
+    def _normalise(intervals: Iterable[Interval]) -> List[Interval]:
+        ordered = sorted(iv for iv in intervals if not iv.is_empty())
+        merged: List[Interval] = []
+        for iv in ordered:
+            if merged and iv.start <= merged[-1].end:
+                if iv.end > merged[-1].end:
+                    merged[-1] = Interval(merged[-1].start, iv.end)
+            else:
+                merged.append(iv)
+        return merged
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[float, float]]) -> "IntervalSet":
+        """Build from ``(start, end)`` tuples."""
+        return cls(Interval(start, end) for start, end in pairs)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"[{iv.start}, {iv.end})" for iv in self._intervals)
+        return f"IntervalSet({spans})"
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The canonical disjoint intervals, in increasing order."""
+        return self._intervals
+
+    def total_duration(self) -> float:
+        """Lebesgue measure of the set, in seconds."""
+        return sum(iv.duration for iv in self._intervals)
+
+    def contains(self, instant: float) -> bool:
+        """Membership test by binary search (O(log n))."""
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if instant < iv.start:
+                hi = mid - 1
+            elif instant >= iv.end:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union."""
+        return IntervalSet(list(self._intervals) + list(other._intervals))
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection via a linear merge of the two sorted lists."""
+        result: List[Interval] = []
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            overlap = a[i].intersection(b[j])
+            if overlap is not None:
+                result.append(overlap)
+            if a[i].end <= b[j].end:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference ``self - other``."""
+        result: List[Interval] = []
+        for iv in self._intervals:
+            cursor = iv.start
+            for hole in other._intervals:
+                if hole.end <= cursor:
+                    continue
+                if hole.start >= iv.end:
+                    break
+                if hole.start > cursor:
+                    result.append(Interval(cursor, hole.start))
+                cursor = max(cursor, hole.end)
+                if cursor >= iv.end:
+                    break
+            if cursor < iv.end:
+                result.append(Interval(cursor, iv.end))
+        return IntervalSet(result)
+
+    def complement(self, horizon_start: float, horizon_end: float) -> "IntervalSet":
+        """The portion of ``[horizon_start, horizon_end)`` not covered."""
+        if horizon_end < horizon_start:
+            raise ValueError("horizon end precedes start")
+        horizon = IntervalSet([Interval(horizon_start, horizon_end)])
+        return horizon.subtract(self)
+
+    def clip(self, start: float, end: float) -> "IntervalSet":
+        """Restrict the set to ``[start, end)``."""
+        return self.intersection(IntervalSet([Interval(start, end)]))
+
+    def overlapping(self, probe: Interval) -> List[Interval]:
+        """Member intervals sharing positive measure with ``probe``."""
+        return [iv for iv in self._intervals if iv.overlaps(probe)]
+
+    @staticmethod
+    def intersect_all(sets: Sequence["IntervalSet"]) -> "IntervalSet":
+        """Intersection of many sets; the intersection of none is an error.
+
+        Used by isolation analysis: a customer is isolated exactly while
+        *every* link in some cut is simultaneously down.
+        """
+        if not sets:
+            raise ValueError("intersect_all requires at least one set")
+        result = sets[0]
+        for other in sets[1:]:
+            if not result:
+                break
+            result = result.intersection(other)
+        return result
+
+    @staticmethod
+    def union_all(sets: Sequence["IntervalSet"]) -> "IntervalSet":
+        """Union of many sets (empty input yields the empty set)."""
+        combined: List[Interval] = []
+        for s in sets:
+            combined.extend(s.intervals)
+        return IntervalSet(combined)

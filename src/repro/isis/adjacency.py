@@ -1,0 +1,145 @@
+"""Point-to-point adjacency three-way handshake (RFC 5303).
+
+The handshake matters to the paper for a subtle reason: an **aborted
+handshake** makes a router log an adjacency change to syslog and tear it
+down again within a second, *without* the adjacency ever reaching the UP
+state that would trigger an LSP — one of the two mechanisms behind syslog's
+sub-second false positives (§4.3).  The simulation drives this FSM to decide
+which link-recovery attempts produce LSPs and which produce only syslog
+chatter.
+
+States follow RFC 5303 §3.2: DOWN → INITIALIZING (heard the neighbor) →
+UP (the neighbor has heard us too).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class AdjacencyState(enum.Enum):
+    DOWN = "down"
+    INITIALIZING = "initializing"
+    UP = "up"
+
+
+class HandshakeOutcome(enum.Enum):
+    """How a simulated adjacency bring-up attempt ends."""
+
+    SUCCESS = "success"
+    #: The handshake reached INITIALIZING (or even UP momentarily) and then
+    #: collapsed — logged by the router, invisible to the LSP stream.
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class AdjacencyEvent:
+    """A state change of the adjacency FSM."""
+
+    time: float
+    old_state: AdjacencyState
+    new_state: AdjacencyState
+    reason: str
+
+
+class AdjacencyStateMachine:
+    """The RFC 5303 three-way handshake FSM for one P2P interface.
+
+    Drive it with :meth:`hello_received` (with the neighbor's view of us),
+    :meth:`hold_timer_expired`, and :meth:`interface_down`; read the event
+    log from :attr:`events`.
+    """
+
+    def __init__(self, local_system_id: str, neighbor_system_id: str) -> None:
+        if local_system_id == neighbor_system_id:
+            raise ValueError("an adjacency needs two distinct systems")
+        self.local_system_id = local_system_id
+        self.neighbor_system_id = neighbor_system_id
+        self.state = AdjacencyState.DOWN
+        self.events: List[AdjacencyEvent] = []
+
+    def _transition(self, time: float, new_state: AdjacencyState, reason: str) -> None:
+        if new_state is self.state:
+            return
+        self.events.append(
+            AdjacencyEvent(
+                time=time, old_state=self.state, new_state=new_state, reason=reason
+            )
+        )
+        self.state = new_state
+
+    def hello_received(
+        self,
+        time: float,
+        neighbor_sees: Optional[str],
+        neighbor_state: AdjacencyState = AdjacencyState.INITIALIZING,
+    ) -> None:
+        """Process a P2P hello from the neighbor.
+
+        ``neighbor_sees`` is the system ID the neighbor reports in its
+        three-way adjacency TLV (who *it* has heard), or ``None`` when it has
+        heard nobody yet.  ``neighbor_state`` is the neighbor's advertised
+        three-way state.
+        """
+        if neighbor_sees is not None and neighbor_sees != self.local_system_id:
+            # The neighbor is talking to some other system on this wire —
+            # treat as if our identity is not acknowledged.
+            neighbor_sees = None
+
+        if self.state is AdjacencyState.DOWN:
+            if neighbor_sees == self.local_system_id:
+                # The neighbor already heard us (it restarted mid-handshake).
+                self._transition(time, AdjacencyState.UP, "three-way acknowledged")
+            else:
+                self._transition(time, AdjacencyState.INITIALIZING, "heard neighbor")
+        elif self.state is AdjacencyState.INITIALIZING:
+            if neighbor_sees == self.local_system_id:
+                self._transition(time, AdjacencyState.UP, "three-way acknowledged")
+        else:  # UP
+            if (
+                neighbor_sees is None
+                and neighbor_state is AdjacencyState.DOWN
+            ):
+                # The neighbor restarted the handshake from scratch.
+                self._transition(time, AdjacencyState.INITIALIZING, "neighbor reset")
+
+    def hold_timer_expired(self, time: float) -> None:
+        """No hello within the holding time: the adjacency collapses."""
+        self._transition(time, AdjacencyState.DOWN, "hold timer expired")
+
+    def interface_down(self, time: float) -> None:
+        """The underlying physical media failed."""
+        self._transition(time, AdjacencyState.DOWN, "interface down")
+
+    @property
+    def is_up(self) -> bool:
+        return self.state is AdjacencyState.UP
+
+
+def run_handshake(
+    fsm_a: AdjacencyStateMachine,
+    fsm_b: AdjacencyStateMachine,
+    start_time: float,
+    hello_interval: float = 1.0,
+) -> float:
+    """Drive two FSMs through a complete successful handshake.
+
+    Returns the time at which both ends reached UP.  Models the standard
+    exchange: A hears B (INITIALIZING), B's next hello carries A's ID
+    (A goes UP), and symmetrically.
+    """
+    t = start_time
+    # First hellos cross: neither end has heard the other yet.
+    fsm_a.hello_received(t, neighbor_sees=None, neighbor_state=AdjacencyState.DOWN)
+    fsm_b.hello_received(t, neighbor_sees=None, neighbor_state=AdjacencyState.DOWN)
+    t += hello_interval
+    # Second round: each hello acknowledges the peer.
+    fsm_a.hello_received(
+        t, neighbor_sees=fsm_a.local_system_id, neighbor_state=AdjacencyState.INITIALIZING
+    )
+    fsm_b.hello_received(
+        t, neighbor_sees=fsm_b.local_system_id, neighbor_state=AdjacencyState.INITIALIZING
+    )
+    return t

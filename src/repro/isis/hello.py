@@ -1,0 +1,161 @@
+"""Point-to-point IS-IS hello (IIH) PDUs.
+
+Hellos are how adjacencies form and stay alive; the paper's listener does
+not record them (it archives LSPs), but the *simulated routers* owe their
+behaviour to hello dynamics: hold-timer expiry, three-way handshake state,
+and the aborted handshakes behind sub-second syslog false positives.
+
+This module provides the wire codec for P2P IIHs (ISO 10589 §9.7) with the
+RFC 5303 three-way adjacency TLV (type 240), so the adjacency FSM can be
+driven from decoded packets and captures of hello exchanges can be built
+and replayed in tests.
+
+Wire layout after the common header:
+
+====================  ======
+Circuit type          1
+Source ID             6
+Holding time          2
+PDU length            2
+Local circuit ID      1
+TLVs                  ...
+====================  ======
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isis.adjacency import AdjacencyState
+from repro.isis.pdu import PduDecodeError, PduHeader, PduType
+from repro.isis.tlv import RawTlv, Tlv, decode_tlvs, encode_tlvs
+from repro.topology.addressing import system_id_from_bytes, system_id_to_bytes
+
+#: Header length indicator for P2P IIH PDUs (8 common + 12 specific octets).
+P2P_HELLO_HEADER_LENGTH = 20
+
+#: RFC 5303 three-way adjacency TLV.
+TLV_P2P_THREE_WAY = 240
+
+#: Circuit type: level-2 only, matching the simulated domain.
+CIRCUIT_TYPE_L2 = 0x02
+
+_THREE_WAY_STATE_CODES = {
+    AdjacencyState.UP: 0,
+    AdjacencyState.INITIALIZING: 1,
+    AdjacencyState.DOWN: 2,
+}
+_THREE_WAY_STATE_NAMES = {v: k for k, v in _THREE_WAY_STATE_CODES.items()}
+
+
+@dataclass(frozen=True)
+class ThreeWayAdjacencyTlv:
+    """TLV 240: the sender's adjacency state and who it has heard.
+
+    ``neighbor_system_id`` is ``None`` while the sender has heard nobody —
+    the short (5-octet) form of the TLV.
+    """
+
+    tlv_type = TLV_P2P_THREE_WAY
+    state: AdjacencyState
+    extended_circuit_id: int = 0
+    neighbor_system_id: Optional[str] = None
+    neighbor_extended_circuit_id: int = 0
+
+    def pack_value(self) -> bytes:
+        out = bytearray([_THREE_WAY_STATE_CODES[self.state]])
+        out.extend(self.extended_circuit_id.to_bytes(4, "big"))
+        if self.neighbor_system_id is not None:
+            out.extend(system_id_to_bytes(self.neighbor_system_id))
+            out.extend(self.neighbor_extended_circuit_id.to_bytes(4, "big"))
+        return bytes(out)
+
+    @classmethod
+    def unpack_value(cls, raw: bytes) -> "ThreeWayAdjacencyTlv":
+        if len(raw) not in (5, 15):
+            raise PduDecodeError("malformed three-way adjacency TLV")
+        state_code = raw[0]
+        if state_code not in _THREE_WAY_STATE_NAMES:
+            raise PduDecodeError(f"unknown three-way state {state_code}")
+        neighbor = None
+        neighbor_circuit = 0
+        if len(raw) == 15:
+            neighbor = system_id_from_bytes(raw[5:11])
+            neighbor_circuit = int.from_bytes(raw[11:15], "big")
+        return cls(
+            state=_THREE_WAY_STATE_NAMES[state_code],
+            extended_circuit_id=int.from_bytes(raw[1:5], "big"),
+            neighbor_system_id=neighbor,
+            neighbor_extended_circuit_id=neighbor_circuit,
+        )
+
+
+@dataclass(frozen=True)
+class PointToPointHello:
+    """A decoded (or to-be-encoded) P2P IIH."""
+
+    source_system_id: str
+    holding_time: int = 30
+    local_circuit_id: int = 1
+    circuit_type: int = CIRCUIT_TYPE_L2
+    three_way: Optional[ThreeWayAdjacencyTlv] = None
+    other_tlvs: Tuple[Tlv, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.holding_time < 2**16:
+            raise ValueError("holding time out of range")
+        if not 0 <= self.local_circuit_id <= 255:
+            raise ValueError("local circuit id out of range")
+
+    def pack(self) -> bytes:
+        tlv_bytes = bytearray()
+        if self.three_way is not None:
+            value = self.three_way.pack_value()
+            tlv_bytes.append(TLV_P2P_THREE_WAY)
+            tlv_bytes.append(len(value))
+            tlv_bytes.extend(value)
+        tlv_bytes.extend(encode_tlvs(self.other_tlvs))
+        pdu_length = P2P_HELLO_HEADER_LENGTH + len(tlv_bytes)
+        header = PduHeader(
+            pdu_type=PduType.P2P_HELLO, header_length=P2P_HELLO_HEADER_LENGTH
+        ).pack()
+        body = struct.pack(
+            ">B6sHHB",
+            self.circuit_type,
+            system_id_to_bytes(self.source_system_id),
+            self.holding_time,
+            pdu_length,
+            self.local_circuit_id,
+        )
+        return header + body + bytes(tlv_bytes)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PointToPointHello":
+        header = PduHeader.unpack(raw)
+        if header.pdu_type is not PduType.P2P_HELLO:
+            raise PduDecodeError(f"not a P2P hello (type {header.pdu_type})")
+        if len(raw) < P2P_HELLO_HEADER_LENGTH:
+            raise PduDecodeError("truncated P2P hello")
+        circuit_type, source, holding, pdu_length, circuit_id = struct.unpack_from(
+            ">B6sHHB", raw, 8
+        )
+        if pdu_length != len(raw):
+            raise PduDecodeError("P2P hello length field disagrees with buffer")
+
+        three_way: Optional[ThreeWayAdjacencyTlv] = None
+        other: List[Tlv] = []
+        for tlv in decode_tlvs(raw[P2P_HELLO_HEADER_LENGTH:]):
+            if isinstance(tlv, RawTlv) and tlv.tlv_type == TLV_P2P_THREE_WAY:
+                three_way = ThreeWayAdjacencyTlv.unpack_value(tlv.value)
+            else:
+                other.append(tlv)
+        return cls(
+            source_system_id=system_id_from_bytes(source),
+            holding_time=holding,
+            local_circuit_id=circuit_id,
+            circuit_type=circuit_type,
+            three_way=three_way,
+            other_tlvs=tuple(other),
+        )

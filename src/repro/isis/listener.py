@@ -1,0 +1,144 @@
+"""The passive IS-IS listener — this reproduction's PyRT.
+
+The listener participates in the IS-IS domain only to hear floods.  For
+every LSP it: (1) checks the LSDB acceptance rule so duplicate floods are
+ignored; (2) on first contact with an origin, records its hostname from the
+Dynamic Hostname TLV and its initial IS/IP reachability; (3) on subsequent
+LSPs, diffs the advertised Extended IS Reachability and Extended IP
+Reachability against the previous advertisement and emits a
+:class:`ReachabilityChange` for every entry gained or lost — exactly the
+procedure of §3.2.
+
+Resolution of changes onto *links* (using the mined config inventory) is
+deliberately not done here; that is analysis-side work performed by
+:mod:`repro.core.extract_isis`, mirroring the paper's separation between
+data collection and failure reconstruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+from repro.isis.database import LinkStateDatabase
+from repro.isis.lsp import LinkStatePacket
+
+
+class ReachabilityKind(enum.Enum):
+    """Which LSP field the change was observed in (§3.4's IS-vs-IP choice)."""
+
+    IS = "is"
+    IP = "ip"
+
+
+@dataclass(frozen=True)
+class ReachabilityChange:
+    """One reachability entry appearing or disappearing from an origin's LSP.
+
+    ``target`` is the neighbor system ID for IS changes, or the
+    ``(prefix, prefix_length)`` pair for IP changes.  ``direction`` uses the
+    paper's vocabulary: ``"down"`` for a withdrawal, ``"up"`` for a
+    (re-)advertisement.
+    """
+
+    time: float
+    origin_system_id: str
+    kind: ReachabilityKind
+    direction: str
+    target: Union[str, Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+
+@dataclass
+class _OriginState:
+    is_neighbors: FrozenSet[str]
+    ip_prefixes: FrozenSet[Tuple[int, int]]
+
+
+class IsisListener:
+    """Consumes timestamped LSPs, produces reachability change events."""
+
+    def __init__(self) -> None:
+        self._database = LinkStateDatabase()
+        self._origin_state: Dict[str, _OriginState] = {}
+        self.hostnames: Dict[str, str] = {}
+        self.changes: List[ReachabilityChange] = []
+        #: LSPs rejected by the LSDB (duplicates / stale floods).
+        self.rejected_count = 0
+
+    @property
+    def database(self) -> LinkStateDatabase:
+        return self._database
+
+    def observe_bytes(self, time: float, raw: bytes) -> List[ReachabilityChange]:
+        """Decode a wire LSP and process it (checksum verified)."""
+        return self.observe(time, LinkStatePacket.unpack(raw))
+
+    def observe(self, time: float, lsp: LinkStatePacket) -> List[ReachabilityChange]:
+        """Process one LSP; returns (and records) the changes it implies."""
+        if not self._database.consider(lsp, time):
+            self.rejected_count += 1
+            return []
+
+        origin = lsp.lsp_id.system_id
+        if lsp.hostname is not None:
+            self.hostnames[origin] = lsp.hostname
+
+        if lsp.is_purge():
+            new_is: FrozenSet[str] = frozenset()
+            new_ip: FrozenSet[Tuple[int, int]] = frozenset()
+        else:
+            # Aggregate over all stored fragments of this origin so a
+            # multi-fragment router is diffed on its full advertisement.
+            neighbors: Set[str] = set()
+            prefixes: Set[Tuple[int, int]] = set()
+            for fragment in self._database.lsps_of(origin):
+                for neighbor in fragment.is_neighbors:
+                    neighbors.add(neighbor.system_id)
+                for prefix in fragment.ip_prefixes:
+                    prefixes.add((prefix.prefix, prefix.prefix_length))
+            new_is = frozenset(neighbors)
+            new_ip = frozenset(prefixes)
+
+        previous = self._origin_state.get(origin)
+        emitted: List[ReachabilityChange] = []
+        if previous is None:
+            # First LSP from this origin: record state, emit nothing —
+            # the paper's listener likewise seeds its view silently (§3.2).
+            self._origin_state[origin] = _OriginState(new_is, new_ip)
+            return emitted
+
+        for neighbor_id in sorted(previous.is_neighbors - new_is):
+            emitted.append(
+                ReachabilityChange(time, origin, ReachabilityKind.IS, "down", neighbor_id)
+            )
+        for neighbor_id in sorted(new_is - previous.is_neighbors):
+            emitted.append(
+                ReachabilityChange(time, origin, ReachabilityKind.IS, "up", neighbor_id)
+            )
+        for prefix in sorted(previous.ip_prefixes - new_ip):
+            emitted.append(
+                ReachabilityChange(time, origin, ReachabilityKind.IP, "down", prefix)
+            )
+        for prefix in sorted(new_ip - previous.ip_prefixes):
+            emitted.append(
+                ReachabilityChange(time, origin, ReachabilityKind.IP, "up", prefix)
+            )
+
+        self._origin_state[origin] = _OriginState(new_is, new_ip)
+        self.changes.extend(emitted)
+        return emitted
+
+    def current_is_neighbors(self, origin: str) -> FrozenSet[str]:
+        """The origin's currently advertised IS neighbors (empty if unseen)."""
+        state = self._origin_state.get(origin)
+        return state.is_neighbors if state else frozenset()
+
+    def current_ip_prefixes(self, origin: str) -> FrozenSet[Tuple[int, int]]:
+        """The origin's currently advertised prefixes (empty if unseen)."""
+        state = self._origin_state.get(origin)
+        return state.ip_prefixes if state else frozenset()

@@ -1,0 +1,106 @@
+"""PyRT-style binary dump files for LSP capture streams.
+
+The paper's listener archived raw LSPs to disk for thirteen months; this
+module provides the equivalent archive format so simulated captures can be
+written once and re-analysed many times (and so the analysis pipeline reads
+bytes off disk rather than objects out of memory).
+
+Record layout (all big-endian), after a fixed eight-byte magic header:
+
+======  =====================================
+8       IEEE-754 double: capture timestamp
+4       uint32: payload length ``n``
+``n``   raw LSP bytes as heard on the wire
+======  =====================================
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator, List, Tuple, Union
+
+MAGIC = b"RPRTDMP1"
+_RECORD_HEADER = struct.Struct(">dI")
+
+#: Refuse absurd record lengths so a corrupt file fails fast instead of
+#: attempting a multi-gigabyte read.
+_MAX_RECORD = 1 << 20
+
+
+class MrtFormatError(ValueError):
+    """Raised when a dump file is corrupt or not a dump file at all."""
+
+
+class MrtDumpWriter:
+    """Appends timestamped LSP byte records to a dump file."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._stream.write(MAGIC)
+        self._count = 0
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "MrtDumpWriter":
+        return cls(open(path, "wb"))
+
+    def write(self, time: float, payload: bytes) -> None:
+        if len(payload) > _MAX_RECORD:
+            raise MrtFormatError("record exceeds maximum payload size")
+        self._stream.write(_RECORD_HEADER.pack(time, len(payload)))
+        self._stream.write(payload)
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "MrtDumpWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MrtDumpReader:
+    """Iterates ``(time, payload)`` records out of a dump file."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        magic = stream.read(len(MAGIC))
+        if magic != MAGIC:
+            raise MrtFormatError("not a repro LSP dump file")
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "MrtDumpReader":
+        return cls(open(path, "rb"))
+
+    def __iter__(self) -> Iterator[Tuple[float, bytes]]:
+        while True:
+            header = self._stream.read(_RECORD_HEADER.size)
+            if not header:
+                return
+            if len(header) < _RECORD_HEADER.size:
+                raise MrtFormatError("truncated record header")
+            time, length = _RECORD_HEADER.unpack(header)
+            if length > _MAX_RECORD:
+                raise MrtFormatError("record exceeds maximum payload size")
+            payload = self._stream.read(length)
+            if len(payload) < length:
+                raise MrtFormatError("truncated record payload")
+            yield time, payload
+
+    def read_all(self) -> List[Tuple[float, bytes]]:
+        return list(self)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "MrtDumpReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""ISO 10589 common PDU header framing.
+
+Every IS-IS PDU begins with the same eight-octet header; only the PDU type
+and header-length fields vary by PDU.  The simulated domain is a single
+level-2 area, so the listener sees L2 LSPs; hello and SNP types are defined
+for completeness (the adjacency FSM reasons about hellos symbolically).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+#: Intradomain Routing Protocol Discriminator assigned to IS-IS.
+ISIS_DISCRIMINATOR = 0x83
+
+#: Header length indicator for LSP PDUs (8 common + 19 LSP-specific octets).
+LSP_HEADER_LENGTH = 27
+
+
+class PduDecodeError(ValueError):
+    """Raised when PDU bytes violate the common header format."""
+
+
+class PduType(enum.IntEnum):
+    """PDU type codes from ISO 10589 Table 4."""
+
+    L1_LAN_HELLO = 15
+    L2_LAN_HELLO = 16
+    P2P_HELLO = 17
+    L1_LSP = 18
+    L2_LSP = 20
+    L1_CSNP = 24
+    L2_CSNP = 25
+    L1_PSNP = 26
+    L2_PSNP = 27
+
+
+@dataclass(frozen=True)
+class PduHeader:
+    """The eight-octet common header shared by all IS-IS PDUs."""
+
+    pdu_type: PduType
+    header_length: int = LSP_HEADER_LENGTH
+    version: int = 1
+    id_length: int = 0  # zero encodes the standard six-octet system ID
+    max_area_addresses: int = 0  # zero encodes the default of three areas
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            ">BBBBBBBB",
+            ISIS_DISCRIMINATOR,
+            self.header_length,
+            self.version,
+            self.id_length,
+            int(self.pdu_type),
+            self.version,
+            0,  # reserved
+            self.max_area_addresses,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PduHeader":
+        if len(raw) < 8:
+            raise PduDecodeError("truncated common PDU header")
+        (
+            discriminator,
+            header_length,
+            version_pid,
+            id_length,
+            pdu_type,
+            version,
+            reserved,
+            max_areas,
+        ) = struct.unpack(">BBBBBBBB", raw[:8])
+        if discriminator != ISIS_DISCRIMINATOR:
+            raise PduDecodeError(
+                f"not an IS-IS PDU (discriminator 0x{discriminator:02x})"
+            )
+        if version_pid != 1 or version != 1:
+            raise PduDecodeError("unsupported IS-IS protocol version")
+        if reserved != 0:
+            raise PduDecodeError("reserved octet must be zero")
+        try:
+            typed = PduType(pdu_type & 0x1F)
+        except ValueError as exc:
+            raise PduDecodeError(f"unknown PDU type {pdu_type}") from exc
+        return cls(
+            pdu_type=typed,
+            header_length=header_length,
+            version=version,
+            id_length=id_length,
+            max_area_addresses=max_areas,
+        )

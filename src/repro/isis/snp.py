@@ -1,0 +1,205 @@
+"""Sequence number PDUs: CSNP and PSNP (ISO 10589 §9.9–§9.10).
+
+SNPs are IS-IS's database synchronisation machinery: a Complete SNP lists
+every LSP in the sender's database (ID, sequence number, lifetime,
+checksum); a Partial SNP acknowledges or requests specific LSPs.  The
+paper's listener relies on exactly this exchange when it restarts after an
+outage — its LSDB resynchronises from its attachment router's CSNPs, which
+is why changes during an outage surface as a burst of deltas at resync
+(the artefact §4.2's sanitisation removes).
+
+The codec supports building and parsing both PDU types, and
+:func:`summarize_database` produces the CSNP entry list for an LSDB.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.isis.database import LinkStateDatabase
+from repro.isis.lsp import LspId
+from repro.isis.pdu import PduDecodeError, PduHeader, PduType
+from repro.topology.addressing import system_id_from_bytes, system_id_to_bytes
+
+#: Header length indicators (8 common + specific octets).
+CSNP_HEADER_LENGTH = 33
+PSNP_HEADER_LENGTH = 17
+
+#: The LSP Entries TLV (type 9); each entry is 16 octets.
+TLV_LSP_ENTRIES = 9
+_ENTRY = struct.Struct(">H8sIH")
+
+#: Lowest/highest possible LSP IDs, for full-range CSNPs.
+FIRST_LSP_ID = LspId("0000.0000.0000", 0, 0)
+LAST_LSP_ID = LspId("ffff.ffff.ffff", 255, 255)
+
+
+@dataclass(frozen=True)
+class LspSummary:
+    """One LSP Entries item: enough to decide who has the newer copy."""
+
+    lsp_id: LspId
+    sequence_number: int
+    remaining_lifetime: int
+    checksum: int
+
+    def pack(self) -> bytes:
+        return _ENTRY.pack(
+            self.remaining_lifetime,
+            self.lsp_id.pack(),
+            self.sequence_number,
+            self.checksum,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "LspSummary":
+        lifetime, lsp_id, seqno, checksum = _ENTRY.unpack(raw)
+        return cls(
+            lsp_id=LspId.unpack(lsp_id),
+            sequence_number=seqno,
+            remaining_lifetime=lifetime,
+            checksum=checksum,
+        )
+
+
+def _entries_tlvs(entries: Tuple[LspSummary, ...]) -> bytes:
+    out = bytearray()
+    for i in range(0, len(entries), 15):  # 15 × 16 = 240 octets per TLV
+        chunk = entries[i : i + 15]
+        out.append(TLV_LSP_ENTRIES)
+        out.append(16 * len(chunk))
+        for entry in chunk:
+            out.extend(entry.pack())
+    return bytes(out)
+
+
+def _parse_entries(raw: bytes) -> Tuple[LspSummary, ...]:
+    entries: List[LspSummary] = []
+    offset = 0
+    while offset < len(raw):
+        if offset + 2 > len(raw):
+            raise PduDecodeError("truncated SNP TLV header")
+        tlv_type, length = raw[offset], raw[offset + 1]
+        end = offset + 2 + length
+        if end > len(raw):
+            raise PduDecodeError("SNP TLV overruns buffer")
+        if tlv_type == TLV_LSP_ENTRIES:
+            if length % 16:
+                raise PduDecodeError("LSP entries TLV not a multiple of 16")
+            for i in range(offset + 2, end, 16):
+                entries.append(LspSummary.unpack(raw[i : i + 16]))
+        offset = end
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class CompleteSnp:
+    """A CSNP: the sender's database over an LSP ID range."""
+
+    source_system_id: str
+    entries: Tuple[LspSummary, ...] = field(default_factory=tuple)
+    start_lsp_id: LspId = FIRST_LSP_ID
+    end_lsp_id: LspId = LAST_LSP_ID
+
+    def pack(self) -> bytes:
+        tlvs = _entries_tlvs(self.entries)
+        pdu_length = CSNP_HEADER_LENGTH + len(tlvs)
+        header = PduHeader(
+            pdu_type=PduType.L2_CSNP, header_length=CSNP_HEADER_LENGTH
+        ).pack()
+        body = struct.pack(
+            ">H7s8s8s",
+            pdu_length,
+            system_id_to_bytes(self.source_system_id) + b"\x00",
+            self.start_lsp_id.pack(),
+            self.end_lsp_id.pack(),
+        )
+        return header + body + tlvs
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "CompleteSnp":
+        header = PduHeader.unpack(raw)
+        if header.pdu_type not in (PduType.L1_CSNP, PduType.L2_CSNP):
+            raise PduDecodeError(f"not a CSNP (type {header.pdu_type})")
+        if len(raw) < CSNP_HEADER_LENGTH:
+            raise PduDecodeError("truncated CSNP")
+        pdu_length, source, start, end = struct.unpack_from(">H7s8s8s", raw, 8)
+        if pdu_length != len(raw):
+            raise PduDecodeError("CSNP length field disagrees with buffer")
+        return cls(
+            source_system_id=system_id_from_bytes(source[:6]),
+            entries=_parse_entries(raw[CSNP_HEADER_LENGTH:]),
+            start_lsp_id=LspId.unpack(start),
+            end_lsp_id=LspId.unpack(end),
+        )
+
+
+@dataclass(frozen=True)
+class PartialSnp:
+    """A PSNP: acknowledgement/request for specific LSPs."""
+
+    source_system_id: str
+    entries: Tuple[LspSummary, ...] = field(default_factory=tuple)
+
+    def pack(self) -> bytes:
+        tlvs = _entries_tlvs(self.entries)
+        pdu_length = PSNP_HEADER_LENGTH + len(tlvs)
+        header = PduHeader(
+            pdu_type=PduType.L2_PSNP, header_length=PSNP_HEADER_LENGTH
+        ).pack()
+        body = struct.pack(
+            ">H7s", pdu_length, system_id_to_bytes(self.source_system_id) + b"\x00"
+        )
+        return header + body + tlvs
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PartialSnp":
+        header = PduHeader.unpack(raw)
+        if header.pdu_type not in (PduType.L1_PSNP, PduType.L2_PSNP):
+            raise PduDecodeError(f"not a PSNP (type {header.pdu_type})")
+        if len(raw) < PSNP_HEADER_LENGTH:
+            raise PduDecodeError("truncated PSNP")
+        pdu_length, source = struct.unpack_from(">H7s", raw, 8)
+        if pdu_length != len(raw):
+            raise PduDecodeError("PSNP length field disagrees with buffer")
+        return cls(
+            source_system_id=system_id_from_bytes(source[:6]),
+            entries=_parse_entries(raw[PSNP_HEADER_LENGTH:]),
+        )
+
+
+def summarize_database(database: LinkStateDatabase) -> Tuple[LspSummary, ...]:
+    """The CSNP entry list describing an LSDB's current contents."""
+    summaries = []
+    for stored in sorted(database, key=lambda s: s.lsp.lsp_id):
+        lsp = stored.lsp
+        raw = lsp.pack()
+        checksum = struct.unpack_from(">H", raw, 24)[0]
+        summaries.append(
+            LspSummary(
+                lsp_id=lsp.lsp_id,
+                sequence_number=lsp.sequence_number,
+                remaining_lifetime=lsp.remaining_lifetime,
+                checksum=checksum,
+            )
+        )
+    return tuple(summaries)
+
+
+def missing_or_stale(
+    local: LinkStateDatabase, remote_entries: Tuple[LspSummary, ...]
+) -> List[LspId]:
+    """LSP IDs a restarting listener must request (PSNP) after hearing a CSNP.
+
+    An LSP is wanted when the local database lacks it or holds an older
+    sequence number — the resync decision the listener makes after an
+    outage.
+    """
+    wanted: List[LspId] = []
+    for entry in remote_entries:
+        stored = local.get(entry.lsp_id)
+        if stored is None or stored.lsp.sequence_number < entry.sequence_number:
+            wanted.append(entry.lsp_id)
+    return wanted

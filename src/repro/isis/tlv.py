@@ -1,0 +1,310 @@
+"""Binary TLV codec for IS-IS link state packets.
+
+IS-IS encodes everything after the fixed LSP header as a sequence of
+type/length/value fields (ISO 10589 §9.x, RFC 5305).  The paper's listener
+consumes four of them (Table 1): LSP ID (part of the fixed header), Dynamic
+Hostname, Extended IS Reachability, and Extended IP Reachability.  We also
+implement Area Addresses and Protocols Supported so generated LSPs resemble
+real ones, and a :class:`RawTlv` passthrough so unknown types survive a
+decode/encode round trip — the behaviour a real listener needs when routers
+advertise TLVs it does not understand.
+
+All value classes are frozen dataclasses with ``pack``/``unpack`` pairs; the
+module-level :func:`encode_tlvs` / :func:`decode_tlvs` handle framing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import ClassVar, List, Sequence, Tuple, Type, Union
+
+from repro.topology.addressing import (
+    format_ipv4,
+    system_id_from_bytes,
+    system_id_to_bytes,
+)
+
+TLV_AREA_ADDRESSES = 1
+TLV_PROTOCOLS_SUPPORTED = 129
+TLV_EXTENDED_IS_REACHABILITY = 22
+TLV_EXTENDED_IP_REACHABILITY = 135
+TLV_DYNAMIC_HOSTNAME = 137
+
+#: NLPID value for IPv4, the only protocol our simulated domain routes.
+NLPID_IPV4 = 0xCC
+
+
+class TlvDecodeError(ValueError):
+    """Raised when a TLV's value bytes violate its wire format."""
+
+
+@dataclass(frozen=True)
+class IsNeighbor:
+    """One Extended IS Reachability entry: a neighbor and its metric.
+
+    ``pseudonode`` is the LAN pseudonode octet; zero on the point-to-point
+    links that make up the CENIC backbone.  Note a single entry covers a
+    *device pair*: parallel physical links between the same routers collapse
+    into one IS reachability entry, which is exactly why the paper must omit
+    multi-link adjacencies from IS-reachability analysis (§3.4).
+    """
+
+    system_id: str
+    metric: int
+    pseudonode: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.metric < 2**24:
+            raise ValueError("wide metric must fit in three octets")
+        if not 0 <= self.pseudonode <= 255:
+            raise ValueError("pseudonode octet out of range")
+
+    def pack(self) -> bytes:
+        return (
+            system_id_to_bytes(self.system_id)
+            + bytes([self.pseudonode])
+            + self.metric.to_bytes(3, "big")
+            + b"\x00"  # no sub-TLVs
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes, offset: int) -> Tuple["IsNeighbor", int]:
+        if offset + 11 > len(raw):
+            raise TlvDecodeError("truncated IS reachability entry")
+        system_id = system_id_from_bytes(raw[offset : offset + 6])
+        pseudonode = raw[offset + 6]
+        metric = int.from_bytes(raw[offset + 7 : offset + 10], "big")
+        sub_len = raw[offset + 10]
+        end = offset + 11 + sub_len
+        if end > len(raw):
+            raise TlvDecodeError("IS reachability sub-TLVs overrun value")
+        return cls(system_id=system_id, metric=metric, pseudonode=pseudonode), end
+
+
+@dataclass(frozen=True)
+class IpPrefix:
+    """One Extended IP Reachability entry: a prefix and its metric.
+
+    CENIC numbers each point-to-point link from its own /31, so these entries
+    identify individual physical links — unlike IS reachability (§3.4).
+    """
+
+    prefix: int  # network address as an integer
+    prefix_length: int
+    metric: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_length <= 32:
+            raise ValueError("prefix length out of range")
+        if not 0 <= self.prefix < 2**32:
+            raise ValueError("prefix out of range")
+        if not 0 <= self.metric < 2**32:
+            raise ValueError("metric must fit in four octets")
+        host_bits = 32 - self.prefix_length
+        if host_bits and self.prefix & ((1 << host_bits) - 1):
+            raise ValueError("prefix has host bits set")
+
+    @property
+    def text(self) -> str:
+        return f"{format_ipv4(self.prefix)}/{self.prefix_length}"
+
+    def pack(self) -> bytes:
+        octets = (self.prefix_length + 7) // 8
+        control = self.prefix_length & 0x3F  # no up/down bit, no sub-TLVs
+        prefix_bytes = self.prefix.to_bytes(4, "big")[:octets]
+        return struct.pack(">IB", self.metric, control) + prefix_bytes
+
+    @classmethod
+    def unpack(cls, raw: bytes, offset: int) -> Tuple["IpPrefix", int]:
+        if offset + 5 > len(raw):
+            raise TlvDecodeError("truncated IP reachability entry")
+        metric, control = struct.unpack_from(">IB", raw, offset)
+        prefix_length = control & 0x3F
+        if prefix_length > 32:
+            raise TlvDecodeError("prefix length exceeds 32")
+        octets = (prefix_length + 7) // 8
+        end = offset + 5 + octets
+        if control & 0x40:
+            raise TlvDecodeError("sub-TLVs on IP reachability not supported")
+        if end > len(raw):
+            raise TlvDecodeError("IP reachability prefix overruns value")
+        prefix_bytes = raw[offset + 5 : end] + b"\x00" * (4 - octets)
+        prefix = int.from_bytes(prefix_bytes, "big")
+        return cls(prefix=prefix, prefix_length=prefix_length, metric=metric), end
+
+
+@dataclass(frozen=True)
+class ExtendedIsReachabilityTlv:
+    """TLV 22 — the router's IS-IS adjacencies with wide metrics."""
+
+    tlv_type: ClassVar[int] = TLV_EXTENDED_IS_REACHABILITY
+    neighbors: Tuple[IsNeighbor, ...]
+
+    def pack_value(self) -> bytes:
+        return b"".join(neighbor.pack() for neighbor in self.neighbors)
+
+    @classmethod
+    def unpack_value(cls, raw: bytes) -> "ExtendedIsReachabilityTlv":
+        neighbors: List[IsNeighbor] = []
+        offset = 0
+        while offset < len(raw):
+            neighbor, offset = IsNeighbor.unpack(raw, offset)
+            neighbors.append(neighbor)
+        return cls(neighbors=tuple(neighbors))
+
+
+@dataclass(frozen=True)
+class ExtendedIpReachabilityTlv:
+    """TLV 135 — directly reachable IP prefixes with wide metrics."""
+
+    tlv_type: ClassVar[int] = TLV_EXTENDED_IP_REACHABILITY
+    prefixes: Tuple[IpPrefix, ...]
+
+    def pack_value(self) -> bytes:
+        return b"".join(prefix.pack() for prefix in self.prefixes)
+
+    @classmethod
+    def unpack_value(cls, raw: bytes) -> "ExtendedIpReachabilityTlv":
+        prefixes: List[IpPrefix] = []
+        offset = 0
+        while offset < len(raw):
+            prefix, offset = IpPrefix.unpack(raw, offset)
+            prefixes.append(prefix)
+        return cls(prefixes=tuple(prefixes))
+
+
+@dataclass(frozen=True)
+class DynamicHostnameTlv:
+    """TLV 137 — the human-readable router name (RFC 5301).
+
+    This is the field that lets the paper map OSI system IDs back to the
+    hostnames appearing in syslog.
+    """
+
+    tlv_type: ClassVar[int] = TLV_DYNAMIC_HOSTNAME
+    hostname: str
+
+    def pack_value(self) -> bytes:
+        encoded = self.hostname.encode("ascii")
+        if not 1 <= len(encoded) <= 255:
+            raise ValueError("hostname must encode to 1-255 octets")
+        return encoded
+
+    @classmethod
+    def unpack_value(cls, raw: bytes) -> "DynamicHostnameTlv":
+        try:
+            return cls(hostname=raw.decode("ascii"))
+        except UnicodeDecodeError as exc:
+            raise TlvDecodeError("hostname is not ASCII") from exc
+
+
+@dataclass(frozen=True)
+class AreaAddressesTlv:
+    """TLV 1 — the areas this IS belongs to, as raw address octets."""
+
+    tlv_type: ClassVar[int] = TLV_AREA_ADDRESSES
+    areas: Tuple[bytes, ...]
+
+    def pack_value(self) -> bytes:
+        parts = []
+        for area in self.areas:
+            if not 1 <= len(area) <= 13:
+                raise ValueError("area address must be 1-13 octets")
+            parts.append(bytes([len(area)]) + area)
+        return b"".join(parts)
+
+    @classmethod
+    def unpack_value(cls, raw: bytes) -> "AreaAddressesTlv":
+        areas: List[bytes] = []
+        offset = 0
+        while offset < len(raw):
+            length = raw[offset]
+            end = offset + 1 + length
+            if length == 0 or end > len(raw):
+                raise TlvDecodeError("malformed area address list")
+            areas.append(raw[offset + 1 : end])
+            offset = end
+        return cls(areas=tuple(areas))
+
+
+@dataclass(frozen=True)
+class ProtocolsSupportedTlv:
+    """TLV 129 — NLPIDs of the routed protocols (just IPv4 here)."""
+
+    tlv_type: ClassVar[int] = TLV_PROTOCOLS_SUPPORTED
+    nlpids: Tuple[int, ...]
+
+    def pack_value(self) -> bytes:
+        return bytes(self.nlpids)
+
+    @classmethod
+    def unpack_value(cls, raw: bytes) -> "ProtocolsSupportedTlv":
+        return cls(nlpids=tuple(raw))
+
+
+@dataclass(frozen=True)
+class RawTlv:
+    """An unrecognised TLV carried through decode/encode untouched."""
+
+    tlv_type: int
+    value: bytes
+
+    def pack_value(self) -> bytes:
+        return self.value
+
+
+Tlv = Union[
+    ExtendedIsReachabilityTlv,
+    ExtendedIpReachabilityTlv,
+    DynamicHostnameTlv,
+    AreaAddressesTlv,
+    ProtocolsSupportedTlv,
+    RawTlv,
+]
+
+_DECODERS: dict = {
+    TLV_EXTENDED_IS_REACHABILITY: ExtendedIsReachabilityTlv,
+    TLV_EXTENDED_IP_REACHABILITY: ExtendedIpReachabilityTlv,
+    TLV_DYNAMIC_HOSTNAME: DynamicHostnameTlv,
+    TLV_AREA_ADDRESSES: AreaAddressesTlv,
+    TLV_PROTOCOLS_SUPPORTED: ProtocolsSupportedTlv,
+}
+
+
+def encode_tlvs(tlvs: Sequence[Tlv]) -> bytes:
+    """Frame a TLV sequence as wire bytes (type, length, value triples)."""
+    out = bytearray()
+    for tlv in tlvs:
+        value = tlv.pack_value()
+        if len(value) > 255:
+            raise ValueError(
+                f"TLV {tlv.tlv_type} value of {len(value)} octets exceeds 255; "
+                "split entries across multiple TLVs"
+            )
+        out.append(tlv.tlv_type)
+        out.append(len(value))
+        out.extend(value)
+    return bytes(out)
+
+
+def decode_tlvs(raw: bytes) -> List[Tlv]:
+    """Parse wire bytes into typed TLVs; unknown types become :class:`RawTlv`."""
+    tlvs: List[Tlv] = []
+    offset = 0
+    while offset < len(raw):
+        if offset + 2 > len(raw):
+            raise TlvDecodeError("truncated TLV header")
+        tlv_type = raw[offset]
+        length = raw[offset + 1]
+        end = offset + 2 + length
+        if end > len(raw):
+            raise TlvDecodeError(f"TLV {tlv_type} value overruns buffer")
+        value = raw[offset + 2 : end]
+        decoder: Type = _DECODERS.get(tlv_type)
+        if decoder is None:
+            tlvs.append(RawTlv(tlv_type=tlv_type, value=value))
+        else:
+            tlvs.append(decoder.unpack_value(value))
+        offset = end
+    return tlvs

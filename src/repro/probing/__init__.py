@@ -1,0 +1,31 @@
+"""Active probing — the paper's fifth data source, for isolation detection.
+
+The authors' earlier study used active probes as one of its ground-truth
+sources; the intro lists probing among the tools pressed into failure
+analysis.  Probes answer a different question than the per-link channels:
+not "which link failed" but "can this customer be reached right now" —
+precisely §4.4's customer-isolation metric, measured directly instead of
+being reconstructed from multi-link state.
+
+:class:`~repro.probing.prober.ActiveProber` sends a probe from the
+measurement vantage to every customer site on a fixed period (with packet
+loss, so single losses need confirmation);
+:func:`~repro.probing.prober.reconstruct_outages` turns the responses
+into per-site outage intervals with the prober's quantisation error.
+"""
+
+from repro.probing.prober import (
+    ActiveProber,
+    ProbeParameters,
+    ProbeSample,
+    reconstruct_outages,
+    reconstruct_outages_stream,
+)
+
+__all__ = [
+    "ActiveProber",
+    "ProbeParameters",
+    "ProbeSample",
+    "reconstruct_outages",
+    "reconstruct_outages_stream",
+]

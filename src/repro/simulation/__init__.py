@@ -1,0 +1,64 @@
+"""Failure-injection simulation of the CENIC measurement environment.
+
+This package generates the data the paper collected but we cannot obtain:
+thirteen months of contemporaneous syslog and IS-IS observations of the same
+underlying failure process.  The pieces:
+
+* :mod:`repro.simulation.engine` — a minimal discrete-event engine;
+* :mod:`repro.simulation.workload` — per-link-class failure profiles
+  (rates, duration mixtures, flapping, causes) with CENIC-calibrated
+  defaults;
+* :mod:`repro.simulation.failures` — the ground-truth generator: seeded,
+  non-overlapping failure histories plus media-flap noise per link;
+* :mod:`repro.simulation.router` — routers that react to injected events by
+  emitting syslog messages and regenerating/flooding LSPs (with coalescing);
+* :mod:`repro.simulation.listenerhost` — the listener's own availability
+  (outages and post-outage database resync);
+* :mod:`repro.simulation.scenario` — end-to-end orchestration producing a
+  :class:`~repro.simulation.dataset.Dataset`;
+* :mod:`repro.simulation.dataset` — the bundle of everything an analysis
+  consumes: config archive, syslog log text, LSP byte records, ground
+  truth, listener outages, and trouble tickets.
+"""
+
+from repro.simulation.engine import EventQueue
+from repro.simulation.workload import (
+    DurationMixture,
+    LinkClassProfile,
+    WorkloadParameters,
+    cenic_default_workload,
+)
+from repro.simulation.failures import (
+    FailureCause,
+    GroundTruthFailure,
+    LinkWorkload,
+    MediaFlapEvent,
+    PseudoEventKind,
+    generate_link_workload,
+)
+from repro.simulation.router import SimulatedRouter
+from repro.simulation.listenerhost import ListenerHost, OutageParameters
+from repro.simulation.dataset import Dataset, DatasetSummary
+from repro.simulation.scenario import ScenarioConfig, ScenarioRunner, run_scenario
+
+__all__ = [
+    "EventQueue",
+    "DurationMixture",
+    "LinkClassProfile",
+    "WorkloadParameters",
+    "cenic_default_workload",
+    "FailureCause",
+    "GroundTruthFailure",
+    "LinkWorkload",
+    "MediaFlapEvent",
+    "PseudoEventKind",
+    "generate_link_workload",
+    "SimulatedRouter",
+    "ListenerHost",
+    "OutageParameters",
+    "Dataset",
+    "DatasetSummary",
+    "ScenarioConfig",
+    "ScenarioRunner",
+    "run_scenario",
+]

@@ -1,0 +1,267 @@
+"""Translate ground-truth events into observable router behaviour.
+
+For each :class:`~repro.simulation.failures.GroundTruthFailure` this module
+schedules, on the discrete-event engine, everything the outside world can
+see of it:
+
+Failure start
+    The first detector logs the cause-appropriate syslog messages and
+    updates its LSP state; the second end follows after its detection skew
+    (sub-second for mutual carrier loss, hold-timer-scale for delayed
+    detection and protocol failures — the skew that turns Table 3's "Both"
+    into "One").
+
+    Physical failures additionally log ``%LINK``/``%LINEPROTO`` and withdraw
+    the connected /31 at every end that lost carrier; protocol failures
+    touch neither media messages nor IP reachability (Table 2's contrast).
+
+Recovery
+    Carrier returns (media Up + prefix re-advertisement at affected ends),
+    then the adjacency handshake completes and both ends log ADJCHANGE Up.
+    Two syslog-only blips may decorate recovery, per §4.3: a **handshake
+    abort** (Up then Down before the real Up, no LSP ever generated) and an
+    **adjacency reset** (Down/Up moments after the real Up, again without an
+    LSP).
+
+Media flaps
+    Both ends log media messages and bounce the /31; adjacencies are
+    untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from repro.simulation.engine import EventQueue
+from repro.simulation.failures import FailureCause, GroundTruthFailure, MediaFlapEvent
+from repro.simulation.router import SimulatedRouter
+from repro.syslog.cisco import (
+    AdjacencyChangeMessage,
+    CiscoLogEntry,
+    LineProtoUpDownMessage,
+    LinkUpDownMessage,
+)
+from repro.topology.model import Link
+
+SyslogEmit = Callable[[float, CiscoLogEntry], None]
+
+#: Cisco cause phrases, keyed by (direction, context).
+REASON_NEW_ADJACENCY = "new adjacency"
+REASON_HOLD_EXPIRED = "hold time expired"
+REASON_INTERFACE_DOWN = "interface state down"
+REASON_ADJACENCY_RESET = "adjacency reset"
+REASON_HANDSHAKE_FAILED = "3-way handshake failed"
+
+
+def _adjchange(
+    router: SimulatedRouter, link: Link, direction: str, reason: str
+) -> AdjacencyChangeMessage:
+    neighbor = link.other_end(router.name)
+    return AdjacencyChangeMessage(
+        router=router.name,
+        interface=link.port_on(router.name),
+        neighbor_hostname=neighbor,
+        direction=direction,
+        reason=reason,
+        flavor=router.flavor,
+    )
+
+
+def _media_messages(
+    router: SimulatedRouter, link: Link, direction: str
+) -> list:
+    port = link.port_on(router.name)
+    return [
+        LinkUpDownMessage(router=router.name, interface=port, direction=direction),
+        LineProtoUpDownMessage(router=router.name, interface=port, direction=direction),
+    ]
+
+
+def schedule_failure(
+    failure: GroundTruthFailure,
+    link: Link,
+    routers: Dict[str, SimulatedRouter],
+    engine: EventQueue,
+    emit_syslog: SyslogEmit,
+    rng: random.Random,
+) -> None:
+    """Schedule every observable consequence of one failure."""
+    first = routers[failure.first_detector]
+    second = routers[link.other_end(failure.first_detector)]
+    physical = failure.cause is FailureCause.PHYSICAL
+
+    # ----------------------------------------------------------- going down
+    t_first = failure.start
+    t_second = failure.start + failure.second_skew
+    t_up = failure.end
+    # An end whose detection (carrier loss propagation or hold-timer
+    # expiry) would land after the adjacency is already re-established
+    # never notices the failure at all: its hold timer is refreshed by the
+    # resumed hellos and nothing is logged or withdrawn there.  Short
+    # failures are therefore often witnessed by a single end — one driver
+    # of Table 3's One-matched rows.
+    second_noticed = t_second < t_up
+
+    def down_at(router: SimulatedRouter, when: float, lost_carrier: bool) -> None:
+        def action() -> None:
+            if lost_carrier:
+                if not failure.suppress_down_syslog:
+                    for message in _media_messages(router, link, "down"):
+                        emit_syslog(engine.now, message)
+                router.prefix_down(engine.now, link.link_id)
+                reason = REASON_INTERFACE_DOWN
+            else:
+                reason = REASON_HOLD_EXPIRED
+            if not failure.suppress_down_syslog:
+                emit_syslog(engine.now, _adjchange(router, link, "down", reason))
+            router.adjacency_down(engine.now, link.link_id)
+
+        engine.schedule(when, action)
+
+    if physical:
+        down_at(first, t_first, lost_carrier=True)
+        if second_noticed:
+            down_at(second, t_second, lost_carrier=not failure.delayed_second)
+    else:
+        down_at(first, t_first, lost_carrier=False)
+        if second_noticed:
+            down_at(second, t_second, lost_carrier=False)
+
+    # ------------------------------------------------------------- recovery
+    t_repair = failure.repair_time
+    if physical:
+        carrier_ends = [first]
+        if not failure.delayed_second and second_noticed:
+            carrier_ends.append(second)
+
+        def carrier_return(router: SimulatedRouter) -> Callable[[], None]:
+            def action() -> None:
+                if not failure.suppress_up_syslog:
+                    for message in _media_messages(router, link, "up"):
+                        emit_syslog(engine.now, message)
+                router.prefix_up(engine.now, link.link_id)
+
+            return action
+
+        for router in carrier_ends:
+            engine.schedule(t_repair + rng.uniform(0.0, 0.3), carrier_return(router))
+
+    if failure.abort and not failure.suppress_up_syslog:
+        # The first handshake attempt reaches UP at one end, then collapses.
+        # No LSP results (the change is inside the generation holddown), so
+        # only syslog witnesses it.
+        t_abort_up = t_repair + failure.abort_delay
+        t_abort_down = t_abort_up + failure.abort_duration
+
+        def abort_up() -> None:
+            emit_syslog(
+                engine.now, _adjchange(first, link, "up", REASON_NEW_ADJACENCY)
+            )
+
+        def abort_down() -> None:
+            emit_syslog(
+                engine.now, _adjchange(first, link, "down", REASON_HANDSHAKE_FAILED)
+            )
+
+        engine.schedule(t_abort_up, abort_up)
+        engine.schedule(t_abort_down, abort_down)
+
+    # The two ends reach UP a hello-cycle apart: within a second inside
+    # flaps (fast hellos already running), but up to ~15 s for a cold
+    # re-establishment — one driver of Table 3's One-matched UP rows.
+    if failure.flap_member:
+        second_up_jitter = rng.uniform(0.0, 1.0)
+    else:
+        second_up_jitter = rng.uniform(0.0, 20.0)
+
+    def up_at(router: SimulatedRouter, when: float) -> None:
+        def action() -> None:
+            if not failure.suppress_up_syslog:
+                emit_syslog(
+                    engine.now, _adjchange(router, link, "up", REASON_NEW_ADJACENCY)
+                )
+            router.adjacency_up(engine.now, link.link_id)
+
+        engine.schedule(when, action)
+
+    up_at(first, t_up)
+    if second_noticed:
+        up_at(second, t_up + second_up_jitter)
+
+    if failure.reminder_down_offset is not None:
+        # A persistent-condition reminder: the first detector re-logs the
+        # Down mid-failure.  No state change, no LSP — just the repeated
+        # message whose handling §4.3 studies.
+        def reminder_down() -> None:
+            reason = (
+                REASON_INTERFACE_DOWN if physical else REASON_HOLD_EXPIRED
+            )
+            emit_syslog(engine.now, _adjchange(first, link, "down", reason))
+
+        engine.schedule(t_first + failure.reminder_down_offset, reminder_down)
+
+    if failure.reminder_up_offset is not None:
+        def reminder_up() -> None:
+            emit_syslog(
+                engine.now, _adjchange(first, link, "up", REASON_NEW_ADJACENCY)
+            )
+
+        engine.schedule(t_up + failure.reminder_up_offset, reminder_up)
+
+    if failure.reset and not failure.suppress_up_syslog:
+        # Moments after recovery the adjacency resets and re-forms without a
+        # new LSP; the paper distinguishes these from real failures by the
+        # cause phrase (§4.3).
+        t_reset_down = t_up + failure.reset_delay
+        t_reset_up = t_reset_down + failure.reset_duration
+
+        def reset_down() -> None:
+            emit_syslog(
+                engine.now, _adjchange(first, link, "down", REASON_ADJACENCY_RESET)
+            )
+
+        def reset_up() -> None:
+            emit_syslog(
+                engine.now, _adjchange(first, link, "up", REASON_NEW_ADJACENCY)
+            )
+
+        engine.schedule(t_reset_down, reset_down)
+        engine.schedule(t_reset_up, reset_up)
+
+
+def schedule_media_flap(
+    flap: MediaFlapEvent,
+    link: Link,
+    routers: Dict[str, SimulatedRouter],
+    engine: EventQueue,
+    emit_syslog: SyslogEmit,
+    rng: random.Random,
+) -> None:
+    """Schedule a carrier blip: media syslog + IP bounce, adjacency intact.
+
+    Most carrier events behind optical transport are unidirectional — only
+    one end sees loss of light, logs media messages, and withdraws its /31;
+    the remainder hit both ends.
+    """
+    if rng.random() < 0.6:
+        chosen = rng.choice((link.router_a, link.router_b))
+        ends = [routers[chosen]]
+    else:
+        ends = [routers[link.router_a], routers[link.router_b]]
+
+    def edge(direction: str, when: float, silent: bool) -> None:
+        for router in ends:
+            def action(router: SimulatedRouter = router) -> None:
+                if not silent:
+                    for message in _media_messages(router, link, direction):
+                        emit_syslog(engine.now, message)
+                if direction == "down":
+                    router.prefix_down(engine.now, link.link_id)
+                else:
+                    router.prefix_up(engine.now, link.link_id)
+
+            engine.schedule(when + rng.uniform(0.0, 0.2), action)
+
+    edge("down", flap.start, flap.silent_down)
+    edge("up", flap.end, flap.silent_up)

@@ -1,0 +1,65 @@
+"""A minimal discrete-event simulation engine.
+
+The scenario runner schedules closures at absolute times; the engine pops
+them in time order.  Ties break by insertion order (a monotonically
+increasing sequence number), which keeps runs fully deterministic — Python's
+heapq would otherwise try to compare the closures themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Action = Callable[[], None]
+
+
+class EventQueue:
+    """Time-ordered queue of zero-argument callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """The time of the most recently executed event."""
+        return self._now
+
+    def schedule(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at ``time``.
+
+        Scheduling in the past (relative to the engine's current time while
+        running) is an error — it would silently reorder causality.
+        """
+        if self._running and time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} (earlier than current time {self._now})"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), action))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Execute events in order; returns the number executed.
+
+        With ``until`` set, events at strictly later times stay queued.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._heap:
+                time, _, action = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                action()
+                executed += 1
+        finally:
+            self._running = False
+        return executed

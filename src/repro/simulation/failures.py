@@ -1,0 +1,365 @@
+"""Ground-truth failure generation.
+
+For every link the generator draws a failure history over the measurement
+horizon: Poisson episode arrivals at a per-link lognormal rate, each episode
+either an isolated failure or a flapping run, each failure annotated with
+every random choice the observable-effects layer needs (which end detected
+first, detection skew, recovery handshake time, abort/reset blips).  Making
+all choices here keeps :mod:`repro.simulation.effects` a pure translation,
+and the whole history a deterministic function of ``(seed, link_id)``.
+
+Ground truth semantics: a failure spans ``[start, end)`` where ``start`` is
+the moment traffic is first affected and ``end`` is the moment the IS-IS
+adjacency is fully re-established.  This is the reference the paper treats
+IS-IS as approximating; the simulated IS-IS *observation* of it carries
+detection and flooding skew on top.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.simulation.workload import LinkClassProfile
+from repro.util.rand import child_rng
+
+#: Guaranteed quiet time between episodes so the ten-minute flap rule of
+#: §4.1 never merges two generated episodes into one.
+MIN_EPISODE_GAP = 900.0
+
+
+class FailureCause(enum.Enum):
+    """What broke: the media (physical) or only the routing protocol."""
+
+    PHYSICAL = "physical"
+    PROTOCOL = "protocol"
+
+
+class PseudoEventKind(enum.Enum):
+    """Syslog-only blips around recovery (§4.3's short false positives)."""
+
+    HANDSHAKE_ABORT = "handshake_abort"
+    ADJACENCY_RESET = "adjacency_reset"
+
+
+@dataclass(frozen=True)
+class GroundTruthFailure:
+    """One link failure with all observation-shaping random choices fixed."""
+
+    link_id: str
+    start: float
+    end: float
+    cause: FailureCause
+    episode_id: int
+    flap_member: bool
+    #: Router name that detects the failure first (carrier loss or first
+    #: hold-timer expiry); the opposite end detects ``second_skew`` later.
+    first_detector: str
+    second_skew: float
+    #: Physical failures only: True when the second end keeps carrier and
+    #: detects purely by hold-timer expiry (no media messages there).
+    delayed_second: bool
+    #: When the underlying fault is repaired; the adjacency handshake then
+    #: takes ``end - repair_time`` to complete.
+    repair_time: float
+    #: Correlated syslog suppression: the collector path is congested by
+    #: the very reconvergence the messages describe, so a whole phase's
+    #: messages (both ends) can vanish together.  A suppressed down phase
+    #: with a delivered up produces the double-up / lost-down ambiguity of
+    #: §4.3 and makes syslog miss the failure's downtime entirely.
+    suppress_down_syslog: bool = False
+    suppress_up_syslog: bool = False
+    #: Spurious state reminders (§4.3's "spurious retransmission"): a
+    #: repeated Down logged mid-failure (offset from ``start``) and/or a
+    #: repeated Up logged after recovery (offset from ``end``).
+    reminder_down_offset: Optional[float] = None
+    reminder_up_offset: Optional[float] = None
+    #: Recovery blips (syslog-visible, LSP-invisible).
+    abort: bool = False
+    abort_delay: float = 0.0  # seconds after repair the aborted Up is logged
+    abort_duration: float = 0.0  # Up-to-Down gap of the abort blip
+    reset: bool = False
+    reset_delay: float = 0.0  # seconds after adjacency-up the reset starts
+    reset_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError("failure must have positive duration")
+        if not self.start <= self.repair_time <= self.end:
+            raise ValueError("repair time must fall inside the failure")
+        if self.second_skew < 0:
+            raise ValueError("second-end detection skew must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MediaFlapEvent:
+    """A brief carrier event: IP reachability and media syslog, no adjacency
+    change (the event is shorter than the IS-IS holding time).
+
+    Carrier events behind optical transport frequently surface only in the
+    transport layer's own management system; ``silent_down``/``silent_up``
+    mark edges that produce no router syslog at all.
+    """
+
+    link_id: str
+    start: float
+    end: float
+    episode_id: int
+    silent_down: bool = False
+    silent_up: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError("media flap must have positive duration")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class LinkWorkload:
+    """Everything generated for one link."""
+
+    link_id: str
+    episode_rate: float  # episodes per year actually drawn for this link
+    failures: List[GroundTruthFailure] = field(default_factory=list)
+    media_flaps: List[MediaFlapEvent] = field(default_factory=list)
+
+
+def _sample_geometric_extra(rng: random.Random, mean: float, cap: int) -> int:
+    """Extra-event count with the given mean, geometrically distributed."""
+    if mean <= 0:
+        return 0
+    continue_probability = mean / (1.0 + mean)
+    count = 0
+    while count < cap and rng.random() < continue_probability:
+        count += 1
+    return count
+
+
+def _build_failure(
+    rng: random.Random,
+    link_id: str,
+    endpoints: Tuple[str, str],
+    profile: LinkClassProfile,
+    start: float,
+    duration: float,
+    episode_id: int,
+    flap_member: bool,
+) -> GroundTruthFailure:
+    cause = (
+        FailureCause.PHYSICAL
+        if rng.random() < profile.physical_probability
+        else FailureCause.PROTOCOL
+    )
+    first_detector = endpoints[rng.randrange(2)]
+    if cause is FailureCause.PHYSICAL:
+        delayed_second = rng.random() < profile.delayed_end_probability
+        if delayed_second:
+            second_skew = rng.uniform(*profile.hold_skew_range)
+        else:
+            second_skew = rng.uniform(0.0, 1.5)
+    else:
+        delayed_second = False
+        second_skew = rng.uniform(*profile.protocol_skew_range)
+    if flap_member:
+        # Flap members are interface-driven rapid transitions; both ends see
+        # them nearly simultaneously (large skews would interleave with the
+        # next member and fabricate phantom failures in both channels).
+        delayed_second = False
+        second_skew = min(second_skew, rng.uniform(0.0, 1.0))
+
+    abort = rng.random() < profile.handshake_abort_probability
+    abort_delay = rng.uniform(0.5, 1.5) if abort else 0.0
+    abort_duration = rng.uniform(0.2, 0.9) if abort else 0.0
+    handshake = rng.uniform(0.5, 2.0) + (abort_delay + abort_duration if abort else 0.0)
+    # Very short injected durations still need room for the handshake.
+    total = max(duration, handshake + 0.5)
+    repair_time = start + total - handshake
+
+    reset = rng.random() < profile.adjacency_reset_probability
+    # Correlated syslog suppression.  Whole-failure suppression (both
+    # phases silenced) models events that take the syslog path down with
+    # the link: reconvergence churn inside flapping episodes, and the
+    # facility/power incidents behind long outages.  Per-phase extras model
+    # one-sided congestion; the up-phase extra is flap-only because outside
+    # a flap the next message on the link may be weeks away, and a silently
+    # missing Up would wedge the reconstructed state down for that long —
+    # a pattern the real channel does not exhibit at quiet times.
+    if flap_member:
+        p_whole = profile.suppress_whole_flap
+    elif total > profile.suppress_long_threshold:
+        p_whole = profile.suppress_whole_long
+    else:
+        p_whole = profile.suppress_whole_base
+    whole = rng.random() < p_whole
+    extra_down = (
+        profile.suppress_down_extra_flap
+        if flap_member
+        else profile.suppress_down_extra_base
+    )
+    suppress_down = whole or rng.random() < extra_down
+    suppress_up = whole or (
+        flap_member and rng.random() < profile.suppress_up_extra_flap
+    )
+
+    # Spurious reminders need a failure long enough that the repeat still
+    # lands inside it, well past any transition-merge window.
+    reminder_down_offset = None
+    if (
+        total > 120.0
+        and not suppress_down
+        and rng.random() < profile.reminder_down_probability
+    ):
+        reminder_down_offset = rng.uniform(60.0, min(total - 10.0, 21600.0))
+    reminder_up_offset = None
+    # Up reminders only outside flaps: the quiet period after an isolated
+    # recovery guarantees the repeat lands while the link is up.
+    if (
+        not flap_member
+        and not suppress_up
+        and rng.random() < profile.reminder_up_probability
+    ):
+        reminder_up_offset = rng.uniform(60.0, 300.0)
+    return GroundTruthFailure(
+        link_id=link_id,
+        start=start,
+        end=start + total,
+        cause=cause,
+        episode_id=episode_id,
+        flap_member=flap_member,
+        first_detector=first_detector,
+        second_skew=second_skew,
+        delayed_second=delayed_second,
+        repair_time=repair_time,
+        suppress_down_syslog=suppress_down,
+        suppress_up_syslog=suppress_up,
+        reminder_down_offset=reminder_down_offset,
+        reminder_up_offset=reminder_up_offset,
+        abort=abort,
+        abort_delay=abort_delay,
+        abort_duration=abort_duration,
+        reset=reset,
+        reset_delay=rng.uniform(0.5, 2.0) if reset else 0.0,
+        reset_duration=rng.uniform(0.2, 0.9) if reset else 0.0,
+    )
+
+
+def generate_link_workload(
+    link_id: str,
+    endpoints: Tuple[str, str],
+    profile: LinkClassProfile,
+    seed: int,
+    horizon_start: float,
+    horizon_end: float,
+) -> LinkWorkload:
+    """Draw the full failure and media-flap history for one link.
+
+    Failures never overlap on a link and consecutive episodes are separated
+    by at least :data:`MIN_EPISODE_GAP`.  A failure may extend past the
+    horizon end (right-censored downtime); events beyond the horizon are
+    simply never observed.
+    """
+    if horizon_end <= horizon_start:
+        raise ValueError("empty horizon")
+    rng = child_rng(seed, f"failures:{link_id}")
+    workload = LinkWorkload(
+        link_id=link_id, episode_rate=profile.sample_link_rate(rng)
+    )
+
+    seconds_per_year = 365.0 * 86400.0
+    rate_per_second = workload.episode_rate / seconds_per_year
+    episode_id = 0
+    t = horizon_start + rng.expovariate(rate_per_second)
+    while t < horizon_end:
+        episode_id += 1
+        is_flap = rng.random() < profile.flap_probability
+        if is_flap:
+            member_count = 2 + _sample_geometric_extra(
+                rng, profile.flap_extra_failures_mean, profile.flap_max_failures - 2
+            )
+            cursor = t
+            for _ in range(member_count):
+                if cursor >= horizon_end:
+                    break
+                duration = profile.flap_duration.sample(rng)
+                failure = _build_failure(
+                    rng,
+                    link_id,
+                    endpoints,
+                    profile,
+                    cursor,
+                    duration,
+                    episode_id,
+                    flap_member=True,
+                )
+                workload.failures.append(failure)
+                gap = min(rng.expovariate(1.0 / profile.flap_gap_mean), profile.flap_gap_max)
+                cursor = failure.end + max(gap, 1.0)
+            episode_end = workload.failures[-1].end if workload.failures else t
+        else:
+            duration = profile.isolated_duration.sample(rng)
+            failure = _build_failure(
+                rng, link_id, endpoints, profile, t, duration, episode_id, flap_member=False
+            )
+            workload.failures.append(failure)
+            episode_end = failure.end
+        t = episode_end + MIN_EPISODE_GAP + rng.expovariate(rate_per_second)
+
+    _generate_media_flaps(rng, workload, profile, horizon_start, horizon_end)
+    return workload
+
+
+def _generate_media_flaps(
+    rng: random.Random,
+    workload: LinkWorkload,
+    profile: LinkClassProfile,
+    horizon_start: float,
+    horizon_end: float,
+) -> None:
+    if profile.media_flap_rate <= 0:
+        return
+    seconds_per_year = 365.0 * 86400.0
+    rate_per_second = profile.media_flap_rate / seconds_per_year
+    episode_id = 0
+    candidates: List[MediaFlapEvent] = []
+    t = horizon_start + rng.expovariate(rate_per_second)
+    while t < horizon_end:
+        episode_id += 1
+        event_count = 1 + _sample_geometric_extra(
+            rng, profile.media_flap_extra_mean, profile.media_flap_max_events - 1
+        )
+        cursor = t
+        for _ in range(event_count):
+            if cursor >= horizon_end:
+                break
+            duration = rng.uniform(*profile.media_flap_duration_range)
+            candidates.append(
+                MediaFlapEvent(
+                    link_id=workload.link_id,
+                    start=cursor,
+                    end=cursor + duration,
+                    episode_id=episode_id,
+                    silent_down=rng.random() < profile.media_silent_probability,
+                    silent_up=rng.random() < profile.media_silent_probability,
+                )
+            )
+            gap = rng.expovariate(1.0 / profile.media_flap_gap_mean)
+            cursor += duration + max(gap, 1.0)
+        t = cursor + MIN_EPISODE_GAP + rng.expovariate(rate_per_second)
+
+    # A media flap inside (or adjacent to) a real failure is meaningless —
+    # the interface is already down — so such candidates are discarded.
+    guard = 60.0
+    spans = [(f.start - guard, f.end + guard) for f in workload.failures]
+    for candidate in candidates:
+        if any(candidate.start < hi and lo < candidate.end for lo, hi in spans):
+            continue
+        workload.media_flaps.append(candidate)

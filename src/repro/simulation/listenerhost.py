@@ -1,0 +1,85 @@
+"""The listener host's own availability.
+
+The paper's sanitisation step removes failures "that span periods when the
+IS-IS listener was offline" (§4.2) — the listener is a server and servers go
+down.  :class:`ListenerHost` draws outage windows over the horizon, decides
+whether an LSP arriving at a given time is recorded, and marks the resync
+moments at which the listener, freshly restarted, re-learns the current
+database (via CSNP exchange with its attachment router).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.intervals import Interval, IntervalSet
+from repro.util.rand import pareto_bounded
+
+
+@dataclass(frozen=True)
+class OutageParameters:
+    """How often and how long the listener itself is down."""
+
+    #: Outages per year (Poisson arrivals).
+    rate_per_year: float = 5.0
+    #: Bounded-Pareto outage duration (seconds): half an hour to two days.
+    duration_shape: float = 0.8
+    duration_min: float = 1800.0
+    duration_max: float = 2.0 * 86400.0
+    #: Delay after restart before the database resync completes.
+    resync_delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_year < 0:
+            raise ValueError("outage rate must be non-negative")
+        if not 0 < self.duration_min < self.duration_max:
+            raise ValueError("outage duration bounds must satisfy 0 < min < max")
+
+
+class ListenerHost:
+    """Outage windows and the recorded/dropped decision for arrivals."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        horizon_start: float,
+        horizon_end: float,
+        parameters: OutageParameters = OutageParameters(),
+    ) -> None:
+        if horizon_end <= horizon_start:
+            raise ValueError("empty horizon")
+        self.parameters = parameters
+        self.horizon_start = horizon_start
+        self.horizon_end = horizon_end
+        self.outages = self._draw_outages(rng)
+
+    def _draw_outages(self, rng: random.Random) -> IntervalSet:
+        p = self.parameters
+        if p.rate_per_year == 0:
+            return IntervalSet()
+        seconds_per_year = 365.0 * 86400.0
+        rate_per_second = p.rate_per_year / seconds_per_year
+        windows: List[Interval] = []
+        t = self.horizon_start + rng.expovariate(rate_per_second)
+        while t < self.horizon_end:
+            duration = pareto_bounded(
+                rng, p.duration_shape, p.duration_min, p.duration_max
+            )
+            end = min(t + duration, self.horizon_end)
+            windows.append(Interval(t, end))
+            t = end + rng.expovariate(rate_per_second)
+        return IntervalSet(windows)
+
+    def is_online(self, time: float) -> bool:
+        """True when the listener records an LSP arriving at ``time``."""
+        return not self.outages.contains(time)
+
+    def resync_times(self) -> List[float]:
+        """Times at which a post-restart database resync completes."""
+        return [
+            outage.end + self.parameters.resync_delay
+            for outage in self.outages
+            if outage.end < self.horizon_end
+        ]

@@ -1,0 +1,306 @@
+"""End-to-end scenario orchestration.
+
+:func:`run_scenario` wires every substrate together and produces a
+:class:`~repro.simulation.dataset.Dataset`:
+
+1. generate the CENIC-like topology, render its config archive, and mine the
+   archive back into the link inventory;
+2. draw each link's ground-truth failure and media-flap history;
+3. stand up a :class:`~repro.simulation.router.SimulatedRouter` per router,
+   the lossy syslog channel, the flooding model, and the listener host;
+4. schedule all observable effects on the event engine and run it over the
+   thirteen-month horizon — routers emit syslog datagrams (which the channel
+   loses, delays, and duplicates) and flood LSPs (which reach the listener
+   unless it is in an outage window, with a post-restart resync after each);
+5. derive the NOC ticket archive from ground truth;
+6. bundle everything into the dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulation.dataset import Dataset, DatasetSummary
+from repro.simulation.effects import schedule_failure, schedule_media_flap
+from repro.simulation.engine import EventQueue
+from repro.simulation.failures import LinkWorkload, generate_link_workload
+from repro.simulation.listenerhost import ListenerHost, OutageParameters
+from repro.simulation.router import SimulatedRouter
+from repro.simulation.workload import WorkloadParameters, cenic_default_workload
+from repro.intervals import Interval, IntervalSet
+from repro.isis.flooding import FloodingModel
+from repro.isis.lsp import LinkStatePacket
+from repro.syslog.cisco import CiscoLogEntry
+from repro.syslog.collector import SyslogCollector
+from repro.syslog.transport import LossyUdpChannel, TransportParameters
+from repro.ticketing import TicketParameters, TicketSystem
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+from repro.topology.configgen import render_all_configs
+from repro.topology.connectivity import unreachable_intervals
+from repro.topology.configmine import ConfigArchive, mine_configs
+from repro.topology.model import LinkClass
+from repro.util.rand import child_rng
+from repro.util.timefmt import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All knobs of one measurement campaign; the seed fixes everything."""
+
+    seed: int = 2013
+    #: Oct 20, 2010 – Nov 11, 2011 is 387 days.
+    duration_days: float = 387.0
+    #: Failures start only after this warm-up so the listener has seeded its
+    #: view of every origin from the initial floods.
+    warmup: float = 3600.0
+    topology: CenicParameters = field(default_factory=CenicParameters)
+    workload: WorkloadParameters = field(default_factory=cenic_default_workload)
+    transport: TransportParameters = field(default_factory=TransportParameters)
+    outages: OutageParameters = field(default_factory=OutageParameters)
+    tickets: TicketParameters = field(default_factory=TicketParameters)
+    lsp_generation_interval: float = 5.0
+    #: Router the listener peers with; defaults to the first hub.
+    listener_attachment: Optional[str] = None
+    #: Syslog travels in-band over the measured network: a datagram emitted
+    #: while its sender cannot reach the collector is lost with this
+    #: probability (occasionally reconvergence races the datagram out).
+    inband_drop_probability: float = 0.4
+    #: Router the syslog collector sits behind; defaults to the first hub.
+    collector_attachment: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.warmup >= self.duration_days * SECONDS_PER_DAY:
+            raise ValueError("warmup exceeds the horizon")
+
+    @property
+    def horizon_end(self) -> float:
+        return self.duration_days * SECONDS_PER_DAY
+
+
+class ScenarioRunner:
+    """Builds and runs one scenario; see the module docstring.
+
+    ``run`` draws the stochastic workload; ``run(workloads=...)`` replays a
+    caller-supplied failure schedule instead (see
+    :mod:`repro.simulation.traces` for trace-driven campaigns).  The
+    network a runner will use is available up front via :meth:`network`,
+    so workloads can be built against its link IDs.
+    """
+
+    def __init__(self, config: ScenarioConfig = ScenarioConfig()) -> None:
+        self.config = config
+        self._network = None
+
+    def network(self):
+        """The (deterministic) network this runner simulates."""
+        if self._network is None:
+            # Topology follows the scenario seed unless the caller pinned one.
+            topology_params = self.config.topology
+            if topology_params == CenicParameters():
+                topology_params = dataclasses.replace(
+                    topology_params, seed=self.config.seed
+                )
+            self._network = build_cenic_like_network(topology_params)
+        return self._network
+
+    def run(self, workloads: Optional[List[LinkWorkload]] = None) -> Dataset:
+        config = self.config
+        seed = config.seed
+        horizon_end = config.horizon_end
+
+        network = self.network()
+        configs = render_all_configs(network)
+        archive = ConfigArchive()
+        for hostname, text in configs.items():
+            archive.add(hostname, text)
+        inventory = mine_configs(archive)
+
+        engine = EventQueue()
+
+        # --- observation channels -----------------------------------------
+        attachment = config.listener_attachment or sorted(
+            router.name for router in network.core_routers()
+        )[0]
+        flooding = FloodingModel(network, attachment, seed=seed)
+        listener_host = ListenerHost(
+            child_rng(seed, "listener-outages"), 0.0, horizon_end, config.outages
+        )
+        lsp_records: List[Tuple[float, bytes]] = []
+
+        def on_flood(time: float, router: SimulatedRouter, lsp: LinkStatePacket) -> None:
+            raw = lsp.pack()
+            arrival = time + flooding.delivery_delay(router.name)
+
+            def deliver() -> None:
+                if listener_host.is_online(engine.now):
+                    lsp_records.append((engine.now, raw))
+
+            engine.schedule(arrival, deliver)
+
+        # --- workload --------------------------------------------------------
+        if workloads is None:
+            workloads = []
+            for link_id in sorted(network.links):
+                link = network.links[link_id]
+                profile = (
+                    config.workload.core
+                    if link.link_class is LinkClass.CORE
+                    else config.workload.cpe
+                )
+                workloads.append(
+                    generate_link_workload(
+                        link_id,
+                        (link.router_a, link.router_b),
+                        profile,
+                        seed,
+                        config.warmup,
+                        horizon_end,
+                    )
+                )
+        else:
+            for workload in workloads:
+                if workload.link_id not in network.links:
+                    raise ValueError(
+                        f"workload references unknown link {workload.link_id!r}"
+                    )
+
+        # --- in-band syslog reachability --------------------------------------
+        # Syslog shares fate with the network: while a router cannot reach
+        # the collector, its datagrams (usually) never arrive.  Ground-truth
+        # failures determine true reachability.
+        collector_root = config.collector_attachment or sorted(
+            router.name for router in network.core_routers()
+        )[0]
+        down_by_link_id: Dict[str, IntervalSet] = {}
+        for workload in workloads:
+            spans = [Interval(f.start, min(f.end, horizon_end)) for f in workload.failures]
+            if spans:
+                down_by_link_id[workload.link_id] = IntervalSet(spans)
+        unreachable = unreachable_intervals(
+            network, down_by_link_id, 0.0, horizon_end, root=collector_root
+        )
+
+        channel = LossyUdpChannel(child_rng(seed, "syslog-transport"), config.transport)
+        inband_rng = child_rng(seed, "syslog-inband")
+        syslog_generated = 0
+        syslog_inband_lost = 0
+
+        def emit_syslog(time: float, entry: CiscoLogEntry) -> None:
+            nonlocal syslog_generated, syslog_inband_lost
+            syslog_generated += 1
+            if unreachable[entry.router].contains(time) and (
+                inband_rng.random() < config.inband_drop_probability
+            ):
+                syslog_inband_lost += 1
+                return
+            channel.send(entry.to_syslog(time))
+
+        # --- routers --------------------------------------------------------
+        routers: Dict[str, SimulatedRouter] = {
+            name: SimulatedRouter(
+                router,
+                network,
+                engine,
+                on_flood,
+                lsp_generation_interval=config.lsp_generation_interval,
+            )
+            for name, router in network.routers.items()
+        }
+
+        initial_rng = child_rng(seed, "initial-floods")
+        for name in sorted(routers):
+            flood_time = initial_rng.uniform(1.0, 60.0)
+            engine.schedule(
+                flood_time, lambda r=routers[name]: r.flood(engine.now)
+            )
+
+        # --- observable effects -----------------------------------------------
+        for workload in workloads:
+            link = network.links[workload.link_id]
+            effects_rng = child_rng(seed, f"effects:{workload.link_id}")
+            for failure in workload.failures:
+                schedule_failure(
+                    failure, link, routers, engine, emit_syslog, effects_rng
+                )
+            for flap in workload.media_flaps:
+                schedule_media_flap(
+                    flap, link, routers, engine, emit_syslog, effects_rng
+                )
+
+        # --- listener resyncs -------------------------------------------------
+        for resync_time in listener_host.resync_times():
+            for index, name in enumerate(sorted(routers)):
+                engine.schedule(
+                    resync_time + 0.01 * index,
+                    lambda r=routers[name]: r.flood(engine.now),
+                )
+
+        # --- run ---------------------------------------------------------------
+        engine.run(until=horizon_end)
+
+        # --- assemble the dataset ----------------------------------------------
+        collector = SyslogCollector()
+        delivered = channel.delivered()
+        collector.receive_all(delivered)
+
+        failures = sorted(
+            (f for w in workloads for f in w.failures), key=lambda f: (f.start, f.link_id)
+        )
+        media_flaps = sorted(
+            (m for w in workloads for m in w.media_flaps),
+            key=lambda m: (m.start, m.link_id),
+        )
+        # Tickets are keyed by the canonical link name — the name a NOC (and
+        # the analysis pipeline) uses, not the simulator's internal link id.
+        tickets = TicketSystem.from_ground_truth(
+            (
+                (network.links[f.link_id].canonical_name, f.start, f.end)
+                for f in failures
+            ),
+            child_rng(seed, "tickets"),
+            config.tickets,
+        )
+
+        summary = DatasetSummary(
+            router_count_core=len(network.core_routers()),
+            router_count_cpe=len(network.cpe_routers()),
+            link_count_core=len(network.core_links()),
+            link_count_cpe=len(network.cpe_links()),
+            config_file_count=len(configs),
+            syslog_generated=syslog_generated,
+            syslog_delivered=len(delivered),
+            syslog_lost=channel.loss_count(),
+            syslog_inband_lost=syslog_inband_lost,
+            syslog_spurious=sum(1 for r in delivered if r.spurious),
+            lsp_record_count=len(lsp_records),
+            ground_truth_failure_count=len(failures),
+            listener_outage_count=len(listener_host.outages),
+            ticket_count=len(tickets),
+        )
+
+        return Dataset(
+            network=network,
+            configs=configs,
+            inventory=inventory,
+            syslog_text=collector.render_log(),
+            lsp_records=lsp_records,
+            ground_truth_failures=failures,
+            media_flaps=media_flaps,
+            listener_outages=listener_host.outages,
+            tickets=tickets,
+            horizon_start=0.0,
+            horizon_end=horizon_end,
+            analysis_start=config.warmup,
+            summary=summary,
+        )
+
+
+def run_scenario(config: ScenarioConfig = ScenarioConfig()) -> Dataset:
+    """Convenience wrapper: build a runner and run it."""
+    return ScenarioRunner(config).run()

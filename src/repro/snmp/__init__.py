@@ -1,0 +1,38 @@
+"""SNMP polling — the third observation channel of the paper's intro.
+
+The paper's opening list of tools "pressed into service" for failure
+analysis is: syslog, routing protocol monitoring, SNMP, human trouble
+tickets, and active probes (§1).  The study compares the first two; this
+package adds the third so the comparison can be extended: a poller that
+walks every router's interface table (ifOperStatus) on a fixed period,
+with the channel's characteristic failure modes —
+
+* **quantisation**: state is only known at poll instants, so a failure's
+  start and end are each uncertain by up to one period, and any failure
+  shorter than the polling period that falls between polls is invisible;
+* **poll loss**: an agent may fail to answer (UDP, busy control plane);
+* **in-band blindness**: like syslog, SNMP shares fate with the network —
+  an unreachable router cannot be polled, which blanks exactly the rows
+  the operator most wants.
+
+:class:`~repro.snmp.poller.SnmpPoller` produces a sample archive;
+:func:`~repro.snmp.reconstruct.reconstruct_from_samples` turns it into the
+same :class:`~repro.core.events.FailureEvent` vocabulary the other
+channels use.
+"""
+
+from repro.snmp.poller import InterfaceSample, PollParameters, SnmpPoller
+from repro.snmp.reconstruct import (
+    SnmpReconstruction,
+    reconstruct_from_samples,
+    reconstruct_stream,
+)
+
+__all__ = [
+    "InterfaceSample",
+    "PollParameters",
+    "SnmpPoller",
+    "SnmpReconstruction",
+    "reconstruct_from_samples",
+    "reconstruct_stream",
+]

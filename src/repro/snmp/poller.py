@@ -1,0 +1,147 @@
+"""The SNMP poller: periodic ifOperStatus walks with realistic loss.
+
+The poller consumes the dataset's ground truth (the simulator stands in
+for the real interfaces' oper status) and emits
+:class:`InterfaceSample` records exactly as a management station's poll
+archive would contain them: one row per (poll time, router, interface)
+that actually answered.
+
+Oper status semantics: an interface reports **down** while its link is in
+a ground-truth failure (the media or protocol fault holds it down) and
+during media flaps at the affected end(s); otherwise **up**.  A router
+that is unreachable from the management station (in-band SNMP) yields no
+rows at all for that poll — the same fate-sharing that afflicts syslog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.intervals import Interval, IntervalSet
+from repro.simulation.dataset import Dataset
+from repro.topology.connectivity import unreachable_intervals
+from repro.util.rand import child_rng
+
+
+@dataclass(frozen=True)
+class PollParameters:
+    """Management-station configuration."""
+
+    #: Seconds between poll sweeps (SNMP's classic 5 minutes).
+    period: float = 300.0
+    #: Probability a single agent fails to answer one sweep (timeout).
+    poll_loss_probability: float = 0.01
+    #: Whether unreachable routers are unpollable (in-band management).
+    in_band: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("poll period must be positive")
+        if not 0.0 <= self.poll_loss_probability <= 1.0:
+            raise ValueError("poll loss must be a probability")
+
+
+@dataclass(frozen=True)
+class InterfaceSample:
+    """One answered poll row: the interface's oper status at an instant."""
+
+    time: float
+    router: str
+    interface: str
+    link: str  # canonical link name
+    oper_up: bool
+
+
+class SnmpPoller:
+    """Generates the poll archive for one dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        parameters: PollParameters = PollParameters(),
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.parameters = parameters
+        self._rng = child_rng(seed, "snmp-poller")
+        self._down_by_link = self._build_down_intervals()
+        self._unreachable = self._build_unreachable()
+
+    # ------------------------------------------------------------ building
+    def _build_down_intervals(self) -> Dict[str, IntervalSet]:
+        """Per-link intervals during which ifOperStatus reads down."""
+        spans: Dict[str, List[Interval]] = {}
+        horizon_end = self.dataset.horizon_end
+        for failure in self.dataset.ground_truth_failures:
+            spans.setdefault(failure.link_id, []).append(
+                Interval(failure.start, min(failure.end, horizon_end))
+            )
+        for flap in self.dataset.media_flaps:
+            spans.setdefault(flap.link_id, []).append(
+                Interval(flap.start, min(flap.end, horizon_end))
+            )
+        return {
+            link_id: IntervalSet(items) for link_id, items in spans.items()
+        }
+
+    def _build_unreachable(self) -> Dict[str, IntervalSet]:
+        if not self.parameters.in_band:
+            return {}
+        failure_spans: Dict[str, List[Interval]] = {}
+        horizon_end = self.dataset.horizon_end
+        for failure in self.dataset.ground_truth_failures:
+            failure_spans.setdefault(failure.link_id, []).append(
+                Interval(failure.start, min(failure.end, horizon_end))
+            )
+        down = {
+            link_id: IntervalSet(items)
+            for link_id, items in failure_spans.items()
+        }
+        return unreachable_intervals(
+            self.dataset.network, down, 0.0, horizon_end
+        )
+
+    # ------------------------------------------------------------- polling
+    def poll_times(self) -> List[float]:
+        """The sweep instants, offset half a period from the horizon start."""
+        period = self.parameters.period
+        times = []
+        t = self.dataset.analysis_start + period / 2.0
+        while t < self.dataset.horizon_end:
+            times.append(t)
+            t += period
+        return times
+
+    def samples(self) -> Iterator[InterfaceSample]:
+        """Generate the poll archive in time order."""
+        network = self.dataset.network
+        interfaces: List[Tuple[str, str, str, str]] = []  # router, port, link_id, canonical
+        for link_id in sorted(network.links):
+            link = network.links[link_id]
+            for router in (link.router_a, link.router_b):
+                interfaces.append(
+                    (router, link.port_on(router), link_id, link.canonical_name)
+                )
+
+        loss = self.parameters.poll_loss_probability
+        for time in self.poll_times():
+            for router, port, link_id, canonical in interfaces:
+                unreachable = self._unreachable.get(router)
+                if unreachable is not None and unreachable.contains(time):
+                    continue  # agent unpollable: no row at all
+                if loss and self._rng.random() < loss:
+                    continue  # timeout
+                down = self._down_by_link.get(link_id)
+                oper_up = not (down is not None and down.contains(time))
+                yield InterfaceSample(
+                    time=time,
+                    router=router,
+                    interface=port,
+                    link=canonical,
+                    oper_up=oper_up,
+                )
+
+    def collect(self) -> List[InterfaceSample]:
+        """Materialise the full archive."""
+        return list(self.samples())

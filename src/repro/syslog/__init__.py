@@ -1,0 +1,50 @@
+"""Syslog substrate: messages, Cisco formats, lossy transport, collector.
+
+Syslog is the paper's "low quality" observation channel: human-readable
+diagnostic strings sent over UDP from every router to a central collector
+(§3.3).  Two properties drive the paper's findings and are modelled
+explicitly here:
+
+* **Loss** — syslog is UDP from a low-priority process; delivery "is far
+  from certain", and loss is concentrated exactly when messages matter most
+  (link flapping floods the channel, §4.1).
+* **Spurious retransmission** — repeated state-change messages that restate
+  the link's current state; together with loss these produce the ambiguous
+  double-down/double-up sequences of §4.3.
+
+The package provides the wire-format layer (:mod:`repro.syslog.message`),
+the Cisco message vocabulary of Table 1 (:mod:`repro.syslog.cisco`), the
+lossy UDP channel (:mod:`repro.syslog.transport`), and the central collector
+with log-file rendering and parsing (:mod:`repro.syslog.collector`).
+"""
+
+from repro.syslog.message import Facility, Severity, SyslogMessage, parse_syslog_line
+from repro.syslog.cisco import (
+    AdjacencyChangeMessage,
+    CiscoFlavor,
+    CiscoLogEntry,
+    LineProtoUpDownMessage,
+    LinkUpDownMessage,
+    MessageCategory,
+    parse_cisco_body,
+)
+from repro.syslog.transport import DeliveryRecord, LossyUdpChannel, TransportParameters
+from repro.syslog.collector import SyslogCollector
+
+__all__ = [
+    "Facility",
+    "Severity",
+    "SyslogMessage",
+    "parse_syslog_line",
+    "AdjacencyChangeMessage",
+    "CiscoFlavor",
+    "CiscoLogEntry",
+    "LineProtoUpDownMessage",
+    "LinkUpDownMessage",
+    "MessageCategory",
+    "parse_cisco_body",
+    "DeliveryRecord",
+    "LossyUdpChannel",
+    "TransportParameters",
+    "SyslogCollector",
+]

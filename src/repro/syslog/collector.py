@@ -1,0 +1,96 @@
+"""The central syslog collector.
+
+Every router in the CENIC network logs to one central facility (§3.3); the
+collector here accumulates delivered datagrams, renders them to a log file
+in arrival order, and parses log files back into typed entries.  The
+round trip through text is deliberate: the analysis pipeline consumes the
+*log file*, not in-memory objects, so any information syslog's text format
+cannot carry is genuinely unavailable to the analysis — as it was to the
+paper's authors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.syslog.cisco import CiscoLogEntry, parse_cisco_body
+from repro.syslog.message import SyslogMessage, parse_syslog_line
+from repro.syslog.transport import DeliveryRecord
+
+
+@dataclass(frozen=True)
+class CollectedEntry:
+    """A typed log entry recovered from the collector's file.
+
+    ``generated_time`` is the router's timestamp carried inside the message;
+    ``entry`` is the parsed Cisco message, or ``None`` for unrelated chatter.
+    """
+
+    generated_time: float
+    hostname: str
+    raw_body: str
+    entry: Optional[CiscoLogEntry]
+
+
+class SyslogCollector:
+    """Accumulates delivered datagrams and round-trips them through text."""
+
+    def __init__(self) -> None:
+        self._messages: List[SyslogMessage] = []
+
+    def receive(self, record: DeliveryRecord) -> None:
+        """Accept one delivered datagram."""
+        if not record.delivered:
+            raise ValueError("collector cannot receive a lost datagram")
+        self._messages.append(record.message)
+
+    def receive_all(self, records: Iterable[DeliveryRecord]) -> int:
+        """Accept every delivered record from an iterable; returns the count."""
+        count = 0
+        for record in records:
+            if record.delivered:
+                self.receive(record)
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def render_log(self) -> str:
+        """The log file text, one RFC 3164 line per message."""
+        return "".join(message.render() + "\n" for message in self._messages)
+
+    def write_log(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.render_log(), encoding="utf-8")
+
+    @staticmethod
+    def parse_log(text: str) -> List[CollectedEntry]:
+        """Parse log text into typed entries (unparseable bodies kept raw).
+
+        Log lines are in arrival order, which is what resolves the RFC 3164
+        year ambiguity: timestamps never carry a year, and a 13-month study
+        revisits the same calendar dates, so each line's year is chosen as
+        the earliest candidate consistent with the log's progress so far.
+        """
+        entries: List[CollectedEntry] = []
+        latest = 0.0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            message = parse_syslog_line(line, after=latest)
+            latest = max(latest, message.timestamp)
+            entries.append(
+                CollectedEntry(
+                    generated_time=message.timestamp,
+                    hostname=message.hostname,
+                    raw_body=message.body,
+                    entry=parse_cisco_body(message.hostname, message.body),
+                )
+            )
+        return entries
+
+    @classmethod
+    def read_log(cls, path: Union[str, Path]) -> List[CollectedEntry]:
+        return cls.parse_log(Path(path).read_text(encoding="utf-8"))

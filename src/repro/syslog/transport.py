@@ -1,0 +1,179 @@
+"""The lossy UDP path from router to collector.
+
+This channel is where syslog's fidelity is lost, so its failure modes are
+modelled explicitly and independently tunable:
+
+* **baseline loss** — any datagram can vanish (UDP, low-priority sender);
+* **burst loss** — when a router emits many messages in a short window
+  (link flapping), the loss probability rises sharply.  The paper finds
+  that *less than half* of syslog transitions are captured during flapping
+  and that most unmatched IS-IS transitions fall in flap periods (§4.1);
+* **delay** — queueing plus scheduling delay on the low-priority syslog
+  process; usually well under a second, occasionally seconds;
+* **spurious retransmission** — the same state-change message delivered
+  again later, restating the link's current state; the dominant cause of
+  double-down sequences (§4.3, Table 6).
+
+Every decision is drawn from a seeded RNG, so a scenario seed reproduces the
+identical delivery trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.syslog.message import SyslogMessage
+
+
+@dataclass(frozen=True)
+class TransportParameters:
+    """Tunable behaviour of the router→collector syslog path."""
+
+    #: Probability that an isolated datagram is lost in transit.
+    base_loss_probability: float = 0.04
+    #: Extra loss applied to "down" messages: the sender is busiest exactly
+    #: when things break (routing reconvergence competes with the
+    #: low-priority syslog process), so failure-onset messages fare worse.
+    down_loss_bonus: float = 0.03
+    #: Loss probability once the sender is in a message burst (flapping).
+    burst_loss_probability: float = 0.22
+    #: Two messages from one router closer than this count toward a burst.
+    burst_window: float = 300.0
+    #: Messages within the window needed before burst loss kicks in.  A
+    #: single physical failure produces ~6 messages at one end within
+    #: seconds (LINK, LINEPROTO, ADJCHANGE at down and up), so the
+    #: threshold sits just above that — only genuine flapping qualifies.
+    burst_threshold: int = 7
+    #: Uniform transport delay bounds (seconds) for the common case.
+    min_delay: float = 0.05
+    max_delay: float = 1.5
+    #: Probability that a delivered message is additionally re-delivered.
+    spurious_retransmit_probability: float = 0.005
+    #: Delay range for the spurious copy, relative to generation time.
+    #: Short enough that a spurious Down usually restates the *ongoing*
+    #: failure (the paper finds 99 % of spurious Downs do, §4.3).
+    spurious_min_delay: float = 0.5
+    spurious_max_delay: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "base_loss_probability",
+            "down_loss_bonus",
+            "burst_loss_probability",
+            "spurious_retransmit_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError("delay bounds must satisfy 0 <= min <= max")
+        if self.spurious_min_delay < 0 or self.spurious_max_delay < self.spurious_min_delay:
+            raise ValueError("spurious delay bounds must satisfy 0 <= min <= max")
+        if self.burst_threshold < 1:
+            raise ValueError("burst threshold must be at least one message")
+
+
+def _is_down_message(body: str) -> bool:
+    """Heuristic direction sniff used only for the down-loss bias."""
+    return ") Down" in body or "state to down" in body or ") (L2) Down" in body
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One datagram's fate: delivered (with arrival time) or lost."""
+
+    message: SyslogMessage
+    sent_time: float
+    arrival_time: Optional[float]  # None == lost
+    spurious: bool = False  # True for the extra copy of a retransmission
+
+    @property
+    def delivered(self) -> bool:
+        return self.arrival_time is not None
+
+
+class LossyUdpChannel:
+    """Applies loss, delay, and spurious duplication to syslog datagrams.
+
+    Call :meth:`send` for every generated message; read the full trace from
+    :attr:`records`.  Delivered records (including spurious copies) are what
+    the collector sees.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        parameters: TransportParameters = TransportParameters(),
+    ) -> None:
+        self._rng = rng
+        self.parameters = parameters
+        self.records: List[DeliveryRecord] = []
+        self._recent_sends: Dict[str, Deque[float]] = {}
+
+    def _in_burst(self, hostname: str, time: float) -> bool:
+        window = self._recent_sends.setdefault(hostname, deque())
+        while window and time - window[0] > self.parameters.burst_window:
+            window.popleft()
+        window.append(time)
+        return len(window) >= self.parameters.burst_threshold
+
+    def _sample_delay(self) -> float:
+        return self._rng.uniform(self.parameters.min_delay, self.parameters.max_delay)
+
+    def send(self, message: SyslogMessage) -> List[DeliveryRecord]:
+        """Transmit one datagram; returns the records it produced.
+
+        At most two records result: the primary delivery (or loss) and an
+        optional spurious re-delivery.  Only delivered primaries can spawn a
+        spurious copy — a retransmission of a message the collector never
+        saw would look like an ordinary (delayed) delivery, not a repeat.
+        """
+        p = self.parameters
+        time = message.timestamp
+        loss_probability = (
+            p.burst_loss_probability
+            if self._in_burst(message.hostname, time)
+            else p.base_loss_probability
+        )
+        if _is_down_message(message.body):
+            loss_probability = min(1.0, loss_probability + p.down_loss_bonus)
+        produced: List[DeliveryRecord] = []
+        if self._rng.random() < loss_probability:
+            produced.append(DeliveryRecord(message, time, arrival_time=None))
+        else:
+            produced.append(
+                DeliveryRecord(message, time, arrival_time=time + self._sample_delay())
+            )
+            if self._rng.random() < p.spurious_retransmit_probability:
+                extra_delay = self._rng.uniform(
+                    p.spurious_min_delay, p.spurious_max_delay
+                )
+                # A spurious retransmission is the *router* restating the
+                # link's state later, so the copy carries a fresh generation
+                # timestamp — that is what makes it a repeated state-change
+                # message (§4.3) rather than a duplicate log line.
+                retransmit_time = time + extra_delay
+                copy = dataclasses.replace(message, timestamp=retransmit_time)
+                produced.append(
+                    DeliveryRecord(
+                        copy,
+                        retransmit_time,
+                        arrival_time=retransmit_time + self._sample_delay(),
+                        spurious=True,
+                    )
+                )
+        self.records.extend(produced)
+        return produced
+
+    def delivered(self) -> List[DeliveryRecord]:
+        """All records that reached the collector, in arrival order."""
+        arrived = [r for r in self.records if r.delivered]
+        arrived.sort(key=lambda r: r.arrival_time)
+        return arrived
+
+    def loss_count(self) -> int:
+        return sum(1 for r in self.records if not r.delivered)

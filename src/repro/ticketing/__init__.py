@@ -1,0 +1,17 @@
+"""Trouble tickets — the oracle for manual verification of long failures.
+
+The paper's sanitisation step manually verifies every syslog failure longer
+than 24 hours against network trouble tickets, removing ~6,000 hours of
+spurious downtime (§4.2).  Operators reliably chronicle *long* events and
+rarely record short ones, so tickets are a trustworthy oracle exactly for
+the failures that need checking.
+
+:class:`TicketSystem` generates tickets from the simulation's ground truth
+with that coverage profile, and answers the cross-check query the sanitiser
+asks: "is there a ticket corroborating an outage on this link around this
+period?".
+"""
+
+from repro.ticketing.tickets import TicketParameters, TicketSystem, TroubleTicket
+
+__all__ = ["TicketParameters", "TicketSystem", "TroubleTicket"]

@@ -1,0 +1,136 @@
+"""Trouble ticket generation and the long-failure cross-check."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.intervals import Interval
+
+
+@dataclass(frozen=True)
+class TicketParameters:
+    """How diligently the (simulated) NOC documents outages."""
+
+    #: Outages at least this long are ticket-worthy (30 minutes).
+    min_duration: float = 1800.0
+    #: Probability that a ticket-worthy outage actually gets a ticket.
+    coverage: float = 0.95
+    #: Tickets open a little after the outage starts (detection lag) and
+    #: close a little after it ends (confirmation lag); uniform bounds.
+    max_open_lag: float = 900.0
+    max_close_lag: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage must be a probability")
+        if self.min_duration < 0 or self.max_open_lag < 0 or self.max_close_lag < 0:
+            raise ValueError("durations and lags must be non-negative")
+
+
+@dataclass(frozen=True)
+class TroubleTicket:
+    """One NOC ticket covering an outage on a link."""
+
+    ticket_id: str
+    link_id: str
+    open_time: float
+    close_time: float
+    summary: str
+
+    def __post_init__(self) -> None:
+        if self.close_time < self.open_time:
+            raise ValueError("ticket closes before it opens")
+
+    @property
+    def span(self) -> Interval:
+        return Interval(self.open_time, self.close_time)
+
+
+class TicketSystem:
+    """Holds tickets and answers the sanitiser's corroboration query."""
+
+    def __init__(self, tickets: Iterable[TroubleTicket] = ()) -> None:
+        self._by_link: Dict[str, List[TroubleTicket]] = {}
+        for ticket in tickets:
+            self.add(ticket)
+
+    def add(self, ticket: TroubleTicket) -> None:
+        self._by_link.setdefault(ticket.link_id, []).append(ticket)
+
+    def __len__(self) -> int:
+        return sum(len(tickets) for tickets in self._by_link.values())
+
+    def tickets_for(self, link_id: str) -> List[TroubleTicket]:
+        return sorted(self._by_link.get(link_id, []), key=lambda t: t.open_time)
+
+    def all_tickets(self) -> List[TroubleTicket]:
+        """Every ticket in the system, ordered by open time then link."""
+        return sorted(
+            (t for tickets in self._by_link.values() for t in tickets),
+            key=lambda t: (t.open_time, t.link_id),
+        )
+
+    def confirms(
+        self, link_id: str, start: float, end: float, slack: float = 7200.0
+    ) -> bool:
+        """True when a ticket corroborates the *specific* claimed outage.
+
+        Confirmation requires a ticket on the same link whose open time sits
+        within ``slack`` of the claimed start **and** whose close time sits
+        within ``slack`` of the claimed end.  Matching both edges is what a
+        human cross-check does: a week-long claimed outage is not vouched
+        for by a ticket documenting a 30-minute event somewhere inside it —
+        that is precisely the spurious-downtime case §4.2's manual
+        verification exists to catch.
+        """
+        return any(
+            abs(ticket.open_time - start) <= slack
+            and abs(ticket.close_time - end) <= slack
+            for ticket in self._by_link.get(link_id, [])
+        )
+
+    def overlaps_any(
+        self, link_id: str, start: float, end: float, slack: float = 0.0
+    ) -> bool:
+        """Weaker query: does any ticket merely overlap the claimed span."""
+        probe = Interval(max(0.0, start - slack), end + slack)
+        return any(
+            ticket.span.overlaps(probe) or probe.contains(ticket.open_time)
+            for ticket in self._by_link.get(link_id, [])
+        )
+
+    @classmethod
+    def from_ground_truth(
+        cls,
+        failures: Iterable[Tuple[str, float, float]],
+        rng: random.Random,
+        parameters: TicketParameters = TicketParameters(),
+    ) -> "TicketSystem":
+        """Generate tickets from ground-truth ``(link_id, start, end)`` outages.
+
+        Short outages are never ticketed (the paper's motivation for using
+        IS-IS rather than tickets as ground truth); long ones are ticketed
+        with high probability and realistic open/close lags.
+        """
+        system = cls()
+        counter = 1
+        for link_id, start, end in sorted(failures, key=lambda f: (f[1], f[0])):
+            if end - start < parameters.min_duration:
+                continue
+            if rng.random() >= parameters.coverage:
+                continue
+            open_time = start + rng.uniform(0.0, parameters.max_open_lag)
+            close_time = end + rng.uniform(0.0, parameters.max_close_lag)
+            system.add(
+                TroubleTicket(
+                    ticket_id=f"TKT-{counter:06d}",
+                    link_id=link_id,
+                    open_time=open_time,
+                    close_time=max(close_time, open_time),
+                    summary=f"Outage on {link_id}",
+                )
+            )
+            counter += 1
+        return system

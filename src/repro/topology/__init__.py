@@ -1,0 +1,58 @@
+"""Network topology model and CENIC-like topology generation.
+
+The paper's analysis is anchored in the CENIC network: 60 Core routers in a
+ring-rich backbone, 175 CPE routers on customer premises, 84 Core and 215 CPE
+IS-IS links, point-to-point links numbered out of unique /31 subnets, and 26
+device pairs joined by multi-link adjacencies.  This package provides:
+
+* an object model (:class:`Router`, :class:`Link`, :class:`Network`, ...),
+* deterministic OSI (NET/system-id) and IPv4 /31 addressing,
+* a seeded CENIC-like generator matching the published aggregate shape,
+* IOS-style configuration rendering, and a config *miner* that re-derives the
+  link inventory from rendered configs — the same inventory path the paper
+  uses to map syslog hostnames and IS-IS OSI IDs onto canonical link names.
+"""
+
+from repro.topology.model import (
+    CustomerSite,
+    Interface,
+    Link,
+    LinkClass,
+    Network,
+    Router,
+    RouterClass,
+)
+from repro.topology.addressing import (
+    Ipv4SubnetAllocator,
+    format_ipv4,
+    net_for_system_id,
+    parse_ipv4,
+    system_id_for_index,
+)
+from repro.topology.builder import NetworkBuilder
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+from repro.topology.configgen import render_config, render_all_configs
+from repro.topology.configmine import ConfigArchive, MinedInventory, mine_configs
+
+__all__ = [
+    "CustomerSite",
+    "Interface",
+    "Link",
+    "LinkClass",
+    "Network",
+    "Router",
+    "RouterClass",
+    "Ipv4SubnetAllocator",
+    "format_ipv4",
+    "parse_ipv4",
+    "net_for_system_id",
+    "system_id_for_index",
+    "NetworkBuilder",
+    "CenicParameters",
+    "build_cenic_like_network",
+    "render_config",
+    "render_all_configs",
+    "ConfigArchive",
+    "MinedInventory",
+    "mine_configs",
+]

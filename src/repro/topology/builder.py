@@ -1,0 +1,110 @@
+"""Programmatic network construction.
+
+:class:`NetworkBuilder` takes care of the bookkeeping that the raw model
+objects demand — system-ID assignment, /31 allocation, canonical endpoint
+ordering, port naming, and link classification — so callers describe only
+the topology's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.topology.addressing import Ipv4SubnetAllocator, system_id_for_index
+from repro.topology.model import (
+    CustomerSite,
+    Link,
+    LinkClass,
+    Network,
+    Router,
+    RouterClass,
+)
+
+#: Port naming stems by router class; core routers carry 10 GbE line cards.
+_CORE_PORT_STEM = "TenGigE0/0/"
+_CPE_PORT_STEM = "GigabitEthernet0/"
+
+
+class NetworkBuilder:
+    """Incrementally assembles a :class:`Network` with consistent addressing."""
+
+    def __init__(self, base_prefix: str = "137.164.0.0") -> None:
+        self._network = Network()
+        self._allocator = Ipv4SubnetAllocator(base_prefix)
+        self._next_system_index = 1
+        self._next_link_index = 1
+        self._port_counters: Dict[str, int] = {}
+
+    def add_router(self, name: str, router_class: RouterClass) -> Router:
+        """Create a router with the next free system ID."""
+        router = Router(
+            name=name,
+            router_class=router_class,
+            system_id=system_id_for_index(self._next_system_index),
+        )
+        self._next_system_index += 1
+        self._network.add_router(router)
+        self._port_counters[name] = 0
+        return router
+
+    def _next_port(self, router_name: str) -> str:
+        router = self._network.routers[router_name]
+        index = self._port_counters[router_name]
+        self._port_counters[router_name] = index + 1
+        stem = _CORE_PORT_STEM if router.is_core else _CPE_PORT_STEM
+        return f"{stem}{index}"
+
+    def add_link(
+        self,
+        router_a: str,
+        router_b: str,
+        metric: int = 10,
+        link_id: Optional[str] = None,
+    ) -> Link:
+        """Create a point-to-point link, allocating ports and a /31.
+
+        Endpoints are normalised into canonical order; each call creates a
+        distinct physical link, so calling twice for the same pair produces a
+        multi-link adjacency.
+        """
+        if router_a not in self._network.routers:
+            raise ValueError(f"unknown router {router_a}")
+        if router_b not in self._network.routers:
+            raise ValueError(f"unknown router {router_b}")
+        port_a = self._next_port(router_a)
+        port_b = self._next_port(router_b)
+        if (router_a, port_a) > (router_b, port_b):
+            router_a, router_b = router_b, router_a
+            port_a, port_b = port_b, port_a
+        classes = {
+            self._network.routers[router_a].router_class,
+            self._network.routers[router_b].router_class,
+        }
+        link_class = LinkClass.CORE if classes == {RouterClass.CORE} else LinkClass.CPE
+        if link_id is None:
+            link_id = f"link-{self._next_link_index:04d}"
+        self._next_link_index += 1
+        link = Link(
+            link_id=link_id,
+            router_a=router_a,
+            port_a=port_a,
+            router_b=router_b,
+            port_b=port_b,
+            subnet=self._allocator.allocate(),
+            metric=metric,
+            link_class=link_class,
+        )
+        self._network.add_link(link)
+        return link
+
+    def add_site(self, name: str, attachment_routers: list) -> CustomerSite:
+        """Attach a customer site to one or more CPE routers."""
+        site = CustomerSite(name=name, attachment_routers=tuple(attachment_routers))
+        self._network.add_site(site)
+        return site
+
+    def build(self, validate: bool = True) -> Network:
+        """Finalise and (by default) validate the network."""
+        if validate:
+            self._network.validate()
+        return self._network

@@ -1,0 +1,173 @@
+"""Seeded generator for a CENIC-like topology.
+
+CENIC's published shape (paper Table 1 and §3.1): 60 Core routers in a
+redundant, ring-rich backbone; 175 CPE routers; 84 Core and 215 CPE IS-IS
+links; 26 device pairs with multi-link adjacencies; roughly 120 customer
+institutions, most of them multi-homed through the ring structure.
+
+The generator reproduces that shape deterministically from a seed:
+
+* a **main ring** of hub routers, one per POP,
+* a **regional ring** hanging off each hub (hub + regional aggregation
+  routers), giving the backbone its rings — the property that makes customer
+  isolation a multi-link event (§4.4),
+* a few **cross links** between non-adjacent hubs for extra redundancy,
+* **parallel links** added to selected core pairs and CPE attachments to
+  produce exactly the configured number of multi-link adjacencies,
+* CPE routers single-, dual-, or parallel-homed into the regional rings,
+* customer sites attached to one or more CPE routers.
+
+With default parameters the router/link counts match Table 1 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.topology.builder import NetworkBuilder
+from repro.topology.model import Network, RouterClass
+from repro.util.rand import child_rng
+
+#: POP codes loosely modelled on CENIC's California footprint.
+_POP_CODES = [
+    "lax", "sac", "sdg", "fre", "oak", "riv", "svl", "slo",
+    "bak", "red", "eur", "mry", "ccv", "frg", "tus", "son",
+]
+
+
+@dataclass(frozen=True)
+class CenicParameters:
+    """Knobs for the CENIC-like generator; defaults match paper Table 1."""
+
+    seed: int = 2013
+    hub_count: int = 10
+    region_size: int = 5  # regional core routers per hub, excluding the hub
+    cross_link_count: int = 6
+    core_parallel_pairs: int = 8
+    cpe_count: int = 175
+    cpe_dual_homed: int = 22
+    cpe_parallel_homed: int = 18
+    site_count: int = 120
+
+    def __post_init__(self) -> None:
+        if self.hub_count < 3:
+            raise ValueError("a ring needs at least three hubs")
+        if self.hub_count > len(_POP_CODES):
+            raise ValueError(f"at most {len(_POP_CODES)} hubs supported")
+        if self.cpe_dual_homed + self.cpe_parallel_homed > self.cpe_count:
+            raise ValueError("multi-homed CPE counts exceed CPE count")
+        if self.site_count > self.cpe_count:
+            raise ValueError("more sites than CPE routers to attach them")
+
+    @property
+    def core_count(self) -> int:
+        return self.hub_count * (1 + self.region_size)
+
+    @property
+    def core_link_count(self) -> int:
+        # main ring + per-region ring (region_size + 1 links each when the
+        # region is non-empty) + cross links + parallel duplicates
+        region_links = self.hub_count * (self.region_size + 1 if self.region_size else 0)
+        return (
+            self.hub_count
+            + region_links
+            + self.cross_link_count
+            + self.core_parallel_pairs
+        )
+
+    @property
+    def cpe_link_count(self) -> int:
+        return self.cpe_count + self.cpe_dual_homed + self.cpe_parallel_homed
+
+
+def build_cenic_like_network(params: CenicParameters = CenicParameters()) -> Network:
+    """Generate the CENIC-like network for ``params``.
+
+    The result is connected, validated, and fully addressed (system IDs and
+    /31 link subnets), ready for config rendering and simulation.
+    """
+    rng = child_rng(params.seed, "topology")
+    builder = NetworkBuilder()
+
+    # --- backbone hubs on the main ring ---------------------------------
+    hubs: List[str] = []
+    for i in range(params.hub_count):
+        name = f"{_POP_CODES[i]}-core-01"
+        builder.add_router(name, RouterClass.CORE)
+        hubs.append(name)
+    for i, hub in enumerate(hubs):
+        builder.add_link(hub, hubs[(i + 1) % len(hubs)], metric=10)
+
+    # --- regional rings ---------------------------------------------------
+    regional_by_hub: List[List[str]] = []
+    for i, hub in enumerate(hubs):
+        members: List[str] = []
+        for j in range(params.region_size):
+            name = f"{_POP_CODES[i]}-agg-{j + 1:02d}"
+            builder.add_router(name, RouterClass.CORE)
+            members.append(name)
+        regional_by_hub.append(members)
+        if not members:
+            continue
+        chain = [hub] + members
+        for a, b in zip(chain, chain[1:]):
+            builder.add_link(a, b, metric=20)
+        builder.add_link(members[-1], hub, metric=20)  # close the ring
+
+    # --- cross links between non-adjacent hubs ---------------------------
+    candidates = [
+        (hubs[i], hubs[j])
+        for i in range(len(hubs))
+        for j in range(i + 2, len(hubs))
+        if not (i == 0 and j == len(hubs) - 1)  # ring-adjacent wraparound
+    ]
+    rng.shuffle(candidates)
+    for a, b in candidates[: params.cross_link_count]:
+        builder.add_link(a, b, metric=100)
+
+    # --- parallel core links (multi-link adjacencies) --------------------
+    network_so_far = builder.build(validate=False)
+    ring_pairs = sorted(
+        {tuple(sorted(link.device_pair)) for link in network_so_far.links.values()}
+    )
+    rng.shuffle(ring_pairs)
+    for a, b in ring_pairs[: params.core_parallel_pairs]:
+        builder.add_link(a, b, metric=10)
+
+    # --- CPE routers -------------------------------------------------------
+    all_core = hubs + [name for members in regional_by_hub for name in members]
+    cpe_names: List[str] = []
+    for i in range(params.cpe_count):
+        name = f"cust{i + 1:03d}-cpe-01"
+        builder.add_router(name, RouterClass.CPE)
+        cpe_names.append(name)
+
+    homing = (
+        ["dual"] * params.cpe_dual_homed
+        + ["parallel"] * params.cpe_parallel_homed
+        + ["single"] * (params.cpe_count - params.cpe_dual_homed - params.cpe_parallel_homed)
+    )
+    rng.shuffle(homing)
+    for name, mode in zip(cpe_names, homing):
+        primary = rng.choice(all_core)
+        builder.add_link(name, primary, metric=15)
+        if mode == "dual":
+            secondary = rng.choice([c for c in all_core if c != primary])
+            builder.add_link(name, secondary, metric=15)
+        elif mode == "parallel":
+            builder.add_link(name, primary, metric=15)
+
+    # --- customer sites ----------------------------------------------------
+    # Every CPE serves exactly one site; site sizes follow a 1-3 CPE mix.
+    assignments: List[List[str]] = [[] for _ in range(params.site_count)]
+    shuffled_cpe = list(cpe_names)
+    rng.shuffle(shuffled_cpe)
+    for index, cpe in enumerate(shuffled_cpe[: params.site_count]):
+        assignments[index].append(cpe)  # every site gets at least one CPE
+    for cpe in shuffled_cpe[params.site_count :]:
+        assignments[rng.randrange(params.site_count)].append(cpe)
+    for index, attached in enumerate(assignments):
+        builder.add_site(f"site-{index + 1:03d}", sorted(attached))
+
+    return builder.build(validate=True)

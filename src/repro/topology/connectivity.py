@@ -1,0 +1,112 @@
+"""Time-varying reachability over a network with failing links.
+
+Given per-link down interval sets, compute for every router the intervals
+during which it cannot reach a chosen root.  This single sweep serves two
+consumers:
+
+* **customer isolation** (§4.4): a site is isolated exactly while *all* of
+  its attachment routers are unreachable — the per-site set is the
+  intersection of per-router unreachable sets;
+* **in-band syslog loss**: syslog datagrams travel over the network they
+  describe, so a router that is cut off from the collector cannot deliver
+  the very messages reporting the cut.
+
+The sweep walks the union of all link state-change instants, maintaining a
+down-link counter per link and re-running one BFS from the root per change
+point (the graph has ~300 edges, so this stays cheap even for tens of
+thousands of changes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.intervals import Interval, IntervalSet
+from repro.topology.model import Network
+
+
+def unreachable_intervals(
+    network: Network,
+    down_intervals_by_link_id: Dict[str, IntervalSet],
+    horizon_start: float,
+    horizon_end: float,
+    root: Optional[str] = None,
+) -> Dict[str, IntervalSet]:
+    """Per-router intervals of unreachability from ``root``.
+
+    ``down_intervals_by_link_id`` is keyed by the network's link IDs; links
+    absent from the mapping are treated as always up.  ``root`` defaults to
+    the alphabetically first core router.  The root itself is never
+    unreachable.
+    """
+    if horizon_end <= horizon_start:
+        raise ValueError("empty horizon")
+    if root is None:
+        root = sorted(r.name for r in network.core_routers())[0]
+    if root not in network.routers:
+        raise ValueError(f"unknown root router {root}")
+
+    link_ids = sorted(network.links)
+    link_index = {link_id: i for i, link_id in enumerate(link_ids)}
+    adjacency: Dict[str, List[Tuple[int, str]]] = {
+        name: [] for name in network.routers
+    }
+    for link_id in link_ids:
+        link = network.links[link_id]
+        i = link_index[link_id]
+        adjacency[link.router_a].append((i, link.router_b))
+        adjacency[link.router_b].append((i, link.router_a))
+
+    events: List[Tuple[float, int, int]] = []
+    for link_id, intervals in down_intervals_by_link_id.items():
+        if link_id not in link_index:
+            raise KeyError(f"unknown link id {link_id}")
+        i = link_index[link_id]
+        for interval in intervals.clip(horizon_start, horizon_end):
+            events.append((interval.start, i, +1))
+            if interval.end < horizon_end:
+                events.append((interval.end, i, -1))
+    events.sort()
+
+    down_count = [0] * len(link_ids)
+    routers = sorted(network.routers)
+    unreachable_since: Dict[str, Optional[float]] = {name: None for name in routers}
+    spans: Dict[str, List[Interval]] = {name: [] for name in routers}
+
+    def reachable_from_root() -> Set[str]:
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            for i, neighbor in adjacency[node]:
+                if down_count[i] == 0 and neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return seen
+
+    def update(now: float) -> None:
+        reachable = reachable_from_root()
+        for name in routers:
+            since = unreachable_since[name]
+            if name not in reachable and since is None:
+                unreachable_since[name] = now
+            elif name in reachable and since is not None:
+                if now > since:
+                    spans[name].append(Interval(since, now))
+                unreachable_since[name] = None
+
+    cursor = 0
+    while cursor < len(events):
+        time = events[cursor][0]
+        while cursor < len(events) and events[cursor][0] == time:
+            _, i, delta = events[cursor]
+            down_count[i] += delta
+            cursor += 1
+        update(time)
+
+    for name, since in unreachable_since.items():
+        if since is not None and horizon_end > since:
+            spans[name].append(Interval(since, horizon_end))
+
+    return {name: IntervalSet(items) for name, items in spans.items()}

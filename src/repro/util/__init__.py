@@ -1,0 +1,29 @@
+"""Shared utilities: seeded randomness helpers and time formatting.
+
+These helpers keep the rest of the library deterministic: every stochastic
+component takes an explicit :class:`random.Random` (or a seed) and derives
+child streams through :func:`child_rng`, so a scenario seed fully determines
+the generated dataset.
+"""
+
+from repro.util.rand import child_rng, pareto_bounded, weighted_choice
+from repro.util.timefmt import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_YEAR,
+    format_duration,
+    format_timestamp,
+    parse_timestamp,
+)
+
+__all__ = [
+    "child_rng",
+    "pareto_bounded",
+    "weighted_choice",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_YEAR",
+    "format_duration",
+    "format_timestamp",
+    "parse_timestamp",
+]

@@ -1,0 +1,104 @@
+"""Simulation time conventions.
+
+Simulation time is a float: seconds since the start of the measurement
+period.  The study period in the paper runs Oct 20, 2010 – Nov 11, 2011; we
+anchor timestamp rendering at that epoch so generated syslog lines look like
+the originals.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_YEAR = 365.0 * SECONDS_PER_DAY
+
+#: Start of the CENIC measurement period used for timestamp rendering.
+STUDY_EPOCH = datetime.datetime(2010, 10, 20, 0, 0, 0)
+
+
+def format_timestamp(sim_time: float) -> str:
+    """Render simulation time as a Cisco-style syslog timestamp.
+
+    Cisco's syslog convention is ``Mmm dd HH:MM:SS.mmm`` (month name, space,
+    day, time with milliseconds).
+
+    >>> format_timestamp(0.0)
+    'Oct 20 00:00:00.000'
+    """
+    moment = STUDY_EPOCH + datetime.timedelta(seconds=sim_time)
+    millis = moment.microsecond // 1000
+    return f"{moment.strftime('%b')} {moment.day:2d} {moment.strftime('%H:%M:%S')}.{millis:03d}"
+
+
+#: How far back a syslog timestamp may legitimately sit behind the newest
+#: one already seen in a log (transport delay and skew), when resolving the
+#: year ambiguity below.
+_YEAR_RESOLUTION_SLACK = 2 * 86400.0
+
+
+def parse_timestamp(text: str, year_hint: int = 2010, after: float = None) -> float:
+    """Parse a Cisco-style timestamp back to simulation time.
+
+    Syslog timestamps carry no year — the classic RFC 3164 ambiguity.  With
+    the default arguments, the earliest occurrence at or after the study
+    epoch is returned.  A 13-month study revisits the same calendar dates,
+    so a reader walking a log file in arrival order should pass ``after``
+    (the latest time parsed so far): the earliest candidate not more than
+    two days before ``after`` is chosen, which resolves "Oct 25" to 2011
+    once the log has progressed that far.
+
+    >>> parse_timestamp('Oct 20 00:00:00.000')
+    0.0
+    >>> parse_timestamp('Jan  1 00:00:00.500')  # rolls into 2011
+    6393600.5
+    >>> parse_timestamp('Oct 25 00:00:00.000', after=370 * 86400.0)
+    32054400.0
+    """
+    body, _, millis_text = text.partition(".")
+    millis = int(millis_text) / 1000.0 if millis_text else 0.0
+
+    candidates = []
+    for year in range(year_hint, year_hint + 3):
+        try:
+            moment = datetime.datetime.strptime(
+                f"{year} {body}", "%Y %b %d %H:%M:%S"
+            )
+        except ValueError:  # e.g. Feb 29 in a non-leap candidate year
+            continue
+        seconds = (moment - STUDY_EPOCH).total_seconds() + millis
+        if seconds >= 0:
+            candidates.append(seconds)
+    if not candidates:
+        raise ValueError(f"unparseable timestamp {text!r}")
+
+    floor = (after - _YEAR_RESOLUTION_SLACK) if after is not None else 0.0
+    eligible = [c for c in candidates if c >= floor]
+    return min(eligible) if eligible else max(candidates)
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly for reports: ``90061.0 -> '1d 1h 1m 1s'``.
+
+    >>> format_duration(42)
+    '42s'
+    >>> format_duration(90061)
+    '1d 1h 1m 1s'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    whole = int(seconds)
+    days, rest = divmod(whole, 86400)
+    hours, rest = divmod(rest, 3600)
+    minutes, secs = divmod(rest, 60)
+    parts = []
+    if days:
+        parts.append(f"{days}d")
+    if hours:
+        parts.append(f"{hours}h")
+    if minutes:
+        parts.append(f"{minutes}m")
+    if secs or not parts:
+        parts.append(f"{secs}s")
+    return " ".join(parts)

@@ -1,0 +1,41 @@
+"""Shared fixtures: one small scenario and its analysis, built once.
+
+The full paper-scale scenario takes ~a minute; the three-week scenario here
+runs in a few seconds and exercises every code path (failures, flaps, media
+flaps, blips, listener outages, tickets).  Integration tests share it
+through session-scoped fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisResult, Dataset, ScenarioConfig, run_analysis, run_scenario
+from repro.core.links import LinkResolver
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+
+
+SMALL_CONFIG = ScenarioConfig(seed=11, duration_days=21.0)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """A three-week simulated measurement campaign."""
+    return run_scenario(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_analysis(small_dataset: Dataset) -> AnalysisResult:
+    """The full paper methodology applied to the small campaign."""
+    return run_analysis(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def cenic_network():
+    """The default CENIC-like topology (Table 1 shape)."""
+    return build_cenic_like_network(CenicParameters(seed=99))
+
+
+@pytest.fixture(scope="session")
+def small_resolver(small_dataset: Dataset) -> LinkResolver:
+    return LinkResolver(small_dataset.inventory)

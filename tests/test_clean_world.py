@@ -1,0 +1,104 @@
+"""The clean-world check: with every error mechanism off, channels agree.
+
+The reproduction's central claim is that the syslog/IS-IS disparities come
+*only* from the explicitly modelled failure modes (loss, suppression,
+blips, reminders, outages, in-band fate-sharing).  Turn them all off and
+the two reconstructions must converge — any residual disagreement would
+mean the pipeline itself distorts, not the channels.
+
+Residual mismatches that legitimately remain even in a clean world:
+detection skew larger than the matching window (hold-timer delays are
+physics, not noise) and LSP-generation coalescing of sub-interval flaps.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import ScenarioConfig, run_analysis, run_scenario
+from repro.simulation.listenerhost import OutageParameters
+from repro.simulation.workload import WorkloadParameters, cenic_default_workload
+from repro.syslog.transport import TransportParameters
+
+
+def _clean_profile(profile):
+    return dataclasses.replace(
+        profile,
+        suppress_whole_flap=0.0,
+        suppress_whole_long=0.0,
+        suppress_whole_base=0.0,
+        suppress_down_extra_flap=0.0,
+        suppress_down_extra_base=0.0,
+        suppress_up_extra_flap=0.0,
+        reminder_down_probability=0.0,
+        reminder_up_probability=0.0,
+        handshake_abort_probability=0.0,
+        adjacency_reset_probability=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_analysis():
+    workload = cenic_default_workload()
+    config = ScenarioConfig(
+        seed=23,
+        duration_days=21.0,
+        workload=WorkloadParameters(
+            core=_clean_profile(workload.core),
+            cpe=_clean_profile(workload.cpe),
+        ),
+        transport=TransportParameters(
+            base_loss_probability=0.0,
+            down_loss_bonus=0.0,
+            burst_loss_probability=0.0,
+            spurious_retransmit_probability=0.0,
+        ),
+        outages=OutageParameters(rate_per_year=0.0),
+        inband_drop_probability=0.0,
+    )
+    return run_analysis(run_scenario(config))
+
+
+class TestCleanWorld:
+    def test_failure_counts_converge(self, clean_analysis):
+        syslog = len(clean_analysis.syslog_failures)
+        isis = len(clean_analysis.isis_failures)
+        assert abs(syslog - isis) / isis < 0.05
+
+    def test_matching_near_perfect(self, clean_analysis):
+        match = clean_analysis.failure_match
+        isis = len(clean_analysis.isis_failures)
+        assert match.matched_count / isis > 0.9
+
+    def test_downtime_converges(self, clean_analysis):
+        syslog_hours = sum(f.duration for f in clean_analysis.syslog_failures)
+        isis_hours = sum(f.duration for f in clean_analysis.isis_failures)
+        assert syslog_hours == pytest.approx(isis_hours, rel=0.05)
+
+    def test_no_false_positives_beyond_boundary_noise(self, clean_analysis):
+        match = clean_analysis.failure_match
+        # Unmatched syslog failures in a clean world can only be boundary
+        # mismatches (skew > window), which still overlap the IS-IS view.
+        non_partial = [
+            f for f in match.only_a if f not in set(match.partial_a)
+        ]
+        assert len(non_partial) / max(1, len(clean_analysis.syslog_failures)) < 0.03
+
+    def test_no_sanitisation_removals(self, clean_analysis):
+        # No lost messages → no phantom >24h failures to remove, and no
+        # listener outages to span.
+        assert clean_analysis.syslog_sanitized.removed_listener_overlap == []
+        assert len(clean_analysis.syslog_sanitized.removed_unverified_long) == 0
+
+    def test_transition_coverage_near_total(self, clean_analysis):
+        cov = clean_analysis.coverage
+        for direction in ("down", "up"):
+            assert cov.fraction(direction, 0) < 0.05
+
+    def test_few_ambiguities_remain(self, clean_analysis):
+        anomalies = sum(
+            len(t.anomalies)
+            for t in clean_analysis.syslog.timelines.values()
+        )
+        transitions = len(clean_analysis.syslog.isis_transitions)
+        assert anomalies / max(1, transitions) < 0.02

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "campaign"
+    code = main(["simulate", "--seed", "11", "--days", "10", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_creates_layout(self, campaign_dir, capsys):
+        for name in ("syslog.log", "isis.dump", "ground_truth.json", "meta.json"):
+            assert (campaign_dir / name).exists()
+        assert (campaign_dir / "configs").is_dir()
+
+
+class TestAnalyze:
+    def test_from_saved_dataset(self, campaign_dir, capsys):
+        code = main(["analyze", str(campaign_dir), "--seed", "11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Channel comparison" in out
+        assert "Matched failures" in out
+
+    def test_fresh_simulation(self, capsys):
+        code = main(["analyze", "--seed", "11", "--days", "7"])
+        assert code == 0
+        assert "Channel comparison" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_table5(self, campaign_dir, capsys):
+        code = main(["report", str(campaign_dir), "--seed", "11", "--table", "table5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "CPE" in out
+
+    def test_flaps(self, campaign_dir, capsys):
+        code = main(["report", str(campaign_dir), "--seed", "11", "--table", "flaps"])
+        assert code == 0
+        assert "flapping" in capsys.readouterr().out
+
+    def test_default_is_table4(self, campaign_dir, capsys):
+        code = main(["report", str(campaign_dir), "--seed", "11"])
+        assert code == 0
+        assert "Channel comparison" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_simulate_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--seed", "1"])

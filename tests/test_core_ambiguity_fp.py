@@ -1,0 +1,186 @@
+"""Tests for ambiguity classification (Table 6) and false positives (§4.3)."""
+
+import pytest
+
+from repro.core.ambiguity import (
+    AmbiguityCause,
+    analyze_ambiguous_transitions,
+    evaluate_ambiguity_strategies,
+)
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.false_positives import classify_false_positives
+from repro.core.links import LinkRecord
+from repro.core.matching import match_failures
+from repro.core.reconstruct import build_timelines, merge_messages
+from repro.intervals import Interval, IntervalSet
+from repro.intervals.timeline import AmbiguityStrategy
+
+
+def smsg(time, link="l1", direction="down", reporter="r1", reason=""):
+    return LinkMessage(time, link, direction, reporter, "syslog", reason=reason)
+
+
+def itr(time, link="l1", direction="down"):
+    return Transition(time, link, direction, "isis-is", frozenset({"o"}))
+
+
+def isis_timeline(transitions, horizon=(0.0, 1000.0)):
+    return build_timelines(transitions, *horizon)
+
+
+class TestAmbiguityClassification:
+    HORIZON = (0.0, 1000.0)
+
+    def classify(self, syslog_messages, isis_transitions):
+        syslog_transitions = merge_messages(syslog_messages, 5.0, "syslog")
+        syslog_timelines = build_timelines(syslog_transitions, *self.HORIZON)
+        isis_timelines = isis_timeline(isis_transitions, self.HORIZON)
+        return analyze_ambiguous_transitions(
+            syslog_timelines,
+            isis_transitions,
+            isis_timelines,
+            *self.HORIZON,
+            window=10.0,
+        )
+
+    def test_lost_message_detected(self):
+        # Two real IS-IS failures; syslog missed the intervening up, so its
+        # stream shows down@100, down@300.
+        syslog = [smsg(100.0), smsg(300.0), smsg(400.0, direction="up")]
+        isis = [
+            itr(100.0), itr(200.0, direction="up"),
+            itr(300.0), itr(400.0, direction="up"),
+        ]
+        report = self.classify(syslog, isis)
+        assert report.total("down") == 1
+        assert report.count("down", AmbiguityCause.LOST_MESSAGE) == 1
+
+    def test_spurious_retransmission_detected(self):
+        # One IS-IS failure 100-400; syslog repeats the down at 300 while
+        # the link is (per IS-IS) still down.
+        syslog = [smsg(100.0), smsg(300.0), smsg(400.0, direction="up")]
+        isis = [itr(100.0), itr(400.0, direction="up")]
+        report = self.classify(syslog, isis)
+        assert report.count("down", AmbiguityCause.SPURIOUS_RETRANSMISSION) == 1
+
+    def test_unknown_when_isis_disagrees(self):
+        # Syslog double-down while IS-IS says the link was up the whole
+        # time and saw no transitions at all near either message.
+        syslog = [smsg(100.0), smsg(300.0), smsg(400.0, direction="up")]
+        report = self.classify(syslog, [])
+        assert report.count("down", AmbiguityCause.UNKNOWN) == 1
+
+    def test_double_up_lost_down(self):
+        # Real failure 200-300 whose down syslog was lost: stream shows
+        # up@100 (after an earlier failure) then up@300.
+        syslog = [
+            smsg(50.0), smsg(100.0, direction="up"),
+            smsg(300.0, direction="up"),
+        ]
+        isis = [
+            itr(50.0), itr(100.0, direction="up"),
+            itr(200.0), itr(300.0, direction="up"),
+        ]
+        report = self.classify(syslog, isis)
+        assert report.count("up", AmbiguityCause.LOST_MESSAGE) == 1
+
+    def test_ambiguous_period_fraction(self):
+        syslog = [smsg(100.0), smsg(300.0), smsg(400.0, direction="up")]
+        report = self.classify(syslog, [])
+        # One 200s window over one link's 1000s horizon... but the timeline
+        # dict contains every link passed in — here only l1.
+        assert report.ambiguous_period_fraction == pytest.approx(0.2)
+
+    def test_clean_stream_has_no_classifications(self):
+        syslog = [smsg(100.0), smsg(200.0, direction="up")]
+        report = self.classify(syslog, [itr(100.0), itr(200.0, direction="up")])
+        assert report.classified == []
+
+
+class TestStrategyEvaluation:
+    def test_previous_state_wins_for_spurious_heavy_stream(self):
+        # IS-IS truth: one failure 100-200.  Syslog: down@100, spurious
+        # down@150, up@200.  PREVIOUS_STATE reproduces the truth exactly;
+        # ASSUME_UP carves a hole.
+        isis_transitions = [itr(100.0), itr(200.0, direction="up")]
+        isis_timelines = isis_timeline(isis_transitions)
+        syslog_transitions = merge_messages(
+            [smsg(100.0), smsg(150.0), smsg(200.0, direction="up")], 5.0, "syslog"
+        )
+        links = [
+            LinkRecord("l1", "a", "p", "b", "p", 0, is_core=True, multi_link=False)
+        ]
+        evaluations = evaluate_ambiguity_strategies(
+            syslog_transitions, isis_timelines, links, 0.0, 1000.0
+        )
+        assert evaluations[0].strategy in (
+            AmbiguityStrategy.PREVIOUS_STATE,
+            AmbiguityStrategy.ASSUME_DOWN,
+        )
+        by_strategy = {e.strategy: e for e in evaluations}
+        assert by_strategy[AmbiguityStrategy.PREVIOUS_STATE].absolute_error_hours == 0
+        assert by_strategy[AmbiguityStrategy.ASSUME_UP].absolute_error_hours > 0
+
+    def test_error_sign_convention(self):
+        isis_timelines = isis_timeline([itr(100.0), itr(200.0, direction="up")])
+        links = [
+            LinkRecord("l1", "a", "p", "b", "p", 0, is_core=True, multi_link=False)
+        ]
+        evaluations = evaluate_ambiguity_strategies(
+            [], isis_timelines, links, 0.0, 1000.0
+        )
+        for e in evaluations:
+            # Syslog saw nothing: all strategies under-report downtime.
+            assert e.error_hours < 0
+
+
+class TestFalsePositives:
+    def make_report(self):
+        syslog = [
+            FailureEvent("l1", 100.0, 105.0, "syslog"),     # matched
+            FailureEvent("l1", 500.0, 501.0, "syslog"),     # FP: sub-second-ish
+            FailureEvent("l1", 2000.0, 2200.0, "syslog"),   # FP: long, in flap
+            FailureEvent("l1", 9000.0, 9002.0, "syslog"),   # FP: short
+        ]
+        isis = [FailureEvent("l1", 101.0, 106.0, "isis-is")]
+        match = match_failures(syslog, isis)
+        flaps = {"l1": IntervalSet([Interval(1900.0, 2400.0)])}
+        return classify_false_positives(match, len(syslog), flaps)
+
+    def test_counts(self):
+        report = self.make_report()
+        assert report.count == 3
+        assert report.total_syslog_failures == 4
+        assert report.fraction_of_syslog == pytest.approx(0.75)
+
+    def test_short_long_split(self):
+        report = self.make_report()
+        assert len(report.short()) == 2
+        assert len(report.long()) == 1
+        assert report.short_fraction == pytest.approx(2 / 3)
+
+    def test_long_in_flap_attribution(self):
+        report = self.make_report()
+        assert len(report.long_in_flap) == 1
+        assert report.long_in_flap_fraction == 1.0
+
+    def test_downtime_accounting(self):
+        report = self.make_report()
+        assert report.downtime_hours == pytest.approx((1 + 200 + 2) / 3600.0)
+        assert report.long_downtime_hours == pytest.approx(200 / 3600.0)
+
+    def test_sub_second_bucket(self):
+        report = self.make_report()
+        assert len(report.sub_second) == 1
+
+    def test_blip_reason_detection(self):
+        start = Transition(
+            500.0, "l1", "down", "syslog", frozenset({"r"}),
+            messages=(smsg(500.0, reason="adjacency reset"),),
+        )
+        syslog = [
+            FailureEvent("l1", 500.0, 501.0, "syslog", start_transition=start)
+        ]
+        match = match_failures(syslog, [])
+        report = classify_false_positives(match, 1, {})
+        assert len(report.blip_reason) == 1

@@ -1,0 +1,127 @@
+"""Tests for the event model and the link resolver."""
+
+import pytest
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.links import LinkRecord, LinkResolver
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+from repro.topology.configgen import render_all_configs
+from repro.topology.configmine import ConfigArchive, mine_configs
+
+
+@pytest.fixture(scope="module")
+def resolver():
+    network = build_cenic_like_network(CenicParameters(seed=8))
+    archive = ConfigArchive()
+    for hostname, text in render_all_configs(network).items():
+        archive.add(hostname, text)
+    return network, LinkResolver(mine_configs(archive))
+
+
+class TestEventModel:
+    def test_link_message_direction_checked(self):
+        with pytest.raises(ValueError):
+            LinkMessage(1.0, "l", "sideways", "r", "syslog")
+
+    def test_transition_needs_reporters(self):
+        with pytest.raises(ValueError):
+            Transition(1.0, "l", "down", "syslog", frozenset())
+
+    def test_failure_duration_positive(self):
+        with pytest.raises(ValueError):
+            FailureEvent("l", 5.0, 5.0, "syslog")
+
+    def test_failure_overlap(self):
+        a = FailureEvent("l", 0.0, 10.0, "syslog")
+        b = FailureEvent("l", 5.0, 15.0, "isis-is")
+        c = FailureEvent("other", 5.0, 15.0, "isis-is")
+        d = FailureEvent("l", 10.0, 15.0, "isis-is")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # different link
+        assert not a.overlaps(d)  # abutting
+
+
+class TestLinkResolver:
+    def test_all_links_resolved(self, resolver):
+        network, res = resolver
+        assert len(res) == len(network.links)
+
+    def test_single_links_exclude_multilink_pairs(self, resolver):
+        network, res = resolver
+        assert len(res.single_links()) == len(network.single_link_ids())
+        assert all(not record.multi_link for record in res.single_links())
+
+    def test_core_classification_from_hostnames(self, resolver):
+        network, res = resolver
+        for record in res.links():
+            truth = network.links_between(record.router_a, record.router_b)
+            expected_core = all(
+                network.routers[r].is_core
+                for r in (record.router_a, record.router_b)
+            )
+            assert record.is_core == expected_core
+
+    def test_resolve_port_both_ends(self, resolver):
+        network, res = resolver
+        link = next(iter(network.links.values()))
+        for router in (link.router_a, link.router_b):
+            record = res.resolve_port(router, link.port_on(router))
+            assert record is not None
+            assert record.name == link.canonical_name
+
+    def test_resolve_port_unknown(self, resolver):
+        _, res = resolver
+        assert res.resolve_port("ghost", "Gi0/0") is None
+
+    def test_resolve_prefix(self, resolver):
+        network, res = resolver
+        link = next(iter(network.links.values()))
+        record = res.resolve_prefix(link.subnet, 31)
+        assert record.name == link.canonical_name
+
+    def test_resolve_prefix_rejects_non31(self, resolver):
+        network, res = resolver
+        link = next(iter(network.links.values()))
+        assert res.resolve_prefix(link.subnet, 32) is None
+
+    def test_resolve_adjacency_single_pair(self, resolver):
+        network, res = resolver
+        single_id = network.single_link_ids()[0]
+        link = network.links[single_id]
+        a = network.routers[link.router_a].system_id
+        b = network.routers[link.router_b].system_id
+        record, multi = res.resolve_adjacency(a, b)
+        assert record is not None and not multi
+        assert record.name == link.canonical_name
+
+    def test_resolve_adjacency_multilink_pair_refused(self, resolver):
+        network, res = resolver
+        pair = network.multi_link_pairs()[0]
+        names = sorted(pair)
+        a = network.routers[names[0]].system_id
+        b = network.routers[names[1]].system_id
+        record, multi = res.resolve_adjacency(a, b)
+        assert record is None and multi
+
+    def test_resolve_adjacency_unknown_system(self, resolver):
+        _, res = resolver
+        record, multi = res.resolve_adjacency("ffff.ffff.ffff", "ffff.ffff.fffe")
+        assert record is None and not multi
+
+    def test_hostname_mapping(self, resolver):
+        network, res = resolver
+        name, router = next(iter(network.routers.items()))
+        assert res.hostname_for(router.system_id) == name
+        assert res.system_id_for(name) == router.system_id
+        assert res.hostname_for("ffff.ffff.ffff") is None
+
+    def test_links_between(self, resolver):
+        network, res = resolver
+        pair = network.multi_link_pairs()[0]
+        names = sorted(pair)
+        assert len(res.links_between(names[0], names[1])) >= 2
+
+    def test_record_lookup(self, resolver):
+        _, res = resolver
+        record = res.links()[0]
+        assert res.record(record.name) == record

@@ -1,0 +1,79 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.figures import (
+    CdfSeries,
+    figure1_series,
+    figure1_svgs,
+    render_cdf_svg,
+    write_figure1,
+)
+
+
+class TestRenderCdfSvg:
+    def series(self):
+        return [
+            CdfSeries("Syslog", (1.0, 2.0, 5.0, 100.0)),
+            CdfSeries("IS-IS", (1.5, 3.0, 8.0, 120.0)),
+        ]
+
+    def test_produces_well_formed_xml(self):
+        svg = render_cdf_svg(self.series(), "test", "seconds")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_both_series_and_labels(self):
+        svg = render_cdf_svg(self.series(), "My Title", "seconds")
+        assert "My Title" in svg
+        assert "Syslog" in svg and "IS-IS" in svg
+        assert "seconds" in svg
+        assert svg.count("<path") == 2
+
+    def test_log_ticks_cover_range(self):
+        svg = render_cdf_svg(self.series(), "t", "x")
+        for tick in ("1", "10", "100"):
+            assert f">{tick}</text>" in svg
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf_svg([CdfSeries("x", ())], "t", "x")
+
+    def test_nonpositive_values_dropped(self):
+        svg = render_cdf_svg(
+            [CdfSeries("Syslog", (0.0, 1.0, 10.0))], "t", "x"
+        )
+        ET.fromstring(svg)  # still valid
+
+    def test_single_value_series(self):
+        svg = render_cdf_svg([CdfSeries("Syslog", (5.0,))], "t", "x")
+        ET.fromstring(svg)
+
+
+class TestFigure1:
+    def test_series_structure(self, small_analysis):
+        panels = figure1_series(small_analysis)
+        assert set(panels) == {"duration", "downtime", "tbf"}
+        for series in panels.values():
+            assert set(series) == {"Syslog", "IS-IS"}
+            assert all(s.values for s in series.values())
+
+    def test_svgs_render(self, small_analysis):
+        svgs = figure1_svgs(small_analysis)
+        assert set(svgs) == {"duration", "downtime", "tbf"}
+        for svg in svgs.values():
+            ET.fromstring(svg)
+
+    def test_write_figure1(self, small_analysis, tmp_path):
+        written = write_figure1(small_analysis, tmp_path)
+        names = {p.name for p in written}
+        assert names == {
+            "figure1a.svg", "figure1a.csv",
+            "figure1b.svg", "figure1b.csv",
+            "figure1c.svg", "figure1c.csv",
+        }
+        csv_text = (tmp_path / "figure1a.csv").read_text()
+        assert csv_text.startswith("series,value")
+        assert "Syslog," in csv_text and "IS-IS," in csv_text

@@ -1,0 +1,142 @@
+"""Tests for flap detection (§4.1) and sanitisation (§4.2)."""
+
+import pytest
+
+from repro.core.events import FailureEvent
+from repro.core.flapping import (
+    detect_flap_episodes,
+    flap_intervals,
+    in_flap,
+    transitions_in_flap,
+)
+from repro.core.events import Transition
+from repro.core.sanitize import SanitizationConfig, sanitize_failures
+from repro.intervals import Interval, IntervalSet
+from repro.ticketing import TicketSystem, TroubleTicket
+
+
+def failure(start, end, link="l1"):
+    return FailureEvent(link, start, end, "syslog")
+
+
+class TestFlapDetection:
+    def test_close_failures_form_episode(self):
+        failures = [failure(0, 10), failure(100, 110), failure(200, 210)]
+        episodes = detect_flap_episodes(failures, gap_threshold=600.0)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert (episode.start, episode.end, episode.failure_count) == (0, 210, 3)
+
+    def test_separated_failures_do_not_flap(self):
+        failures = [failure(0, 10), failure(1000, 1010)]
+        assert detect_flap_episodes(failures, gap_threshold=600.0) == []
+
+    def test_gap_measured_end_to_start(self):
+        # 590s between end of first and start of second: still one episode.
+        failures = [failure(0, 10), failure(600, 610)]
+        assert len(detect_flap_episodes(failures)) == 1
+        # Exactly the threshold: separate (strict less-than).
+        failures = [failure(0, 10), failure(610, 620)]
+        assert detect_flap_episodes(failures) == []
+
+    def test_links_are_independent(self):
+        failures = [failure(0, 10, "a"), failure(100, 110, "b")]
+        assert detect_flap_episodes(failures) == []
+
+    def test_multiple_episodes_per_link(self):
+        failures = [
+            failure(0, 10), failure(100, 110),
+            failure(10000, 10010), failure(10100, 10110),
+        ]
+        assert len(detect_flap_episodes(failures)) == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            detect_flap_episodes([], gap_threshold=0.0)
+
+    def test_flap_intervals_and_membership(self):
+        failures = [failure(0, 10), failure(100, 110)]
+        episodes = detect_flap_episodes(failures)
+        intervals = flap_intervals(episodes)
+        assert in_flap(intervals, "l1", 50.0)
+        assert not in_flap(intervals, "l1", 500.0)
+        assert not in_flap(intervals, "other", 50.0)
+
+    def test_flap_intervals_guard(self):
+        episodes = detect_flap_episodes([failure(100, 110), failure(200, 210)])
+        intervals = flap_intervals(episodes, guard=50.0)
+        assert in_flap(intervals, "l1", 60.0)
+
+    def test_transitions_split(self):
+        episodes = detect_flap_episodes([failure(0, 10), failure(100, 110)])
+        intervals = flap_intervals(episodes)
+        ts = [
+            Transition(50.0, "l1", "down", "s", frozenset({"r"})),
+            Transition(5000.0, "l1", "down", "s", frozenset({"r"})),
+        ]
+        inside, outside = transitions_in_flap(ts, intervals)
+        assert inside == [ts[0]] and outside == [ts[1]]
+
+
+class TestSanitization:
+    OUTAGES = IntervalSet([Interval(1000.0, 2000.0)])
+
+    def test_failure_spanning_outage_removed(self):
+        report = sanitize_failures(
+            [failure(900.0, 1100.0)], self.OUTAGES, tickets=None
+        )
+        assert report.kept == []
+        assert len(report.removed_listener_overlap) == 1
+
+    def test_failure_clear_of_outage_kept(self):
+        report = sanitize_failures(
+            [failure(100.0, 200.0)], self.OUTAGES, tickets=None
+        )
+        assert len(report.kept) == 1
+
+    def test_long_failure_without_ticket_removed(self):
+        tickets = TicketSystem()
+        long = failure(10000.0, 10000.0 + 2 * 86400.0)
+        report = sanitize_failures([long], IntervalSet(), tickets)
+        assert report.kept == []
+        assert report.removed_unverified_long == [long]
+        assert report.spurious_downtime_hours == pytest.approx(48.0)
+
+    def test_long_failure_with_ticket_kept(self):
+        start, end = 10000.0, 10000.0 + 2 * 86400.0
+        tickets = TicketSystem(
+            [TroubleTicket("T1", "l1", start + 600.0, end + 1800.0, "outage")]
+        )
+        long = failure(start, end)
+        report = sanitize_failures([long], IntervalSet(), tickets)
+        assert report.kept == [long]
+        assert report.verified_long == [long]
+        assert report.long_failures_checked == 1
+
+    def test_isis_channel_skips_ticket_check(self):
+        long = failure(10000.0, 10000.0 + 2 * 86400.0)
+        report = sanitize_failures([long], IntervalSet(), tickets=None)
+        assert report.kept == [long]
+
+    def test_short_failures_never_ticket_checked(self):
+        tickets = TicketSystem()  # empty: would reject anything checked
+        report = sanitize_failures([failure(0.0, 60.0)], IntervalSet(), tickets)
+        assert len(report.kept) == 1
+
+    def test_threshold_configurable(self):
+        tickets = TicketSystem()
+        config = SanitizationConfig(long_failure_threshold=30.0)
+        report = sanitize_failures([failure(0.0, 60.0)], IntervalSet(), tickets, config)
+        assert report.kept == []
+
+    def test_kept_downtime_accounting(self):
+        report = sanitize_failures(
+            [failure(0.0, 3600.0), failure(5000.0, 8600.0)], IntervalSet(), None
+        )
+        assert report.kept_downtime_hours == pytest.approx(2.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SanitizationConfig(long_failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            SanitizationConfig(ticket_slack=-1.0)

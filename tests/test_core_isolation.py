@@ -1,0 +1,161 @@
+"""Tests for customer isolation analysis (§4.4)."""
+
+import pytest
+
+from repro.core.isolation import (
+    compute_isolation,
+    intersect_isolation,
+    isolation_summary,
+    match_isolation_events,
+    IsolationEvent,
+)
+from repro.intervals import Interval, IntervalSet
+from repro.topology.builder import NetworkBuilder
+from repro.topology.model import RouterClass
+from repro.util.timefmt import SECONDS_PER_DAY
+
+
+@pytest.fixture
+def network_with_sites():
+    """Two-hub core; one single-homed site, one dual-homed site."""
+    b = NetworkBuilder()
+    b.add_router("a-core-01", RouterClass.CORE)
+    b.add_router("b-core-01", RouterClass.CORE)
+    b.add_router("c-core-01", RouterClass.CORE)
+    b.add_router("s-cpe-01", RouterClass.CPE)
+    b.add_router("t-cpe-01", RouterClass.CPE)
+    b.add_router("u-cpe-01", RouterClass.CPE)
+    # core triangle
+    b.add_link("a-core-01", "b-core-01")
+    b.add_link("b-core-01", "c-core-01")
+    b.add_link("a-core-01", "c-core-01")
+    single = b.add_link("s-cpe-01", "b-core-01")
+    dual_1 = b.add_link("t-cpe-01", "b-core-01")
+    dual_2 = b.add_link("u-cpe-01", "c-core-01")
+    b.add_site("site-single", ["s-cpe-01"])
+    b.add_site("site-dual", ["t-cpe-01", "u-cpe-01"])
+    net = b.build()
+    return net, single, dual_1, dual_2
+
+
+def canon(link):
+    return link.canonical_name
+
+
+class TestComputeIsolation:
+    def test_single_homed_site_isolated_by_one_link(self, network_with_sites):
+        net, single, *_ = network_with_sites
+        down = {canon(single): IntervalSet([Interval(10.0, 20.0)])}
+        per_site = compute_isolation(net, down, 0.0, 100.0)
+        assert per_site["site-single"] == IntervalSet([Interval(10.0, 20.0)])
+        assert not per_site["site-dual"]
+
+    def test_dual_homed_site_needs_both_attachments_cut(self, network_with_sites):
+        net, _, dual_1, dual_2 = network_with_sites
+        down = {
+            canon(dual_1): IntervalSet([Interval(10.0, 30.0)]),
+            canon(dual_2): IntervalSet([Interval(20.0, 40.0)]),
+        }
+        per_site = compute_isolation(net, down, 0.0, 100.0)
+        assert per_site["site-dual"] == IntervalSet([Interval(20.0, 30.0)])
+
+    def test_no_failures_no_isolation(self, network_with_sites):
+        net, *_ = network_with_sites
+        per_site = compute_isolation(net, {}, 0.0, 100.0)
+        assert all(not v for v in per_site.values())
+
+    def test_unknown_canonical_names_ignored(self, network_with_sites):
+        net, *_ = network_with_sites
+        down = {"(ghost:p0, ghost2:p0)": IntervalSet([Interval(0.0, 50.0)])}
+        per_site = compute_isolation(net, down, 0.0, 100.0)
+        assert all(not v for v in per_site.values())
+
+    def test_overlapping_failures_merge_into_one_event(self, network_with_sites):
+        net, single, *_ = network_with_sites
+        down = {
+            canon(single): IntervalSet(
+                [Interval(10.0, 20.0), Interval(20.0, 30.0)]
+            )
+        }
+        per_site = compute_isolation(net, down, 0.0, 100.0)
+        assert len(per_site["site-single"].intervals) == 1
+
+
+class TestIsolationSummary:
+    def test_summary_aggregates(self):
+        per_site = {
+            "s1": IntervalSet([Interval(0.0, SECONDS_PER_DAY)]),
+            "s2": IntervalSet(
+                [Interval(0.0, 3600.0), Interval(7200.0, 10800.0)]
+            ),
+            "s3": IntervalSet(),
+        }
+        summary = isolation_summary(per_site)
+        assert summary.event_count == 3
+        assert summary.sites_impacted == 2
+        assert summary.downtime_days == pytest.approx(1.0 + 2 / 24.0)
+
+    def test_events_sorted_by_time(self):
+        per_site = {
+            "s1": IntervalSet([Interval(50.0, 60.0)]),
+            "s2": IntervalSet([Interval(10.0, 20.0)]),
+        }
+        summary = isolation_summary(per_site)
+        assert [e.site for e in summary.events] == ["s2", "s1"]
+
+
+class TestIntersectionAndMatching:
+    def test_intersection_per_site(self):
+        a = {"s1": IntervalSet([Interval(0.0, 10.0)])}
+        b = {"s1": IntervalSet([Interval(5.0, 20.0)]), "s2": IntervalSet([Interval(0.0, 5.0)])}
+        result = intersect_isolation(a, b)
+        assert result["s1"] == IntervalSet([Interval(5.0, 10.0)])
+        assert not result["s2"]
+
+    def test_match_events_overlap_split(self):
+        events = [
+            IsolationEvent("s1", 0.0, 10.0),
+            IsolationEvent("s1", 50.0, 60.0),
+            IsolationEvent("s2", 0.0, 10.0),
+        ]
+        other = {"s1": IntervalSet([Interval(5.0, 8.0)])}
+        overlapping, disjoint = match_isolation_events(events, other)
+        assert [e.start for e in overlapping] == [0.0]
+        assert {(e.site, e.start) for e in disjoint} == {("s1", 50.0), ("s2", 0.0)}
+
+
+class TestEndToEndIsolation(object):
+    def test_isolation_from_analysis(self, small_dataset, small_analysis):
+        """Both channels' isolation computed on the real small scenario."""
+        from repro.intervals import IntervalSet as IS
+
+        network = small_dataset.network
+        res = small_analysis
+
+        def down_map(failures):
+            spans = {}
+            for f in failures:
+                spans.setdefault(f.link, []).append(Interval(f.start, f.end))
+            return {link: IS(items) for link, items in spans.items()}
+
+        isis_iso = compute_isolation(
+            network, down_map(res.isis_failures),
+            res.horizon_start, res.horizon_end,
+        )
+        syslog_iso = compute_isolation(
+            network, down_map(res.syslog_failures),
+            res.horizon_start, res.horizon_end,
+        )
+        isis_summary = isolation_summary(isis_iso)
+        syslog_summary = isolation_summary(syslog_iso)
+        inter_summary = isolation_summary(
+            intersect_isolation(isis_iso, syslog_iso)
+        )
+        # The paper's ordering: intersection <= each channel.
+        assert inter_summary.downtime_days <= isis_summary.downtime_days + 1e-9
+        assert inter_summary.downtime_days <= syslog_summary.downtime_days + 1e-9
+        assert inter_summary.sites_impacted <= min(
+            isis_summary.sites_impacted, syslog_summary.sites_impacted
+        )
+        # With three weeks of CPE failures some isolation must exist.
+        assert isis_summary.event_count > 0

@@ -1,0 +1,190 @@
+"""Tests for transition and failure matching (§3.4)."""
+
+import pytest
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.matching import (
+    MatchConfig,
+    count_matching_reporters,
+    downtime_overlap_seconds,
+    match_failures,
+    transition_match_fraction,
+)
+from repro.core.reconstruct import build_timelines, merge_messages
+
+
+def transition(time, link="l1", direction="down", source="isis-is"):
+    return Transition(time, link, direction, source, frozenset({"origin"}))
+
+
+def message(time, link="l1", direction="down", reporter="r1"):
+    return LinkMessage(time, link, direction, reporter, "syslog")
+
+
+def failure(start, end, link="l1", source="syslog"):
+    return FailureEvent(link, start, end, source)
+
+
+class TestMatchConfig:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            MatchConfig(window=-1.0)
+
+
+class TestTransitionMatchFraction:
+    def test_within_window_matches(self):
+        fractions = transition_match_fraction(
+            [transition(100.0)], [message(105.0)], MatchConfig(10.0)
+        )
+        assert fractions["down"] == 1.0
+
+    def test_outside_window_misses(self):
+        fractions = transition_match_fraction(
+            [transition(100.0)], [message(111.0)], MatchConfig(10.0)
+        )
+        assert fractions["down"] == 0.0
+
+    def test_direction_must_agree(self):
+        fractions = transition_match_fraction(
+            [transition(100.0, direction="down")],
+            [message(100.0, direction="up")],
+            MatchConfig(10.0),
+        )
+        assert fractions["down"] == 0.0
+
+    def test_link_must_agree(self):
+        fractions = transition_match_fraction(
+            [transition(100.0, link="a")], [message(100.0, link="b")], MatchConfig(10.0)
+        )
+        assert fractions["down"] == 0.0
+
+    def test_per_direction_accounting(self):
+        reference = [
+            transition(100.0, direction="down"),
+            transition(200.0, direction="up"),
+            transition(300.0, direction="up"),
+        ]
+        messages = [message(100.0, direction="down"), message(200.0, direction="up")]
+        fractions = transition_match_fraction(reference, messages, MatchConfig(10.0))
+        assert fractions == {"down": 1.0, "up": 0.5}
+
+    def test_window_boundary_inclusive(self):
+        fractions = transition_match_fraction(
+            [transition(100.0)], [message(110.0)], MatchConfig(10.0)
+        )
+        assert fractions["down"] == 1.0
+
+
+class TestCountMatchingReporters:
+    def test_none_one_both_buckets(self):
+        reference = [
+            transition(100.0),  # no message
+            transition(200.0),  # one reporter
+            transition(300.0),  # both reporters
+        ]
+        messages = [
+            message(200.0, reporter="r1"),
+            message(300.0, reporter="r1"),
+            message(302.0, reporter="r2"),
+        ]
+        coverage = count_matching_reporters(reference, messages, MatchConfig(10.0))
+        assert coverage.counts["down"] == {0: 1, 1: 1, 2: 1}
+        assert coverage.total("down") == 3
+        assert coverage.fraction("down", 0) == pytest.approx(1 / 3)
+
+    def test_duplicate_reporter_counts_once(self):
+        coverage = count_matching_reporters(
+            [transition(100.0)],
+            [message(99.0, reporter="r1"), message(101.0, reporter="r1")],
+            MatchConfig(10.0),
+        )
+        assert coverage.counts["down"][1] == 1
+
+    def test_unmatched_transitions_recorded(self):
+        reference = [transition(100.0), transition(500.0)]
+        coverage = count_matching_reporters(
+            reference, [message(100.0)], MatchConfig(10.0)
+        )
+        assert coverage.unmatched == [reference[1]]
+
+
+class TestMatchFailures:
+    def test_exact_match(self):
+        result = match_failures(
+            [failure(100.0, 200.0)], [failure(101.0, 199.0, source="isis-is")]
+        )
+        assert result.matched_count == 1
+        assert not result.only_a and not result.only_b
+
+    def test_start_window_enforced(self):
+        result = match_failures(
+            [failure(100.0, 200.0)], [failure(115.0, 200.0, source="isis-is")]
+        )
+        assert result.matched_count == 0
+        assert len(result.only_a) == 1 and len(result.only_b) == 1
+
+    def test_end_window_enforced(self):
+        result = match_failures(
+            [failure(100.0, 200.0)], [failure(100.0, 215.0, source="isis-is")]
+        )
+        assert result.matched_count == 0
+
+    def test_matching_is_one_to_one(self):
+        a = [failure(100.0, 200.0), failure(101.0, 201.0)]
+        b = [failure(100.0, 200.0, source="isis-is")]
+        result = match_failures(a, b)
+        assert result.matched_count == 1
+        assert len(result.only_a) == 1
+
+    def test_greedy_takes_earliest_candidate(self):
+        a = [failure(100.0, 200.0)]
+        b = [
+            failure(95.0, 195.0, source="isis-is"),
+            failure(105.0, 205.0, source="isis-is"),
+        ]
+        result = match_failures(a, b)
+        assert result.pairs[0][1].start == 95.0
+
+    def test_links_partition_matching(self):
+        result = match_failures(
+            [failure(100.0, 200.0, link="a")],
+            [failure(100.0, 200.0, link="b", source="isis-is")],
+        )
+        assert result.matched_count == 0
+
+    def test_partial_overlap_recorded(self):
+        # Overlapping but boundary-mismatched failures are "partial".
+        result = match_failures(
+            [failure(100.0, 200.0)], [failure(150.0, 400.0, source="isis-is")]
+        )
+        assert result.partial_a == result.only_a
+        assert result.partial_b == result.only_b
+
+    def test_disjoint_failures_not_partial(self):
+        result = match_failures(
+            [failure(100.0, 200.0)], [failure(300.0, 400.0, source="isis-is")]
+        )
+        assert result.partial_a == [] and result.partial_b == []
+
+    def test_large_flap_run_matches_pairwise(self):
+        a = [failure(i * 100.0, i * 100.0 + 10.0) for i in range(50)]
+        b = [
+            failure(i * 100.0 + 2.0, i * 100.0 + 11.0, source="isis-is")
+            for i in range(50)
+        ]
+        result = match_failures(a, b)
+        assert result.matched_count == 50
+
+
+class TestDowntimeOverlap:
+    def test_overlap_from_timelines(self):
+        msgs_a = [message(10.0), message(30.0, direction="up")]
+        msgs_b = [message(20.0), message(40.0, direction="up")]
+        t_a = build_timelines(merge_messages(msgs_a, 5.0, "s"), 0.0, 100.0)
+        t_b = build_timelines(merge_messages(msgs_b, 5.0, "s"), 0.0, 100.0)
+        assert downtime_overlap_seconds(t_a, t_b) == 10.0
+
+    def test_links_missing_from_one_side_ignored(self):
+        msgs_a = [message(10.0, link="only-a"), message(30.0, link="only-a", direction="up")]
+        t_a = build_timelines(merge_messages(msgs_a, 5.0, "s"), 0.0, 100.0)
+        assert downtime_overlap_seconds(t_a, {}) == 0.0

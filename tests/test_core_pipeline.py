@@ -1,0 +1,92 @@
+"""Integration tests for the full analysis pipeline and report rendering."""
+
+import pytest
+
+from repro import AnalysisOptions, run_analysis
+from repro.core.matching import MatchConfig
+from repro.core.report import format_hours, format_percent, render_table
+
+
+class TestPipeline:
+    def test_result_structure(self, small_analysis):
+        res = small_analysis
+        assert res.syslog_failures == res.syslog_sanitized.kept
+        assert res.isis_failures == res.isis_sanitized.kept
+        assert res.horizon_years > 0
+        assert res.flap_intervals.keys() == {
+            e.link for e in res.flap_episodes
+        }
+
+    def test_matching_is_on_sanitized_failures(self, small_analysis):
+        res = small_analysis
+        matched_syslog = {id(a) for a, _ in res.failure_match.pairs}
+        kept_ids = {id(f) for f in res.syslog_sanitized.kept}
+        assert matched_syslog <= kept_ids
+
+    def test_coverage_references_is_transitions(self, small_analysis):
+        res = small_analysis
+        total = res.coverage.total("down") + res.coverage.total("up")
+        assert total == len(res.isis.is_transitions)
+
+    def test_flap_episodes_obey_rule(self, small_analysis):
+        for episode in small_analysis.flap_episodes:
+            assert episode.failure_count >= 2
+
+    def test_options_threaded(self, small_dataset):
+        options = AnalysisOptions(matching=MatchConfig(window=1.0))
+        strict = run_analysis(small_dataset, options)
+        assert strict.options.matching.window == 1.0
+
+    def test_tighter_window_matches_fewer(self, small_dataset, small_analysis):
+        strict = run_analysis(
+            small_dataset, AnalysisOptions(matching=MatchConfig(window=0.5))
+        )
+        assert (
+            strict.failure_match.matched_count
+            <= small_analysis.failure_match.matched_count
+        )
+
+    def test_deterministic(self, small_dataset, small_analysis):
+        again = run_analysis(small_dataset)
+        assert len(again.syslog_failures) == len(small_analysis.syslog_failures)
+        assert again.failure_match.matched_count == (
+            small_analysis.failure_match.matched_count
+        )
+
+    def test_paper_shape_holds_even_at_small_scale(self, small_analysis):
+        """Qualitative invariants from the paper's conclusions."""
+        res = small_analysis
+        # Syslog has false positives AND misses IS-IS failures.
+        assert res.failure_match.only_a
+        assert res.failure_match.only_b
+        # The two channels agree on the majority of failures.
+        assert res.failure_match.matched_count > len(res.failure_match.only_a)
+        # Flapping exists and hosts a disproportionate share of unmatched
+        # transitions.
+        assert res.flap_episodes
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["metric", "value"],
+            [["failures", 12], ["downtime", "3h"]],
+            title="Sample",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Sample"
+        assert lines[1].startswith("metric")
+        assert set(lines[2]) <= {"-", " "}
+        assert "12" in lines[3]
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_format_percent(self):
+        assert format_percent(0.823) == "82%"
+        assert format_percent(0.823, digits=1) == "82.3%"
+
+    def test_format_hours(self):
+        assert format_hours(3648.4) == "3,648"
+        assert format_hours(12.34, digits=1) == "12.3"

@@ -1,0 +1,142 @@
+"""Tests for the shared message-merge / timeline / failure funnel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import LinkMessage
+from repro.core.reconstruct import (
+    build_timelines,
+    failures_from_timelines,
+    merge_messages,
+)
+from repro.intervals.timeline import AmbiguityStrategy
+
+
+def msg(time, link="l1", direction="down", reporter="r1"):
+    return LinkMessage(time, link, direction, reporter, "syslog")
+
+
+class TestMergeMessages:
+    def test_both_ends_merge_into_one_transition(self):
+        transitions = merge_messages(
+            [msg(10.0, reporter="r1"), msg(12.0, reporter="r2")], 30.0, "syslog"
+        )
+        assert len(transitions) == 1
+        t = transitions[0]
+        assert t.time == 10.0
+        assert t.reporters == {"r1", "r2"}
+        assert len(t.messages) == 2
+
+    def test_direction_change_splits(self):
+        transitions = merge_messages(
+            [msg(10.0), msg(12.0, direction="up"), msg(14.0)], 30.0, "syslog"
+        )
+        assert [t.direction for t in transitions] == ["down", "up", "down"]
+
+    def test_same_direction_outside_window_splits(self):
+        transitions = merge_messages([msg(10.0), msg(50.0)], 30.0, "syslog")
+        assert len(transitions) == 2
+
+    def test_window_measured_from_run_start(self):
+        # 10, 35, 60: each within 30 of its predecessor but 60 is beyond
+        # 10+30, and 35 is within — so runs are {10, 35} and {60}.
+        transitions = merge_messages([msg(10.0), msg(35.0), msg(60.0)], 30.0, "syslog")
+        assert [t.time for t in transitions] == [10.0, 60.0]
+
+    def test_links_are_independent(self):
+        transitions = merge_messages(
+            [msg(10.0, link="a"), msg(11.0, link="b")], 30.0, "syslog"
+        )
+        assert len(transitions) == 2
+
+    def test_sorted_output(self):
+        transitions = merge_messages(
+            [msg(50.0, link="b"), msg(10.0, link="a")], 30.0, "syslog"
+        )
+        assert [t.time for t in transitions] == [10.0, 50.0]
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            merge_messages([], -1.0, "syslog")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1000),
+                st.sampled_from(["up", "down"]),
+                st.sampled_from(["r1", "r2"]),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=200)
+    def test_every_message_lands_in_exactly_one_transition(self, raw):
+        messages = [msg(t, direction=d, reporter=r) for t, d, r in raw]
+        transitions = merge_messages(messages, 10.0, "syslog")
+        total = sum(len(t.messages) for t in transitions)
+        assert total == len(messages)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1000), st.sampled_from(["up", "down"])),
+            max_size=40,
+        ),
+        st.floats(0, 50),
+    )
+    @settings(max_examples=200)
+    def test_transitions_alternate_or_are_separated(self, raw, window):
+        messages = [msg(t, direction=d) for t, d in raw]
+        transitions = merge_messages(messages, window, "syslog")
+        for first, second in zip(transitions, transitions[1:]):
+            same_direction = first.direction == second.direction
+            if same_direction:
+                assert second.time - first.time > window
+
+
+class TestBuildTimelines:
+    def test_links_argument_adds_quiet_links(self):
+        timelines = build_timelines([], 0.0, 100.0, links=["quiet"])
+        assert timelines["quiet"].downtime() == 0.0
+
+    def test_strategy_passed_through(self):
+        messages = [msg(10.0), msg(30.0)]  # double down
+        transitions = merge_messages(messages, 5.0, "syslog")
+        discard = build_timelines(
+            transitions, 0.0, 100.0, strategy=AmbiguityStrategy.DISCARD
+        )
+        keep = build_timelines(
+            transitions, 0.0, 100.0, strategy=AmbiguityStrategy.PREVIOUS_STATE
+        )
+        assert discard["l1"].ambiguous_intervals
+        assert not keep["l1"].ambiguous_intervals
+
+
+class TestFailuresFromTimelines:
+    def test_failure_carries_transitions(self):
+        messages = [msg(10.0), msg(20.0, direction="up")]
+        transitions = merge_messages(messages, 30.0, "syslog")
+        timelines = build_timelines(transitions, 0.0, 100.0)
+        failures = failures_from_timelines(timelines, transitions, "syslog")
+        assert len(failures) == 1
+        failure = failures[0]
+        assert (failure.start, failure.end) == (10.0, 20.0)
+        assert failure.start_transition is transitions[0]
+        assert failure.end_transition is transitions[1]
+
+    def test_censored_down_is_not_a_failure(self):
+        transitions = merge_messages([msg(90.0)], 30.0, "syslog")
+        timelines = build_timelines(transitions, 0.0, 100.0)
+        assert failures_from_timelines(timelines, transitions, "syslog") == []
+
+    def test_failures_sorted_across_links(self):
+        messages = [
+            msg(50.0, link="b"),
+            msg(60.0, link="b", direction="up"),
+            msg(10.0, link="a"),
+            msg(20.0, link="a", direction="up"),
+        ]
+        transitions = merge_messages(messages, 5.0, "syslog")
+        timelines = build_timelines(transitions, 0.0, 100.0)
+        failures = failures_from_timelines(timelines, transitions, "syslog")
+        assert [f.link for f in failures] == ["a", "b"]

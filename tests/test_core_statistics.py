@@ -1,0 +1,168 @@
+"""Tests for the Table 5 statistics, CDFs, and KS comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import FailureEvent
+from repro.core.links import LinkRecord
+from repro.core.statistics import (
+    SummaryStats,
+    annualized_downtime_hours,
+    annualized_failure_counts,
+    cdf_at,
+    class_statistics,
+    empirical_cdf,
+    failure_durations,
+    ks_compare,
+    time_between_failures_hours,
+)
+from repro.util.timefmt import SECONDS_PER_YEAR
+
+
+def record(name, is_core=True):
+    return LinkRecord(
+        name=name, router_a="a", port_a="p", router_b="b", port_b="p",
+        subnet=0, is_core=is_core, multi_link=False,
+    )
+
+
+def failure(start, end, link="l1"):
+    return FailureEvent(link, start, end, "syslog")
+
+
+LINKS = [record("l1"), record("l2")]
+YEAR = SECONDS_PER_YEAR
+
+
+class TestSummaryStats:
+    def test_empty(self):
+        stats = SummaryStats.from_values([])
+        assert (stats.median, stats.average, stats.p95, stats.count) == (0, 0, 0, 0)
+
+    def test_values(self):
+        stats = SummaryStats.from_values(list(range(1, 101)))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.average == pytest.approx(50.5)
+        assert stats.p95 == pytest.approx(95.05)
+        assert stats.count == 100
+
+
+class TestAnnualisation:
+    def test_failure_counts_include_zero_links(self):
+        counts = annualized_failure_counts(
+            [failure(0, 10), failure(100, 110)], LINKS, 0.0, YEAR
+        )
+        assert counts == {"l1": 2.0, "l2": 0.0}
+
+    def test_counts_scale_with_horizon(self):
+        counts = annualized_failure_counts([failure(0, 10)], LINKS, 0.0, YEAR / 2)
+        assert counts["l1"] == 2.0
+
+    def test_downtime_hours(self):
+        downtime = annualized_downtime_hours(
+            [failure(0, 7200.0)], LINKS, 0.0, YEAR
+        )
+        assert downtime["l1"] == pytest.approx(2.0)
+        assert downtime["l2"] == 0.0
+
+    def test_failures_on_unknown_links_ignored(self):
+        counts = annualized_failure_counts(
+            [failure(0, 10, link="ghost")], LINKS, 0.0, YEAR
+        )
+        assert sum(counts.values()) == 0.0
+
+    def test_empty_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            annualized_failure_counts([], LINKS, 10.0, 10.0)
+
+
+class TestTimeBetweenFailures:
+    def test_gap_is_end_to_start(self):
+        gaps = time_between_failures_hours(
+            [failure(0, 3600.0), failure(7200.0, 7300.0)]
+        )
+        assert gaps == [pytest.approx(1.0)]
+
+    def test_per_link_gaps(self):
+        gaps = time_between_failures_hours(
+            [
+                failure(0, 3600.0, "a"), failure(7200.0, 7300.0, "a"),
+                failure(0, 3600.0, "b"),
+            ]
+        )
+        assert len(gaps) == 1
+
+    def test_single_failure_no_gap(self):
+        assert time_between_failures_hours([failure(0, 10)]) == []
+
+
+class TestClassStatistics:
+    def test_restricts_to_given_links(self):
+        failures = [failure(0, 100, "l1"), failure(0, 100, "ghost")]
+        stats = class_statistics(failures, LINKS, 0.0, YEAR)
+        assert stats.duration_seconds.count == 1
+
+    def test_durations(self):
+        assert failure_durations([failure(0, 42.0)]) == [42.0]
+
+    def test_full_block(self):
+        failures = [
+            failure(0, 100, "l1"),
+            failure(10000, 10050, "l1"),
+            failure(0, 200, "l2"),
+        ]
+        stats = class_statistics(failures, LINKS, 0.0, YEAR)
+        assert stats.failures_per_link_year.average == pytest.approx(1.5)
+        assert stats.duration_seconds.count == 3
+        assert stats.time_between_failures_hours.count == 1
+        assert stats.downtime_hours_per_year.count == 2
+
+
+class TestKsCompare:
+    def test_identical_samples_consistent(self):
+        sample = list(np.random.default_rng(1).normal(size=500))
+        result = ks_compare(sample, sample)
+        assert result.consistent
+        assert result.statistic == 0.0
+
+    def test_same_distribution_consistent(self):
+        # Seed pinned away from the test's own 5% false-rejection region.
+        rng = np.random.default_rng(3)
+        a = list(rng.exponential(10.0, size=800))
+        b = list(rng.exponential(10.0, size=800))
+        assert ks_compare(a, b).consistent
+
+    def test_different_distributions_rejected(self):
+        rng = np.random.default_rng(3)
+        a = list(rng.exponential(10.0, size=800))
+        b = list(rng.exponential(30.0, size=800))
+        assert not ks_compare(a, b).consistent
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ks_compare([], [1.0])
+
+    def test_alpha_respected(self):
+        rng = np.random.default_rng(4)
+        a = list(rng.normal(0.0, 1.0, size=300))
+        b = list(rng.normal(0.25, 1.0, size=300))
+        loose = ks_compare(a, b, alpha=1e-12)
+        assert loose.consistent  # nothing rejects at absurd alpha
+
+
+class TestCdf:
+    def test_empirical_cdf(self):
+        xs, ys = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ys) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        xs, ys = empirical_cdf([])
+        assert len(xs) == 0 and len(ys) == 0
+
+    def test_cdf_at_points(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, [0.5, 2.0, 10.0]) == [0.0, 0.5, 1.0]
+
+    def test_cdf_at_empty(self):
+        assert cdf_at([], [1.0, 2.0]) == [0.0, 0.0]

@@ -1,0 +1,192 @@
+"""Cross-cutting invariants over the full simulated campaign.
+
+These tests assert relationships that must hold between *layers* — ground
+truth vs the IS-IS channel vs the syslog channel — rather than within one
+module.  They are the executable version of the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.core.matching import MatchConfig, transition_match_fraction
+from repro.core.statistics import class_statistics
+from repro.intervals import Interval, IntervalSet
+
+
+class TestGroundTruthVsIsis:
+    def test_isis_downtime_tracks_ground_truth(self, small_dataset, small_analysis):
+        """IS-IS is 'ground truth' in the paper because it shares fate with
+        traffic; against the simulator's actual truth it must be close."""
+        network = small_dataset.network
+        single = set(network.single_link_ids())
+        gt_downtime = sum(
+            min(f.end, small_dataset.horizon_end) - f.start
+            for f in small_dataset.ground_truth_failures
+            if f.link_id in single
+        )
+        isis_downtime = sum(f.duration for f in small_analysis.isis_failures)
+        assert isis_downtime == pytest.approx(gt_downtime, rel=0.25)
+
+    def test_isis_failure_boundaries_near_truth(self, small_dataset, small_analysis):
+        network = small_dataset.network
+        by_link = {}
+        for f in small_dataset.ground_truth_failures:
+            canonical = network.links[f.link_id].canonical_name
+            by_link.setdefault(canonical, []).append(f)
+        checked = 0
+        for failure in small_analysis.isis_failures[:300]:
+            candidates = by_link.get(failure.link, [])
+            if any(
+                abs(g.start - failure.start) < 30.0 and abs(g.end - failure.end) < 30.0
+                for g in candidates
+            ):
+                checked += 1
+        assert checked / min(300, len(small_analysis.isis_failures)) > 0.8
+
+
+class TestPaperQualitativeClaims:
+    def test_syslog_misses_more_downs_than_ups_or_similar(self, small_analysis):
+        cov = small_analysis.coverage
+        # Paper: DOWN None (18%) >= UP None (15%).  Allow slack for the
+        # small scenario but the down channel must not be dramatically
+        # better than the up channel.
+        assert cov.fraction("down", 0) >= cov.fraction("up", 0) - 0.05
+
+    def test_unmatched_transitions_concentrate_in_flaps(self, small_analysis):
+        from repro.core.flapping import in_flap
+
+        unmatched = small_analysis.coverage.unmatched
+        if len(unmatched) < 20:
+            pytest.skip("too few unmatched transitions at this scale")
+        inside = sum(
+            1
+            for t in unmatched
+            if in_flap(small_analysis.flap_intervals, t.link, t.time)
+        )
+        all_transitions = small_analysis.isis.is_transitions
+        inside_all = sum(
+            1
+            for t in all_transitions
+            if in_flap(small_analysis.flap_intervals, t.link, t.time)
+        )
+        unmatched_flap_share = inside / len(unmatched)
+        overall_flap_share = inside_all / len(all_transitions)
+        assert unmatched_flap_share > overall_flap_share
+
+    def test_is_reachability_beats_ip_for_adjacency_messages(self, small_analysis):
+        """Table 2's conclusion: IS-IS syslog matches IS reachability far
+        better than IP reachability."""
+        config = MatchConfig()
+        is_fraction = transition_match_fraction(
+            small_analysis.isis.is_transitions,
+            small_analysis.syslog.isis_messages,
+            config,
+        )
+        ip_fraction = transition_match_fraction(
+            small_analysis.isis.ip_transitions,
+            small_analysis.syslog.isis_messages,
+            config,
+        )
+        assert is_fraction["down"] > 2 * ip_fraction["down"]
+
+    def test_ip_reachability_tracks_media_messages(self, small_analysis):
+        config = MatchConfig()
+        media_vs_ip = transition_match_fraction(
+            small_analysis.isis.ip_transitions,
+            small_analysis.syslog.physical_messages,
+            config,
+        )
+        media_vs_is = transition_match_fraction(
+            small_analysis.isis.is_transitions,
+            small_analysis.syslog.physical_messages,
+            config,
+        )
+        assert media_vs_ip["down"] > media_vs_is["down"]
+
+    def test_false_positives_are_mostly_short(self, small_analysis):
+        from repro.core.false_positives import classify_false_positives
+
+        report = classify_false_positives(
+            small_analysis.failure_match,
+            len(small_analysis.syslog_failures),
+            small_analysis.flap_intervals,
+        )
+        if report.count < 10:
+            pytest.skip("too few false positives at this scale")
+        assert report.short_fraction > 0.5
+
+    def test_cpe_links_fail_more_often_than_core(self, small_analysis):
+        links = small_analysis.resolver.single_links()
+        core = [l for l in links if l.is_core]
+        cpe = [l for l in links if not l.is_core]
+        core_stats = class_statistics(
+            small_analysis.isis_failures, core,
+            small_analysis.horizon_start, small_analysis.horizon_end,
+        )
+        cpe_stats = class_statistics(
+            small_analysis.isis_failures, cpe,
+            small_analysis.horizon_start, small_analysis.horizon_end,
+        )
+        assert (
+            cpe_stats.failures_per_link_year.average
+            > core_stats.failures_per_link_year.average
+        )
+
+
+class TestConservation:
+    def test_syslog_message_conservation(self, small_dataset, small_analysis):
+        """Every delivered adjacency/media message is either resolved to a
+        link or counted unresolved; nothing vanishes."""
+        resolved = len(small_analysis.syslog.isis_messages) + len(
+            small_analysis.syslog.physical_messages
+        )
+        accounted = (
+            resolved
+            + small_analysis.syslog.unresolved_count
+            + small_analysis.syslog.unparsed_count
+        )
+        assert accounted == small_dataset.summary.syslog_delivered
+
+    def test_sanitization_conservation(self, small_analysis):
+        for report, source in (
+            (small_analysis.syslog_sanitized, small_analysis.syslog.failures),
+            (small_analysis.isis_sanitized, small_analysis.isis.failures),
+        ):
+            total = (
+                len(report.kept)
+                + len(report.removed_listener_overlap)
+                + len(report.removed_unverified_long)
+            )
+            assert total == len(source)
+
+    def test_match_conservation(self, small_analysis):
+        match = small_analysis.failure_match
+        assert match.matched_count + len(match.only_a) == len(
+            small_analysis.syslog_failures
+        )
+        assert match.matched_count + len(match.only_b) == len(
+            small_analysis.isis_failures
+        )
+
+    def test_coverage_conservation(self, small_analysis):
+        cov = small_analysis.coverage
+        for direction in ("down", "up"):
+            assert sum(cov.counts[direction].values()) == cov.total(direction)
+
+    def test_downtime_overlap_bounded(self, small_analysis):
+        down_a = {}
+        for f in small_analysis.syslog_failures:
+            down_a.setdefault(f.link, []).append(Interval(f.start, f.end))
+        down_b = {}
+        for f in small_analysis.isis_failures:
+            down_b.setdefault(f.link, []).append(Interval(f.start, f.end))
+        overlap = 0.0
+        for link, spans in down_a.items():
+            if link in down_b:
+                overlap += (
+                    IntervalSet(spans)
+                    .intersection(IntervalSet(down_b[link]))
+                    .total_duration()
+                )
+        total_a = sum(f.duration for f in small_analysis.syslog_failures)
+        total_b = sum(f.duration for f in small_analysis.isis_failures)
+        assert overlap <= min(total_a, total_b) + 1e-6

@@ -1,0 +1,199 @@
+"""Unit and property tests for the interval algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Interval, IntervalSet
+
+
+# ---------------------------------------------------------------- strategies
+@st.composite
+def intervals(draw):
+    start = draw(st.floats(min_value=-1000, max_value=1000))
+    length = draw(st.floats(min_value=0, max_value=500))
+    return Interval(start, start + length)
+
+
+interval_sets = st.lists(intervals(), max_size=12).map(IntervalSet)
+
+
+class TestInterval:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_duration(self):
+        assert Interval(1.0, 3.5).duration == 2.5
+
+    def test_half_open_membership(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(1.999)
+        assert not iv.contains(2.0)
+        assert not iv.contains(0.999)
+
+    def test_zero_length_contains_nothing(self):
+        assert not Interval(1.0, 1.0).contains(1.0)
+
+    def test_abutting_do_not_overlap(self):
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Interval(0, 5), Interval(3, 8)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+        assert Interval(0, 1).intersection(Interval(1, 2)) is None
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(10) == Interval(11, 12)
+
+
+class TestIntervalSetNormalisation:
+    def test_merges_overlapping(self):
+        s = IntervalSet([Interval(0, 3), Interval(2, 5)])
+        assert list(s) == [Interval(0, 5)]
+
+    def test_merges_abutting(self):
+        s = IntervalSet([Interval(0, 1), Interval(1, 2)])
+        assert list(s) == [Interval(0, 2)]
+
+    def test_drops_empty_intervals(self):
+        s = IntervalSet([Interval(1, 1), Interval(2, 3)])
+        assert list(s) == [Interval(2, 3)]
+
+    def test_sorts_input(self):
+        s = IntervalSet([Interval(5, 6), Interval(0, 1)])
+        assert [iv.start for iv in s] == [0, 5]
+
+    def test_equality_is_by_coverage(self):
+        a = IntervalSet([Interval(0, 1), Interval(1, 2)])
+        b = IntervalSet([Interval(0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_from_pairs(self):
+        assert IntervalSet.from_pairs([(0, 1), (2, 3)]).total_duration() == 2
+
+
+class TestIntervalSetOperations:
+    def test_total_duration(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 6)])
+        assert s.total_duration() == 3
+
+    def test_contains_binary_search(self):
+        s = IntervalSet([Interval(i * 10, i * 10 + 5) for i in range(50)])
+        assert s.contains(123)
+        assert not s.contains(127)
+        assert s.contains(0)
+        assert not s.contains(495)  # end of the last interval
+
+    def test_union(self):
+        a = IntervalSet([Interval(0, 2)])
+        b = IntervalSet([Interval(1, 3), Interval(10, 11)])
+        assert a.union(b) == IntervalSet([Interval(0, 3), Interval(10, 11)])
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 5), Interval(10, 15)])
+        b = IntervalSet([Interval(3, 12)])
+        assert a.intersection(b) == IntervalSet([Interval(3, 5), Interval(10, 12)])
+
+    def test_subtract(self):
+        a = IntervalSet([Interval(0, 10)])
+        b = IntervalSet([Interval(2, 3), Interval(5, 7)])
+        assert a.subtract(b) == IntervalSet(
+            [Interval(0, 2), Interval(3, 5), Interval(7, 10)]
+        )
+
+    def test_subtract_everything(self):
+        a = IntervalSet([Interval(0, 10)])
+        assert a.subtract(IntervalSet([Interval(-1, 11)])) == IntervalSet()
+
+    def test_complement(self):
+        s = IntervalSet([Interval(2, 3)])
+        assert s.complement(0, 5) == IntervalSet([Interval(0, 2), Interval(3, 5)])
+
+    def test_complement_rejects_inverted_horizon(self):
+        with pytest.raises(ValueError):
+            IntervalSet().complement(5, 0)
+
+    def test_clip(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.clip(3, 7) == IntervalSet([Interval(3, 7)])
+
+    def test_overlapping_probe(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 6)])
+        assert s.overlapping(Interval(1, 5.5)) == [Interval(0, 2), Interval(5, 6)]
+        assert s.overlapping(Interval(2, 5)) == []
+
+    def test_intersect_all(self):
+        sets = [
+            IntervalSet([Interval(0, 10)]),
+            IntervalSet([Interval(2, 12)]),
+            IntervalSet([Interval(4, 6), Interval(8, 20)]),
+        ]
+        assert IntervalSet.intersect_all(sets) == IntervalSet(
+            [Interval(4, 6), Interval(8, 10)]
+        )
+
+    def test_intersect_all_requires_input(self):
+        with pytest.raises(ValueError):
+            IntervalSet.intersect_all([])
+
+    def test_union_all_empty_is_empty(self):
+        assert IntervalSet.union_all([]) == IntervalSet()
+
+
+class TestIntervalSetProperties:
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=150)
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=150)
+    def test_union_commutes(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=150)
+    def test_inclusion_exclusion_measure(self, a, b):
+        union = a.union(b).total_duration()
+        inter = a.intersection(b).total_duration()
+        assert union + inter == pytest.approx(
+            a.total_duration() + b.total_duration(), rel=1e-9, abs=1e-6
+        )
+
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=150)
+    def test_subtract_then_intersect_is_empty(self, a, b):
+        assert a.subtract(b).intersection(b) == IntervalSet()
+
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=150)
+    def test_subtraction_partitions_a(self, a, b):
+        kept = a.subtract(b).total_duration()
+        removed = a.intersection(b).total_duration()
+        assert kept + removed == pytest.approx(a.total_duration(), rel=1e-9, abs=1e-6)
+
+    @given(interval_sets, st.floats(-1000, 1000))
+    @settings(max_examples=150)
+    def test_membership_matches_interval_scan(self, s, point):
+        expected = any(iv.contains(point) for iv in s)
+        assert s.contains(point) == expected
+
+    @given(interval_sets)
+    @settings(max_examples=150)
+    def test_canonical_form_is_disjoint_and_sorted(self, s):
+        items = list(s)
+        for first, second in zip(items, items[1:]):
+            assert first.end < second.start  # disjoint AND non-abutting
+
+    @given(interval_sets)
+    @settings(max_examples=100)
+    def test_double_complement_is_identity_within_horizon(self, s):
+        clipped = s.clip(-2000, 2000)
+        assert clipped.complement(-2000, 2000).complement(-2000, 2000) == clipped

@@ -1,0 +1,63 @@
+"""Tests for the flooding delay model."""
+
+import pytest
+
+from repro.isis.flooding import FloodingModel
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_cenic_like_network(CenicParameters(seed=13))
+
+
+@pytest.fixture(scope="module")
+def attachment(network):
+    return sorted(r.name for r in network.core_routers())[0]
+
+
+class TestFloodingModel:
+    def test_attachment_must_exist(self, network):
+        with pytest.raises(ValueError):
+            FloodingModel(network, "ghost-router")
+
+    def test_zero_hops_at_attachment(self, network, attachment):
+        model = FloodingModel(network, attachment)
+        assert model.hop_count(attachment) == 0
+
+    def test_hops_positive_elsewhere(self, network, attachment):
+        model = FloodingModel(network, attachment)
+        other = sorted(r.name for r in network.cpe_routers())[0]
+        assert model.hop_count(other) >= 1
+
+    def test_delay_bounds(self, network, attachment):
+        model = FloodingModel(
+            network,
+            attachment,
+            generation_delay=0.05,
+            per_hop_delay=0.02,
+            jitter_fraction=0.5,
+        )
+        for name in sorted(network.routers)[:50]:
+            base = 0.05 + 0.02 * model.hop_count(name)
+            for _ in range(5):
+                delay = model.delivery_delay(name)
+                assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_deterministic_for_seed(self, network, attachment):
+        a = FloodingModel(network, attachment, seed=7)
+        b = FloodingModel(network, attachment, seed=7)
+        names = sorted(network.routers)[:10]
+        assert [a.delivery_delay(n) for n in names] == [
+            b.delivery_delay(n) for n in names
+        ]
+
+    def test_jitter_fraction_validated(self, network, attachment):
+        with pytest.raises(ValueError):
+            FloodingModel(network, attachment, jitter_fraction=1.0)
+
+    def test_farther_routers_take_longer_on_average(self, network, attachment):
+        model = FloodingModel(network, attachment, jitter_fraction=0.0)
+        near = attachment
+        far = max(network.routers, key=model.hop_count)
+        assert model.delivery_delay(far) > model.delivery_delay(near)

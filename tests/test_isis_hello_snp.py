@@ -1,0 +1,183 @@
+"""Tests for the hello (IIH) and SNP codecs, and the resync decision."""
+
+import pytest
+
+from repro.isis.adjacency import AdjacencyState, AdjacencyStateMachine
+from repro.isis.database import LinkStateDatabase
+from repro.isis.hello import PointToPointHello, ThreeWayAdjacencyTlv
+from repro.isis.lsp import LinkStatePacket, LspId
+from repro.isis.pdu import PduDecodeError
+from repro.isis.snp import (
+    CompleteSnp,
+    LspSummary,
+    PartialSnp,
+    missing_or_stale,
+    summarize_database,
+)
+from repro.isis.tlv import AreaAddressesTlv
+
+
+def lsp(seq=1, sysid="0000.0000.0001", lifetime=900):
+    return LinkStatePacket(
+        lsp_id=LspId(sysid), sequence_number=seq, remaining_lifetime=lifetime
+    )
+
+
+class TestThreeWayTlv:
+    def test_short_form_round_trip(self):
+        tlv = ThreeWayAdjacencyTlv(state=AdjacencyState.DOWN)
+        assert ThreeWayAdjacencyTlv.unpack_value(tlv.pack_value()) == tlv
+        assert len(tlv.pack_value()) == 5
+
+    def test_long_form_round_trip(self):
+        tlv = ThreeWayAdjacencyTlv(
+            state=AdjacencyState.INITIALIZING,
+            extended_circuit_id=7,
+            neighbor_system_id="0000.0000.00aa",
+            neighbor_extended_circuit_id=9,
+        )
+        assert ThreeWayAdjacencyTlv.unpack_value(tlv.pack_value()) == tlv
+        assert len(tlv.pack_value()) == 15
+
+    def test_malformed_length_rejected(self):
+        with pytest.raises(PduDecodeError):
+            ThreeWayAdjacencyTlv.unpack_value(b"\x00" * 7)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(PduDecodeError):
+            ThreeWayAdjacencyTlv.unpack_value(b"\x07" + b"\x00" * 4)
+
+
+class TestPointToPointHello:
+    def test_round_trip_minimal(self):
+        hello = PointToPointHello(source_system_id="0000.0000.0001")
+        assert PointToPointHello.unpack(hello.pack()) == hello
+
+    def test_round_trip_full(self):
+        hello = PointToPointHello(
+            source_system_id="0000.0000.0001",
+            holding_time=27,
+            local_circuit_id=3,
+            three_way=ThreeWayAdjacencyTlv(
+                state=AdjacencyState.UP,
+                neighbor_system_id="0000.0000.0002",
+            ),
+            other_tlvs=(AreaAddressesTlv(areas=(bytes.fromhex("490001"),)),),
+        )
+        assert PointToPointHello.unpack(hello.pack()) == hello
+
+    def test_holding_time_validated(self):
+        with pytest.raises(ValueError):
+            PointToPointHello(source_system_id="0000.0000.0001", holding_time=-1)
+
+    def test_length_mismatch_rejected(self):
+        raw = PointToPointHello(source_system_id="0000.0000.0001").pack()
+        with pytest.raises(PduDecodeError):
+            PointToPointHello.unpack(raw + b"\x00")
+
+    def test_drives_adjacency_fsm(self):
+        """Decoded hellos carry exactly what the FSM consumes."""
+        fsm = AdjacencyStateMachine("0000.0000.0001", "0000.0000.0002")
+        first = PointToPointHello.unpack(
+            PointToPointHello(
+                source_system_id="0000.0000.0002",
+                three_way=ThreeWayAdjacencyTlv(state=AdjacencyState.DOWN),
+            ).pack()
+        )
+        fsm.hello_received(
+            1.0,
+            neighbor_sees=first.three_way.neighbor_system_id,
+            neighbor_state=first.three_way.state,
+        )
+        assert fsm.state is AdjacencyState.INITIALIZING
+        second = PointToPointHello.unpack(
+            PointToPointHello(
+                source_system_id="0000.0000.0002",
+                three_way=ThreeWayAdjacencyTlv(
+                    state=AdjacencyState.INITIALIZING,
+                    neighbor_system_id="0000.0000.0001",
+                ),
+            ).pack()
+        )
+        fsm.hello_received(
+            2.0,
+            neighbor_sees=second.three_way.neighbor_system_id,
+            neighbor_state=second.three_way.state,
+        )
+        assert fsm.is_up
+
+
+class TestSnpCodec:
+    def entries(self):
+        return (
+            LspSummary(LspId("0000.0000.0001"), 5, 900, 0x1234),
+            LspSummary(LspId("0000.0000.0002"), 9, 1100, 0xBEEF),
+        )
+
+    def test_csnp_round_trip(self):
+        csnp = CompleteSnp(
+            source_system_id="0000.0000.00ff", entries=self.entries()
+        )
+        assert CompleteSnp.unpack(csnp.pack()) == csnp
+
+    def test_psnp_round_trip(self):
+        psnp = PartialSnp(source_system_id="0000.0000.00ff", entries=self.entries())
+        assert PartialSnp.unpack(psnp.pack()) == psnp
+
+    def test_empty_csnp(self):
+        csnp = CompleteSnp(source_system_id="0000.0000.0001")
+        assert CompleteSnp.unpack(csnp.pack()).entries == ()
+
+    def test_many_entries_chunk_across_tlvs(self):
+        entries = tuple(
+            LspSummary(LspId(f"0000.0000.{i:04x}"), i + 1, 900, i)
+            for i in range(40)  # > 15 per TLV
+        )
+        csnp = CompleteSnp(source_system_id="0000.0000.00ff", entries=entries)
+        assert CompleteSnp.unpack(csnp.pack()).entries == entries
+
+    def test_csnp_rejects_wrong_type(self):
+        raw = PartialSnp(source_system_id="0000.0000.0001").pack()
+        with pytest.raises(PduDecodeError):
+            CompleteSnp.unpack(raw)
+
+    def test_length_mismatch_rejected(self):
+        raw = CompleteSnp(source_system_id="0000.0000.0001").pack()
+        with pytest.raises(PduDecodeError):
+            CompleteSnp.unpack(raw + b"\x00")
+
+
+class TestResyncDecision:
+    def test_summarize_database(self):
+        db = LinkStateDatabase()
+        db.consider(lsp(3, "0000.0000.0001"), 0.0)
+        db.consider(lsp(7, "0000.0000.0002"), 0.0)
+        summaries = summarize_database(db)
+        assert [s.sequence_number for s in summaries] == [3, 7]
+
+    def test_missing_or_stale(self):
+        local = LinkStateDatabase()
+        local.consider(lsp(3, "0000.0000.0001"), 0.0)  # stale vs remote's 5
+        local.consider(lsp(9, "0000.0000.0002"), 0.0)  # newer than remote's 7
+        remote = (
+            LspSummary(LspId("0000.0000.0001"), 5, 900, 0),
+            LspSummary(LspId("0000.0000.0002"), 7, 900, 0),
+            LspSummary(LspId("0000.0000.0003"), 1, 900, 0),  # missing locally
+        )
+        wanted = missing_or_stale(local, remote)
+        assert wanted == [LspId("0000.0000.0001"), LspId("0000.0000.0003")]
+
+    def test_restart_resync_round_trip(self):
+        """A restarted listener learns exactly what it lost via CSNP."""
+        router_db = LinkStateDatabase()
+        for i in range(1, 6):
+            router_db.consider(lsp(i + 10, f"0000.0000.{i:04x}"), 0.0)
+        csnp = CompleteSnp(
+            source_system_id="0000.0000.0001",
+            entries=summarize_database(router_db),
+        )
+        fresh_listener_db = LinkStateDatabase()
+        wanted = missing_or_stale(
+            fresh_listener_db, CompleteSnp.unpack(csnp.pack()).entries
+        )
+        assert len(wanted) == 5

@@ -1,0 +1,163 @@
+"""Unit and property tests for the IS-IS TLV codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isis.tlv import (
+    AreaAddressesTlv,
+    DynamicHostnameTlv,
+    ExtendedIpReachabilityTlv,
+    ExtendedIsReachabilityTlv,
+    IpPrefix,
+    IsNeighbor,
+    ProtocolsSupportedTlv,
+    RawTlv,
+    TlvDecodeError,
+    decode_tlvs,
+    encode_tlvs,
+)
+from repro.topology.addressing import system_id_for_index
+
+
+# ---------------------------------------------------------------- strategies
+system_ids = st.integers(min_value=0, max_value=2**48 - 1).map(system_id_for_index)
+
+is_neighbors = st.builds(
+    IsNeighbor,
+    system_id=system_ids,
+    metric=st.integers(min_value=0, max_value=2**24 - 1),
+    pseudonode=st.integers(min_value=0, max_value=255),
+)
+
+
+@st.composite
+def ip_prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=32))
+    raw = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    host_bits = 32 - length
+    prefix = (raw >> host_bits << host_bits) if host_bits else raw
+    metric = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return IpPrefix(prefix=prefix, prefix_length=length, metric=metric)
+
+
+tlvs_strategy = st.lists(
+    st.one_of(
+        st.builds(
+            ExtendedIsReachabilityTlv,
+            neighbors=st.lists(is_neighbors, max_size=10).map(tuple),
+        ),
+        st.builds(
+            ExtendedIpReachabilityTlv,
+            prefixes=st.lists(ip_prefixes(), max_size=10).map(tuple),
+        ),
+        st.builds(
+            DynamicHostnameTlv,
+            hostname=st.text(
+                alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1,
+                max_size=40,
+            ),
+        ),
+        st.builds(
+            AreaAddressesTlv,
+            areas=st.lists(
+                st.binary(min_size=1, max_size=13), min_size=1, max_size=3
+            ).map(tuple),
+        ),
+        st.builds(
+            ProtocolsSupportedTlv,
+            nlpids=st.lists(
+                st.integers(min_value=0, max_value=255), max_size=4
+            ).map(tuple),
+        ),
+        st.builds(
+            RawTlv,
+            tlv_type=st.sampled_from([2, 10, 99, 200]),  # unknown types
+            value=st.binary(max_size=40),
+        ),
+    ),
+    max_size=8,
+)
+
+
+class TestEntries:
+    def test_is_neighbor_pack_size(self):
+        assert len(IsNeighbor("0000.0000.0001", 10).pack()) == 11
+
+    def test_is_neighbor_metric_range(self):
+        with pytest.raises(ValueError):
+            IsNeighbor("0000.0000.0001", 2**24)
+
+    def test_ip_prefix_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IpPrefix(prefix=0x0A000001, prefix_length=24, metric=1)
+
+    def test_ip_prefix_text(self):
+        p = IpPrefix(prefix=0x89A40000, prefix_length=31, metric=10)
+        assert p.text == "137.164.0.0/31"
+
+    def test_ip_prefix_compact_encoding(self):
+        # A /8 prefix needs only one prefix octet on the wire.
+        p = IpPrefix(prefix=0x0A000000, prefix_length=8, metric=1)
+        assert len(p.pack()) == 5 + 1
+        q = IpPrefix(prefix=0, prefix_length=0, metric=1)
+        assert len(q.pack()) == 5
+
+    def test_truncated_is_entry_rejected(self):
+        with pytest.raises(TlvDecodeError):
+            IsNeighbor.unpack(b"\x00" * 5, 0)
+
+
+class TestFraming:
+    def test_round_trip_simple(self):
+        original = [
+            DynamicHostnameTlv(hostname="lax-core-01"),
+            ExtendedIsReachabilityTlv(
+                neighbors=(IsNeighbor("0000.0000.0002", 10),)
+            ),
+        ]
+        assert decode_tlvs(encode_tlvs(original)) == original
+
+    def test_unknown_tlv_passthrough(self):
+        raw = RawTlv(tlv_type=250, value=b"\x01\x02\x03")
+        assert decode_tlvs(encode_tlvs([raw])) == [raw]
+
+    def test_oversized_value_rejected(self):
+        too_many = ExtendedIsReachabilityTlv(
+            neighbors=tuple(
+                IsNeighbor(system_id_for_index(i), 1) for i in range(24)
+            )
+        )
+        with pytest.raises(ValueError, match="exceeds 255"):
+            encode_tlvs([too_many])
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(TlvDecodeError):
+            decode_tlvs(b"\x89")
+
+    def test_overrunning_value_rejected(self):
+        with pytest.raises(TlvDecodeError):
+            decode_tlvs(b"\x89\x05\x01")
+
+    def test_empty_buffer_is_no_tlvs(self):
+        assert decode_tlvs(b"") == []
+
+    def test_non_ascii_hostname_rejected_on_decode(self):
+        raw = bytes([137, 2, 0xC3, 0x28])  # invalid UTF-8/ASCII
+        with pytest.raises(TlvDecodeError):
+            decode_tlvs(raw)
+
+    def test_zero_length_area_rejected(self):
+        raw = bytes([1, 1, 0])  # area list with a zero-length entry
+        with pytest.raises(TlvDecodeError):
+            decode_tlvs(raw)
+
+    @given(tlvs_strategy)
+    @settings(max_examples=300)
+    def test_round_trip_property(self, tlvs):
+        try:
+            wire = encode_tlvs(tlvs)
+        except ValueError:
+            return  # oversized value: legitimate encode refusal
+        assert decode_tlvs(wire) == tlvs

@@ -1,0 +1,84 @@
+"""Property tests for the failure-matching algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import FailureEvent
+from repro.core.matching import MatchConfig, match_failures
+
+
+@st.composite
+def failure_lists(draw, source):
+    count = draw(st.integers(0, 15))
+    failures = []
+    for _ in range(count):
+        link = draw(st.sampled_from(["a", "b", "c"]))
+        start = draw(st.floats(0, 10_000))
+        duration = draw(st.floats(0.1, 500))
+        failures.append(FailureEvent(link, start, start + duration, source))
+    return failures
+
+
+windows = st.floats(min_value=0.0, max_value=60.0)
+
+
+class TestMatchingProperties:
+    @given(failure_lists("syslog"), failure_lists("isis-is"), windows)
+    @settings(max_examples=250)
+    def test_partition(self, a, b, window):
+        result = match_failures(a, b, MatchConfig(window=window))
+        assert result.matched_count + len(result.only_a) == len(a)
+        assert result.matched_count + len(result.only_b) == len(b)
+
+    @given(failure_lists("syslog"), failure_lists("isis-is"), windows)
+    @settings(max_examples=250)
+    def test_one_to_one(self, a, b, window):
+        result = match_failures(a, b, MatchConfig(window=window))
+        used_a = [id(x) for x, _ in result.pairs]
+        used_b = [id(y) for _, y in result.pairs]
+        assert len(used_a) == len(set(used_a))
+        assert len(used_b) == len(set(used_b))
+
+    @given(failure_lists("syslog"), failure_lists("isis-is"), windows)
+    @settings(max_examples=250)
+    def test_pairs_satisfy_criterion(self, a, b, window):
+        result = match_failures(a, b, MatchConfig(window=window))
+        for x, y in result.pairs:
+            assert x.link == y.link
+            assert abs(x.start - y.start) <= window + 1e-9
+            assert abs(x.end - y.end) <= window + 1e-9
+
+    @given(failure_lists("syslog"), windows)
+    @settings(max_examples=150)
+    def test_self_match_is_total(self, a, window):
+        """Matching a set against itself pairs everything."""
+        mirror = [
+            FailureEvent(f.link, f.start, f.end, "isis-is") for f in a
+        ]
+        result = match_failures(a, mirror, MatchConfig(window=window))
+        assert result.matched_count == len(a)
+
+    @given(failure_lists("syslog"), failure_lists("isis-is"))
+    @settings(max_examples=150)
+    def test_wider_window_never_matches_fewer(self, a, b):
+        narrow = match_failures(a, b, MatchConfig(window=1.0)).matched_count
+        wide = match_failures(a, b, MatchConfig(window=50.0)).matched_count
+        assert wide >= narrow
+
+    @given(failure_lists("syslog"), failure_lists("isis-is"), windows)
+    @settings(max_examples=150)
+    def test_match_count_symmetric(self, a, b, window):
+        """Greedy one-to-one matching yields the same pair count from
+        either direction (it is a maximal matching on an interval-like
+        compatibility graph ordered by time)."""
+        forward = match_failures(a, b, MatchConfig(window=window)).matched_count
+        backward = match_failures(b, a, MatchConfig(window=window)).matched_count
+        assert forward == backward
+
+    @given(failure_lists("syslog"), failure_lists("isis-is"), windows)
+    @settings(max_examples=150)
+    def test_partials_are_subsets_of_onlies(self, a, b, window):
+        result = match_failures(a, b, MatchConfig(window=window))
+        assert set(map(id, result.partial_a)) <= set(map(id, result.only_a))
+        assert set(map(id, result.partial_b)) <= set(map(id, result.only_b))

@@ -1,0 +1,306 @@
+"""Tests for the effects translation and the listener host."""
+
+import pytest
+
+from repro.intervals import Interval, IntervalSet
+from repro.simulation.effects import schedule_failure, schedule_media_flap
+from repro.simulation.engine import EventQueue
+from repro.simulation.failures import (
+    FailureCause,
+    GroundTruthFailure,
+    MediaFlapEvent,
+)
+from repro.simulation.listenerhost import ListenerHost, OutageParameters
+from repro.simulation.router import SimulatedRouter
+from repro.syslog.cisco import AdjacencyChangeMessage, LinkUpDownMessage
+from repro.topology.builder import NetworkBuilder
+from repro.topology.model import RouterClass
+from repro.util.rand import child_rng
+
+
+@pytest.fixture
+def harness():
+    b = NetworkBuilder()
+    b.add_router("a-core-01", RouterClass.CORE)
+    b.add_router("b-cpe-01", RouterClass.CPE)
+    link = b.add_link("a-core-01", "b-cpe-01")
+    net = b.build(validate=False)
+    engine = EventQueue()
+    emitted = []
+    floods = []
+    routers = {
+        name: SimulatedRouter(
+            net.routers[name], net, engine,
+            lambda t, r, l: floods.append((t, r.name, l)),
+        )
+        for name in net.routers
+    }
+    return net, link, engine, routers, emitted, floods
+
+
+def make_failure(link, **overrides):
+    base = dict(
+        link_id=link.link_id,
+        start=1000.0,
+        end=1060.0,
+        cause=FailureCause.PROTOCOL,
+        episode_id=1,
+        flap_member=False,
+        first_detector="a-core-01",
+        second_skew=2.0,
+        delayed_second=False,
+        repair_time=1058.0,
+    )
+    base.update(overrides)
+    return GroundTruthFailure(**base)
+
+
+def run_failure(harness, failure):
+    net, link, engine, routers, emitted, floods = harness
+    schedule_failure(
+        failure, link, routers, engine,
+        lambda t, entry: emitted.append((t, entry)),
+        child_rng(4, "fx"),
+    )
+    engine.run()
+    return emitted, floods
+
+
+class TestProtocolFailure:
+    def test_adjchange_messages_from_both_ends(self, harness):
+        emitted, _ = run_failure(harness, make_failure(harness[1]))
+        adj = [e for _, e in emitted if isinstance(e, AdjacencyChangeMessage)]
+        downs = [m for m in adj if m.direction == "down"]
+        ups = [m for m in adj if m.direction == "up"]
+        assert {m.router for m in downs} == {"a-core-01", "b-cpe-01"}
+        assert {m.router for m in ups} == {"a-core-01", "b-cpe-01"}
+
+    def test_no_media_messages(self, harness):
+        emitted, _ = run_failure(harness, make_failure(harness[1]))
+        assert not any(isinstance(e, LinkUpDownMessage) for _, e in emitted)
+
+    def test_prefix_untouched(self, harness):
+        net, link, *_ = harness
+        _, floods = run_failure(harness, make_failure(link))
+        for _, _, lsp in floods:
+            assert (link.subnet, 31) in {
+                (p.prefix, p.prefix_length) for p in lsp.ip_prefixes
+            }
+
+    def test_down_reason_is_hold_expiry(self, harness):
+        emitted, _ = run_failure(harness, make_failure(harness[1]))
+        downs = [
+            e for _, e in emitted
+            if isinstance(e, AdjacencyChangeMessage) and e.direction == "down"
+        ]
+        assert all(m.reason == "hold time expired" for m in downs)
+
+
+class TestPhysicalFailure:
+    def test_media_and_prefix_effects(self, harness):
+        net, link, engine, routers, emitted, floods = harness
+        failure = make_failure(link, cause=FailureCause.PHYSICAL)
+        run_failure(harness, failure)
+        media = [e for _, e in emitted if isinstance(e, LinkUpDownMessage)]
+        assert {m.direction for m in media} == {"down", "up"}
+        # The prefix must have been withdrawn in at least one flood.
+        withdrawn = any(
+            (link.subnet, 31)
+            not in {(p.prefix, p.prefix_length) for p in lsp.ip_prefixes}
+            for _, name, lsp in floods
+        )
+        assert withdrawn
+
+    def test_delayed_second_end_logs_hold_expiry_without_media(self, harness):
+        net, link, *_ = harness
+        failure = make_failure(
+            link, cause=FailureCause.PHYSICAL, delayed_second=True, second_skew=20.0
+        )
+        emitted, _ = run_failure(harness, failure)
+        second_msgs = [e for _, e in emitted if e.router == "b-cpe-01"]
+        assert all(isinstance(m, AdjacencyChangeMessage) for m in second_msgs)
+        downs = [m for m in second_msgs if m.direction == "down"]
+        assert downs and downs[0].reason == "hold time expired"
+
+
+class TestShortFailureSecondEnd:
+    def test_unnoticing_end_stays_silent(self, harness):
+        net, link, *_ = harness
+        failure = make_failure(link, end=1005.0, repair_time=1003.0, second_skew=10.0)
+        emitted, _ = run_failure(harness, failure)
+        assert all(e.router == "a-core-01" for _, e in emitted)
+
+    def test_unnoticing_end_keeps_advertising(self, harness):
+        net, link, engine, routers, emitted, floods = harness
+        failure = make_failure(link, end=1005.0, repair_time=1003.0, second_skew=10.0)
+        run_failure(harness, failure)
+        assert all(name == "a-core-01" for _, name, _ in floods)
+
+
+class TestSuppression:
+    def test_down_suppression_silences_down_phase_only(self, harness):
+        net, link, *_ = harness
+        failure = make_failure(link, suppress_down_syslog=True)
+        emitted, floods = run_failure(harness, failure)
+        directions = [e.direction for _, e in emitted]
+        assert "down" not in directions
+        assert "up" in directions
+        # LSP effects are NOT suppressed: the withdrawal still floods.
+        assert floods
+
+    def test_up_suppression_silences_recovery(self, harness):
+        net, link, *_ = harness
+        failure = make_failure(link, suppress_up_syslog=True)
+        emitted, _ = run_failure(harness, failure)
+        directions = [e.direction for _, e in emitted]
+        assert "up" not in directions
+        assert "down" in directions
+
+
+class TestBlips:
+    def test_abort_produces_up_down_pair_without_lsp(self, harness):
+        net, link, engine, routers, emitted, floods = harness
+        failure = make_failure(
+            link,
+            abort=True,
+            abort_delay=1.0,
+            abort_duration=0.5,
+            end=1063.0,
+        )
+        run_failure(harness, failure)
+        abort_msgs = [
+            e for _, e in emitted
+            if isinstance(e, AdjacencyChangeMessage)
+            and e.reason == "3-way handshake failed"
+        ]
+        assert len(abort_msgs) == 1
+        # LSP floods: exactly two content changes (down, up) — the abort
+        # never reaches the LSP channel.
+        assert len(floods) <= 4
+
+    def test_reset_produces_down_up_pair(self, harness):
+        net, link, *_ = harness
+        failure = make_failure(
+            link, reset=True, reset_delay=1.0, reset_duration=0.5
+        )
+        emitted, _ = run_failure(harness, failure)
+        reset_msgs = [
+            e for _, e in emitted
+            if isinstance(e, AdjacencyChangeMessage) and e.reason == "adjacency reset"
+        ]
+        assert len(reset_msgs) == 1
+
+
+class TestMediaFlap:
+    def test_media_flap_touches_prefix_not_adjacency(self, harness):
+        net, link, engine, routers, emitted, floods = harness
+        flap = MediaFlapEvent(link_id=link.link_id, start=500.0, end=510.0, episode_id=1)
+        schedule_media_flap(
+            flap, link, routers, engine,
+            lambda t, e: emitted.append((t, e)), child_rng(1, "mf"),
+        )
+        engine.run()
+        assert not any(isinstance(e, AdjacencyChangeMessage) for _, e in emitted)
+        assert any(isinstance(e, LinkUpDownMessage) for _, e in emitted)
+        for _, name, lsp in floods:
+            # IS reachability intact throughout.
+            assert len(lsp.is_neighbors) == 1
+
+    def test_silent_media_flap_emits_nothing(self, harness):
+        net, link, engine, routers, emitted, floods = harness
+        flap = MediaFlapEvent(
+            link_id=link.link_id, start=500.0, end=510.0, episode_id=1,
+            silent_down=True, silent_up=True,
+        )
+        schedule_media_flap(
+            flap, link, routers, engine,
+            lambda t, e: emitted.append((t, e)), child_rng(1, "mf"),
+        )
+        engine.run()
+        assert emitted == []
+        assert floods  # the IP withdrawal still happens
+
+
+class TestListenerHost:
+    def test_no_outages_at_zero_rate(self):
+        host = ListenerHost(
+            child_rng(1, "lo"), 0.0, 1e7, OutageParameters(rate_per_year=0.0)
+        )
+        assert not host.outages
+        assert host.is_online(5e6)
+
+    def test_outages_drawn_and_bounded(self):
+        host = ListenerHost(
+            child_rng(1, "lo"), 0.0, 400 * 86400.0,
+            OutageParameters(rate_per_year=10.0),
+        )
+        assert len(host.outages) >= 3
+        for outage in host.outages:
+            assert 0.0 <= outage.start < outage.end <= 400 * 86400.0
+
+    def test_is_online_respects_windows(self):
+        host = ListenerHost(
+            child_rng(1, "lo"), 0.0, 400 * 86400.0,
+            OutageParameters(rate_per_year=10.0),
+        )
+        outage = host.outages.intervals[0]
+        mid = (outage.start + outage.end) / 2
+        assert not host.is_online(mid)
+        assert host.is_online(outage.end + 1.0)
+
+    def test_resync_times_follow_outages(self):
+        params = OutageParameters(rate_per_year=10.0, resync_delay=30.0)
+        host = ListenerHost(child_rng(1, "lo"), 0.0, 400 * 86400.0, params)
+        resyncs = host.resync_times()
+        ended = [o.end for o in host.outages if o.end < 400 * 86400.0]
+        assert resyncs == [e + 30.0 for e in ended]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OutageParameters(rate_per_year=-1.0)
+        with pytest.raises(ValueError):
+            OutageParameters(duration_min=100.0, duration_max=50.0)
+        with pytest.raises(ValueError):
+            ListenerHost(child_rng(1, "x"), 10.0, 10.0)
+
+
+class TestReminders:
+    def test_down_reminder_emits_single_extra_down(self, harness):
+        net, link, *_ = harness
+        failure = make_failure(
+            harness[1],
+            end=1000.0 + 400.0,
+            repair_time=1000.0 + 398.0,
+            reminder_down_offset=200.0,
+        )
+        emitted, floods = run_failure(harness, failure)
+        downs = [
+            e for _, e in emitted
+            if isinstance(e, AdjacencyChangeMessage) and e.direction == "down"
+        ]
+        # Two real downs (one per end) + one reminder from the first
+        # detector, all with ordinary cause phrases.
+        assert len(downs) == 3
+        reminder_times = [t for t, e in emitted
+                          if isinstance(e, AdjacencyChangeMessage)
+                          and e.direction == "down" and t == 1200.0]
+        assert len(reminder_times) == 1
+        # The reminder is syslog-only: no third LSP-relevant state change.
+        assert all(name in (failure.first_detector, "b-cpe-01") for _, name, _ in floods)
+
+    def test_up_reminder_after_recovery(self, harness):
+        net, link, *_ = harness
+        failure = make_failure(harness[1], reminder_up_offset=100.0)
+        emitted, _ = run_failure(harness, failure)
+        ups = [
+            (t, e) for t, e in emitted
+            if isinstance(e, AdjacencyChangeMessage) and e.direction == "up"
+        ]
+        # Two real ups + the reminder at end+100.
+        assert len(ups) == 3
+        assert any(abs(t - (failure.end + 100.0)) < 1e-6 for t, _ in ups)
+
+    def test_no_reminders_by_default(self, harness):
+        emitted, _ = run_failure(harness, make_failure(harness[1]))
+        adj = [e for _, e in emitted if isinstance(e, AdjacencyChangeMessage)]
+        assert len(adj) == 4  # down+up per end, nothing else

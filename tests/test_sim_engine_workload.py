@@ -1,0 +1,200 @@
+"""Tests for the event engine and the workload generator."""
+
+import statistics
+
+import pytest
+
+from repro.simulation.engine import EventQueue
+from repro.simulation.failures import (
+    MIN_EPISODE_GAP,
+    FailureCause,
+    generate_link_workload,
+)
+from repro.simulation.workload import (
+    DurationMixture,
+    cenic_default_workload,
+)
+from repro.util.rand import child_rng
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(3.0, lambda: seen.append("c"))
+        q.schedule(1.0, lambda: seen.append("a"))
+        q.schedule(2.0, lambda: seen.append("b"))
+        assert q.run() == 3
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        seen = []
+        for label in "abc":
+            q.schedule(5.0, lambda l=label: seen.append(l))
+        q.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_until_bound_is_inclusive(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda: seen.append(1))
+        q.schedule(2.0, lambda: seen.append(2))
+        q.schedule(3.0, lambda: seen.append(3))
+        q.run(until=2.0)
+        assert seen == [1, 2]
+        assert len(q) == 1
+
+    def test_events_may_schedule_events(self):
+        q = EventQueue()
+        seen = []
+
+        def first():
+            seen.append("first")
+            q.schedule(q.now + 1.0, lambda: seen.append("second"))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert seen == ["first", "second"]
+
+    def test_scheduling_in_the_past_rejected_while_running(self):
+        q = EventQueue()
+
+        def bad():
+            q.schedule(q.now - 1.0, lambda: None)
+
+        q.schedule(5.0, bad)
+        with pytest.raises(ValueError):
+            q.run()
+
+    def test_now_tracks_execution(self):
+        q = EventQueue()
+        times = []
+        q.schedule(7.5, lambda: times.append(q.now))
+        q.run()
+        assert times == [7.5]
+
+
+class TestDurationMixture:
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            DurationMixture(components=())
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            DurationMixture(components=((1.0, 1.0, 5.0, 2.0),))
+
+    def test_sampling_stays_in_envelope(self):
+        mixture = DurationMixture(components=((1.0, 1.0, 2.0, 10.0), (1.0, 1.0, 50.0, 100.0)))
+        rng = child_rng(1, "mix")
+        for _ in range(1000):
+            value = mixture.sample(rng)
+            assert 2.0 <= value <= 10.0 or 50.0 <= value <= 100.0
+
+
+class TestWorkloadProfiles:
+    def test_defaults_valid(self):
+        workload = cenic_default_workload()
+        assert workload.core.episode_rate_median > 0
+        assert workload.cpe.episode_rate_median > workload.core.episode_rate_median
+
+    def test_lognormal_rate_median(self):
+        profile = cenic_default_workload().core
+        rng = child_rng(5, "rates")
+        rates = sorted(profile.sample_link_rate(rng) for _ in range(4000))
+        observed_median = rates[len(rates) // 2]
+        assert observed_median == pytest.approx(profile.episode_rate_median, rel=0.15)
+
+
+class TestLinkWorkloadGeneration:
+    HORIZON = 200 * 86400.0
+
+    def generate(self, seed=3, link_id="link-x"):
+        return generate_link_workload(
+            link_id,
+            ("r1", "r2"),
+            cenic_default_workload().cpe,
+            seed,
+            0.0,
+            self.HORIZON,
+        )
+
+    def test_deterministic(self):
+        a, b = self.generate(), self.generate()
+        assert [(f.start, f.end) for f in a.failures] == [
+            (f.start, f.end) for f in b.failures
+        ]
+
+    def test_different_links_differ(self):
+        a = self.generate(link_id="link-x")
+        b = self.generate(link_id="link-y")
+        assert [(f.start, f.end) for f in a.failures] != [
+            (f.start, f.end) for f in b.failures
+        ]
+
+    def test_failures_do_not_overlap(self):
+        workload = self.generate()
+        ordered = sorted(workload.failures, key=lambda f: f.start)
+        for first, second in zip(ordered, ordered[1:]):
+            assert second.start >= first.end
+
+    def test_episode_gap_enforced(self):
+        workload = self.generate()
+        by_episode = {}
+        for failure in workload.failures:
+            by_episode.setdefault(failure.episode_id, []).append(failure)
+        episodes = sorted(by_episode.values(), key=lambda fs: fs[0].start)
+        for first, second in zip(episodes, episodes[1:]):
+            gap = second[0].start - max(f.end for f in first)
+            assert gap >= MIN_EPISODE_GAP - 1e-6
+
+    def test_flap_members_share_episode(self):
+        workload = self.generate()
+        flap_episodes = {
+            f.episode_id for f in workload.failures if f.flap_member
+        }
+        for episode_id in flap_episodes:
+            members = [f for f in workload.failures if f.episode_id == episode_id]
+            assert len(members) >= 2
+            assert all(f.flap_member for f in members)
+            # Members obey the ten-minute flap rule.
+            ordered = sorted(members, key=lambda f: f.start)
+            for first, second in zip(ordered, ordered[1:]):
+                assert second.start - first.end < 600.0
+
+    def test_detection_fields_consistent(self):
+        workload = self.generate()
+        for failure in workload.failures:
+            assert failure.first_detector in ("r1", "r2")
+            assert failure.start <= failure.repair_time <= failure.end
+            if failure.cause is FailureCause.PROTOCOL:
+                assert not failure.delayed_second
+            if failure.abort:
+                assert failure.abort_delay > 0
+
+    def test_media_flaps_avoid_failures(self):
+        workload = self.generate()
+        for flap in workload.media_flaps:
+            for failure in workload.failures:
+                assert flap.end <= failure.start - 60.0 or flap.start >= failure.end + 60.0
+
+    def test_failures_may_be_censored_but_start_in_horizon(self):
+        workload = self.generate()
+        for failure in workload.failures:
+            assert 0.0 <= failure.start < self.HORIZON
+
+    def test_empty_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            generate_link_workload(
+                "l", ("a", "b"), cenic_default_workload().core, 1, 10.0, 10.0
+            )
+
+    def test_rates_heavy_tailed_across_links(self):
+        profile = cenic_default_workload().cpe
+        counts = []
+        for i in range(60):
+            workload = generate_link_workload(
+                f"link-{i}", ("a", "b"), profile, 17, 0.0, self.HORIZON
+            )
+            counts.append(len(workload.failures))
+        assert statistics.mean(counts) > statistics.median(counts)

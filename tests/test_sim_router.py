@@ -1,0 +1,154 @@
+"""Tests for the simulated router's LSP state and coalescing behaviour."""
+
+import pytest
+
+from repro.simulation.engine import EventQueue
+from repro.simulation.router import SimulatedRouter
+from repro.syslog.cisco import CiscoFlavor
+from repro.topology.builder import NetworkBuilder
+from repro.topology.model import RouterClass
+
+
+@pytest.fixture
+def setup():
+    """Core hub with a CPE neighbor (parallel pair) and a core neighbor."""
+    b = NetworkBuilder()
+    b.add_router("hub-core-01", RouterClass.CORE)
+    b.add_router("peer-core-01", RouterClass.CORE)
+    b.add_router("leaf-cpe-01", RouterClass.CPE)
+    core_link = b.add_link("hub-core-01", "peer-core-01")
+    leaf_a = b.add_link("hub-core-01", "leaf-cpe-01")
+    leaf_b = b.add_link("hub-core-01", "leaf-cpe-01")
+    net = b.build(validate=False)
+
+    engine = EventQueue()
+    floods = []
+
+    def on_flood(time, router, lsp):
+        floods.append((time, lsp))
+
+    router = SimulatedRouter(
+        net.routers["hub-core-01"], net, engine, on_flood,
+        lsp_generation_interval=5.0, initial_flood_delay=0.05,
+    )
+    return net, engine, floods, router, core_link, leaf_a, leaf_b
+
+
+class TestInitialState:
+    def test_everything_advertised_initially(self, setup):
+        net, _, _, router, core_link, leaf_a, leaf_b = setup
+        peer = net.routers["peer-core-01"].system_id
+        leaf = net.routers["leaf-cpe-01"].system_id
+        assert router.advertises_neighbor(peer)
+        assert router.advertises_neighbor(leaf)
+        for link in (core_link, leaf_a, leaf_b):
+            assert router.advertises_prefix((link.subnet, 31))
+
+    def test_flavor_from_class(self, setup):
+        net, engine, floods, router, *_ = setup
+        assert router.flavor is CiscoFlavor.IOS_XR
+        leaf_router = SimulatedRouter(
+            net.routers["leaf-cpe-01"], net, engine, lambda *a: None
+        )
+        assert leaf_router.flavor is CiscoFlavor.IOS
+
+    def test_lsp_content_reflects_state(self, setup):
+        net, _, _, router, core_link, *_ = setup
+        router.flood(0.0)
+        lsp = router.build_lsp()
+        assert lsp.hostname == "hub-core-01"
+        neighbor_ids = {n.system_id for n in lsp.is_neighbors}
+        assert neighbor_ids == {
+            net.routers["peer-core-01"].system_id,
+            net.routers["leaf-cpe-01"].system_id,
+        }
+        assert (core_link.subnet, 31) in {
+            (p.prefix, p.prefix_length) for p in lsp.ip_prefixes
+        }
+
+
+class TestMultiLinkCollapse:
+    def test_is_entry_survives_single_parallel_loss(self, setup):
+        net, engine, floods, router, _, leaf_a, leaf_b = setup
+        leaf = net.routers["leaf-cpe-01"].system_id
+        router.adjacency_down(10.0, leaf_a.link_id)
+        assert router.advertises_neighbor(leaf)  # leaf_b still up
+        router.adjacency_down(11.0, leaf_b.link_id)
+        assert not router.advertises_neighbor(leaf)
+
+    def test_metric_is_minimum_of_up_links(self, setup):
+        net, engine, floods, router, _, leaf_a, leaf_b = setup
+        lsp = router.build_lsp() if router._sequence_number else None
+        router.flood(0.0)
+        leaf = net.routers["leaf-cpe-01"].system_id
+        entry = [n for n in router.build_lsp().is_neighbors if n.system_id == leaf]
+        assert entry[0].metric == min(leaf_a.metric, leaf_b.metric)
+
+
+class TestFloodingBehaviour:
+    def test_change_triggers_flood_after_initial_delay(self, setup):
+        net, engine, floods, router, core_link, *_ = setup
+        router.adjacency_down(10.0, core_link.link_id)
+        engine.run()
+        assert len(floods) == 1
+        time, lsp = floods[0]
+        assert time == pytest.approx(10.05)
+        peer = net.routers["peer-core-01"].system_id
+        assert peer not in {n.system_id for n in lsp.is_neighbors}
+
+    def test_rapid_changes_coalesce(self, setup):
+        net, engine, floods, router, core_link, *_ = setup
+        # Down then up 1 second later: one flood showing the DOWN state
+        # (captured at +0.05), then a second flood ≥5 s after the first.
+        engine.schedule(10.0, lambda: router.adjacency_down(engine.now, core_link.link_id))
+        engine.schedule(11.0, lambda: router.adjacency_up(engine.now, core_link.link_id))
+        engine.run()
+        assert len(floods) == 2
+        assert floods[0][0] == pytest.approx(10.05)
+        assert floods[1][0] >= floods[0][0] + 5.0
+
+    def test_sub_interval_flap_is_invisible(self, setup):
+        """A down+up completing before the held-down regeneration fires
+        produces one LSP whose content equals the previous — the flap never
+        reaches the IS-IS channel (§4.1's IS-side blindness)."""
+        net, engine, floods, router, core_link, *_ = setup
+        router.flood(0.0)  # holds the next regeneration until t >= 5
+        baseline = floods[-1][1]
+        engine.schedule(1.0, lambda: router.adjacency_down(engine.now, core_link.link_id))
+        engine.schedule(1.2, lambda: router.adjacency_up(engine.now, core_link.link_id))
+        engine.run()
+        assert len(floods) == 2  # baseline + one coalesced regeneration
+        final = floods[-1][1]
+        assert floods[-1][0] == pytest.approx(5.0)
+        assert {n.system_id for n in final.is_neighbors} == {
+            n.system_id for n in baseline.is_neighbors
+        }
+
+    def test_sequence_numbers_increase(self, setup):
+        net, engine, floods, router, core_link, *_ = setup
+        router.flood(1.0)
+        router.flood(2.0)
+        seqs = [lsp.sequence_number for _, lsp in floods]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_no_flood_without_change(self, setup):
+        net, engine, floods, router, core_link, *_ = setup
+        router.adjacency_up(10.0, core_link.link_id)  # already up: no-op
+        router.prefix_up(10.0, core_link.link_id)  # already advertised
+        engine.run()
+        assert floods == []
+
+    def test_prefix_changes_flood_too(self, setup):
+        net, engine, floods, router, core_link, *_ = setup
+        router.prefix_down(10.0, core_link.link_id)
+        engine.run()
+        assert len(floods) == 1
+        prefixes = {(p.prefix, p.prefix_length) for p in floods[0][1].ip_prefixes}
+        assert (core_link.subnet, 31) not in prefixes
+
+    def test_packed_lsp_fits_wire_limits(self, setup):
+        net, engine, floods, router, *_ = setup
+        router.flood(0.0)
+        raw = floods[0][1].pack()
+        assert len(raw) < 1492  # classic IS-IS LSP MTU bound

@@ -1,0 +1,133 @@
+"""Integration tests for the scenario runner and dataset persistence."""
+
+import pytest
+
+from repro import ScenarioConfig, run_scenario
+from repro.simulation.dataset import Dataset
+from repro.syslog.collector import SyslogCollector
+from repro.isis.lsp import LinkStatePacket
+
+
+class TestScenarioRun:
+    def test_summary_consistency(self, small_dataset):
+        s = small_dataset.summary
+        assert s.router_count_core == 60
+        assert s.router_count_cpe == 175
+        assert s.link_count_core == 84
+        assert s.link_count_cpe == 215
+        assert s.config_file_count == 235
+        assert s.syslog_delivered == len(small_dataset.syslog_text.splitlines())
+        assert (
+            s.syslog_generated
+            == s.syslog_delivered - s.syslog_spurious + s.syslog_lost + s.syslog_inband_lost
+        )
+        assert s.lsp_record_count == len(small_dataset.lsp_records)
+        assert s.ground_truth_failure_count == len(
+            small_dataset.ground_truth_failures
+        )
+
+    def test_deterministic_for_seed(self, small_dataset):
+        again = run_scenario(ScenarioConfig(seed=11, duration_days=21.0))
+        assert again.syslog_text == small_dataset.syslog_text
+        assert again.lsp_records == small_dataset.lsp_records
+        assert len(again.ground_truth_failures) == len(
+            small_dataset.ground_truth_failures
+        )
+
+    def test_different_seed_differs(self, small_dataset):
+        other = run_scenario(ScenarioConfig(seed=12, duration_days=21.0))
+        assert other.syslog_text != small_dataset.syslog_text
+
+    def test_ground_truth_sorted_and_in_horizon(self, small_dataset):
+        failures = small_dataset.ground_truth_failures
+        starts = [f.start for f in failures]
+        assert starts == sorted(starts)
+        assert all(f.start >= small_dataset.analysis_start for f in failures)
+        assert all(f.start < small_dataset.horizon_end for f in failures)
+
+    def test_lsp_records_decode_and_are_time_ordered(self, small_dataset):
+        times = [t for t, _ in small_dataset.lsp_records]
+        assert times == sorted(times)
+        for time, raw in small_dataset.lsp_records[:200]:
+            lsp = LinkStatePacket.unpack(raw)
+            assert lsp.sequence_number >= 1
+
+    def test_syslog_log_parses_cleanly(self, small_dataset):
+        entries = SyslogCollector.parse_log(small_dataset.syslog_text)
+        assert entries
+        parsed = [e for e in entries if e.entry is not None]
+        assert len(parsed) == len(entries)  # only link messages are generated
+
+    def test_no_lsp_records_during_listener_outages(self, small_dataset):
+        for time, _ in small_dataset.lsp_records:
+            assert not small_dataset.listener_outages.contains(time)
+
+    def test_tickets_cover_long_ground_truth_failures(self, small_dataset):
+        network = small_dataset.network
+        long_failures = [
+            f for f in small_dataset.ground_truth_failures if f.duration >= 7200.0
+        ]
+        if not long_failures:
+            pytest.skip("no long failures in this small scenario")
+        confirmed = sum(
+            small_dataset.tickets.confirms(
+                network.links[f.link_id].canonical_name, f.start, f.end
+            )
+            for f in long_failures
+        )
+        assert confirmed / len(long_failures) >= 0.75
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_days=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_days=1.0, warmup=2 * 86400.0)
+
+    def test_inventory_matches_network(self, small_dataset):
+        assert len(small_dataset.inventory.links) == len(small_dataset.network.links)
+
+
+class TestDatasetPersistence:
+    def test_save_load_round_trip(self, small_dataset, tmp_path):
+        directory = tmp_path / "campaign"
+        small_dataset.save(directory)
+
+        assert (directory / "syslog.log").exists()
+        assert (directory / "isis.dump").exists()
+        assert (directory / "configs").is_dir()
+
+        loaded = Dataset.load(directory, small_dataset.network)
+        assert loaded.syslog_text == small_dataset.syslog_text
+        assert loaded.lsp_records == small_dataset.lsp_records
+        assert loaded.horizon_end == small_dataset.horizon_end
+        assert loaded.analysis_start == small_dataset.analysis_start
+        assert loaded.listener_outages == small_dataset.listener_outages
+        assert len(loaded.ground_truth_failures) == len(
+            small_dataset.ground_truth_failures
+        )
+        assert loaded.ground_truth_failures[0] == small_dataset.ground_truth_failures[0]
+        assert len(loaded.media_flaps) == len(small_dataset.media_flaps)
+        assert len(loaded.tickets) == len(small_dataset.tickets)
+        assert loaded.summary == small_dataset.summary
+
+    def test_loaded_inventory_is_remined(self, small_dataset, tmp_path):
+        directory = tmp_path / "campaign"
+        small_dataset.save(directory)
+        loaded = Dataset.load(directory, small_dataset.network)
+        assert len(loaded.inventory.links) == len(small_dataset.inventory.links)
+        assert (
+            loaded.inventory.hostname_to_system_id
+            == small_dataset.inventory.hostname_to_system_id
+        )
+
+    def test_analysis_equivalence_after_reload(self, small_dataset, tmp_path):
+        from repro import run_analysis
+
+        directory = tmp_path / "campaign"
+        small_dataset.save(directory)
+        loaded = Dataset.load(directory, small_dataset.network)
+        a = run_analysis(small_dataset)
+        b = run_analysis(loaded)
+        assert len(a.syslog_failures) == len(b.syslog_failures)
+        assert len(a.isis_failures) == len(b.isis_failures)
+        assert a.failure_match.matched_count == b.failure_match.matched_count

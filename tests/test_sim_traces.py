@@ -1,0 +1,135 @@
+"""Tests for trace export/import and trace-driven campaigns."""
+
+import pytest
+
+from repro import ScenarioConfig, run_analysis
+from repro.simulation.failures import FailureCause
+from repro.simulation.scenario import ScenarioRunner
+from repro.simulation.traces import (
+    TraceFormatError,
+    export_failures_csv,
+    parse_trace_csv,
+    workloads_from_trace,
+    write_failures_csv,
+)
+
+
+class TestExportParse:
+    def test_round_trip(self, small_dataset):
+        text = export_failures_csv(small_dataset.ground_truth_failures)
+        rows = parse_trace_csv(text)
+        assert len(rows) == len(small_dataset.ground_truth_failures)
+        first = small_dataset.ground_truth_failures[0]
+        link_id, start, end, cause, flap = rows[0]
+        assert link_id == first.link_id
+        assert start == pytest.approx(first.start, abs=0.002)
+        assert cause == first.cause
+        assert flap == first.flap_member
+
+    def test_write_file(self, small_dataset, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_failures_csv(small_dataset.ground_truth_failures[:10], path)
+        assert len(parse_trace_csv(path.read_text())) == 10
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_csv("a,b\n1,2\n")
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(TraceFormatError, match="bad times"):
+            parse_trace_csv("link_id,start,end\nl1,x,2\n")
+
+    def test_inverted_times_rejected(self):
+        with pytest.raises(TraceFormatError, match="exceed"):
+            parse_trace_csv("link_id,start,end\nl1,5,5\n")
+
+    def test_unknown_cause_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown cause"):
+            parse_trace_csv("link_id,start,end,cause\nl1,1,2,cosmic\n")
+
+    def test_cause_defaults_to_protocol(self):
+        rows = parse_trace_csv("link_id,start,end\nl1,1,2\n")
+        assert rows[0][3] is FailureCause.PROTOCOL
+
+    def test_extra_columns_ignored(self):
+        rows = parse_trace_csv(
+            "link_id,start,end,cause,flap_member,note\nl1,1,2,physical,1,hi\n"
+        )
+        assert rows[0][3] is FailureCause.PHYSICAL
+        assert rows[0][4] is True
+
+
+class TestWorkloadsFromTrace:
+    def make_trace(self, network, count=3):
+        link_id = sorted(network.links)[0]
+        lines = ["link_id,start,end,cause,flap_member"]
+        for i in range(count):
+            start = 10000.0 + i * 5000.0
+            lines.append(f"{link_id},{start},{start + 120.0},physical,0")
+        return link_id, "\n".join(lines) + "\n"
+
+    def test_builds_workloads(self, cenic_network):
+        link_id, trace = self.make_trace(cenic_network)
+        workloads = workloads_from_trace(trace, cenic_network, seed=5)
+        assert len(workloads) == 1
+        workload = workloads[0]
+        assert workload.link_id == link_id
+        assert len(workload.failures) == 3
+        for failure in workload.failures:
+            assert failure.cause is FailureCause.PHYSICAL
+            assert failure.end - failure.start >= 120.0
+
+    def test_unknown_link_rejected(self, cenic_network):
+        with pytest.raises(TraceFormatError, match="unknown link"):
+            workloads_from_trace(
+                "link_id,start,end\nghost,1,2\n", cenic_network, seed=1
+            )
+
+    def test_overlap_rejected(self, cenic_network):
+        link_id = sorted(cenic_network.links)[0]
+        trace = (
+            "link_id,start,end\n"
+            f"{link_id},100,500\n"
+            f"{link_id},300,700\n"
+        )
+        with pytest.raises(TraceFormatError, match="overlapping"):
+            workloads_from_trace(trace, cenic_network, seed=1)
+
+    def test_deterministic(self, cenic_network):
+        _, trace = self.make_trace(cenic_network)
+        a = workloads_from_trace(trace, cenic_network, seed=5)
+        b = workloads_from_trace(trace, cenic_network, seed=5)
+        assert a[0].failures == b[0].failures
+
+
+class TestTraceDrivenScenario:
+    def test_replay_produces_matching_dataset(self):
+        config = ScenarioConfig(seed=31, duration_days=7.0)
+        runner = ScenarioRunner(config)
+        network = runner.network()
+        link_id = sorted(network.links)[10]
+        trace = (
+            "link_id,start,end,cause,flap_member\n"
+            f"{link_id},100000,103600,physical,0\n"
+            f"{link_id},300000,300060,protocol,0\n"
+        )
+        workloads = workloads_from_trace(trace, network, seed=31)
+        dataset = runner.run(workloads=workloads)
+
+        assert len(dataset.ground_truth_failures) == 2
+        result = run_analysis(dataset)
+        canonical = network.links[link_id].canonical_name
+        # The hour-long failure must be visible in both channels.
+        isis_links = {f.link for f in result.isis_failures}
+        assert canonical in isis_links
+        long_isis = [
+            f for f in result.isis_failures if f.duration > 3000.0
+        ]
+        assert len(long_isis) == 1
+
+    def test_unknown_workload_link_rejected(self):
+        from repro.simulation.failures import LinkWorkload
+
+        runner = ScenarioRunner(ScenarioConfig(seed=31, duration_days=7.0))
+        with pytest.raises(ValueError, match="unknown link"):
+            runner.run(workloads=[LinkWorkload(link_id="ghost", episode_rate=0.0)])

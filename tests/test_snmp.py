@@ -1,0 +1,210 @@
+"""Tests for the SNMP polling channel."""
+
+import pytest
+
+from repro.core.events import FailureEvent
+from repro.core.matching import match_failures
+from repro.snmp import (
+    InterfaceSample,
+    PollParameters,
+    SnmpPoller,
+    reconstruct_from_samples,
+)
+
+
+def sample(time, up, link="l1", router="r1", interface="p0"):
+    return InterfaceSample(
+        time=time, router=router, interface=interface, link=link, oper_up=up
+    )
+
+
+class TestPollParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PollParameters(period=0)
+        with pytest.raises(ValueError):
+            PollParameters(poll_loss_probability=2.0)
+
+
+class TestReconstruction:
+    def test_simple_failure_midpoint_edges(self):
+        samples = [
+            sample(100.0, True),
+            sample(200.0, False),
+            sample(300.0, False),
+            sample(400.0, True),
+        ]
+        result = reconstruct_from_samples(samples)
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.start == 150.0  # midpoint of 100..200
+        assert failure.end == 350.0  # midpoint of 300..400
+        assert failure.source == "snmp"
+
+    def test_failure_between_sweeps_is_invisible(self):
+        samples = [sample(t, True) for t in (100.0, 200.0, 300.0)]
+        assert reconstruct_from_samples(samples).failures == []
+
+    def test_left_censored_down_not_a_failure(self):
+        samples = [sample(100.0, False), sample(200.0, True)]
+        result = reconstruct_from_samples(samples)
+        assert result.failures == []
+        assert result.censored_links == []  # ended, so fully accounted
+
+    def test_right_censored_down_recorded(self):
+        samples = [sample(100.0, True), sample(200.0, False)]
+        result = reconstruct_from_samples(samples)
+        assert result.failures == []
+        assert result.censored_links == ["l1"]
+
+    def test_either_end_down_means_link_down(self):
+        samples = [
+            sample(100.0, True, router="r1"),
+            sample(100.0, True, router="r2"),
+            sample(200.0, True, router="r1"),
+            sample(200.0, False, router="r2"),  # far end sees it
+            sample(300.0, True, router="r1"),
+            sample(300.0, True, router="r2"),
+        ]
+        result = reconstruct_from_samples(samples)
+        assert len(result.failures) == 1
+
+    def test_hole_in_series_bridged_by_surrounding_sweeps(self):
+        # Sweeps at 200/300 missing (unreachable agent): edges come from
+        # the answered neighbours.
+        samples = [
+            sample(100.0, True),
+            sample(400.0, False),
+            sample(500.0, True),
+        ]
+        result = reconstruct_from_samples(samples)
+        assert len(result.failures) == 1
+        assert result.failures[0].start == 250.0
+
+    def test_blind_sweep_accounting(self):
+        samples = [sample(100.0, True), sample(300.0, True)]
+        result = reconstruct_from_samples(samples, poll_times=[100.0, 200.0, 300.0])
+        assert result.blind_sweeps == 1
+
+    def test_multiple_links_independent(self):
+        samples = [
+            sample(100.0, True, link="a"),
+            sample(200.0, False, link="a"),
+            sample(300.0, True, link="a"),
+            sample(100.0, True, link="b"),
+            sample(200.0, True, link="b"),
+            sample(300.0, True, link="b"),
+        ]
+        result = reconstruct_from_samples(samples)
+        assert [f.link for f in result.failures] == ["a"]
+
+
+class TestPollerOnDataset:
+    @pytest.fixture(scope="class")
+    def poll_run(self, small_dataset):
+        poller = SnmpPoller(
+            small_dataset, PollParameters(period=300.0), seed=3
+        )
+        samples = poller.collect()
+        return poller, samples, reconstruct_from_samples(samples, poller.poll_times())
+
+    def test_samples_cover_every_link(self, small_dataset, poll_run):
+        _, samples, _ = poll_run
+        links = {s.link for s in samples}
+        expected = {l.canonical_name for l in small_dataset.network.links.values()}
+        assert links == expected
+
+    def test_sweep_count(self, small_dataset, poll_run):
+        poller, samples, _ = poll_run
+        expected = len(poller.poll_times())
+        span = small_dataset.horizon_end - small_dataset.analysis_start
+        assert expected == int(span // 300.0) or abs(expected - span / 300.0) <= 1
+
+    def test_finds_long_failures_only(self, small_dataset, poll_run):
+        """SNMP at 5-minute polls sees the long failures and misses the
+        short majority — the channel's defining bias."""
+        _, _, reconstruction = poll_run
+        gt = small_dataset.ground_truth_failures
+        long_truth = [f for f in gt if f.duration > 600.0]
+        short_truth = [f for f in gt if f.duration < 60.0]
+        assert len(reconstruction.failures) < len(gt)
+        assert len(reconstruction.failures) >= 0.5 * len(long_truth)
+        # Far fewer reconstructed failures than there are short truths —
+        # SNMP simply cannot see them.
+        assert len(reconstruction.failures) < len(short_truth) + 2 * len(long_truth)
+
+    def test_reconstructed_downtime_tracks_truth_loosely(
+        self, small_dataset, poll_run
+    ):
+        _, _, reconstruction = poll_run
+        network = small_dataset.network
+        truth_hours = sum(
+            min(f.end, small_dataset.horizon_end) - f.start
+            for f in small_dataset.ground_truth_failures
+        ) / 3600.0
+        snmp_hours = sum(f.duration for f in reconstruction.failures) / 3600.0
+        # Quantisation loses the short failures but edges only wobble by
+        # ±period/2 on the long ones that carry the downtime.
+        assert 0.5 * truth_hours <= snmp_hours <= 1.3 * truth_hours
+
+    def test_deterministic(self, small_dataset):
+        a = SnmpPoller(small_dataset, seed=5).collect()
+        b = SnmpPoller(small_dataset, seed=5).collect()
+        assert a == b
+
+    def test_matching_against_truth_with_period_window(self, small_dataset, poll_run):
+        """SNMP failures match ground truth when the window absorbs the
+        quantisation (±period/2 per edge)."""
+        _, _, reconstruction = poll_run
+        network = small_dataset.network
+        truth = [
+            FailureEvent(
+                link=network.links[f.link_id].canonical_name,
+                start=f.start,
+                end=min(f.end, small_dataset.horizon_end),
+                source="truth",
+            )
+            for f in small_dataset.ground_truth_failures
+            if f.duration > 900.0 and f.end < small_dataset.horizon_end
+        ]
+        from repro.core.matching import MatchConfig
+
+        result = match_failures(
+            reconstruction.failures, truth, MatchConfig(window=300.0)
+        )
+        if truth:
+            assert result.matched_count / len(truth) > 0.6
+
+
+class TestStreamingEquivalence:
+    def test_stream_matches_batch(self, small_dataset):
+        from repro.snmp import reconstruct_stream
+
+        poller = SnmpPoller(small_dataset, PollParameters(period=600.0), seed=6)
+        samples = poller.collect()
+        batch = reconstruct_from_samples(samples, poller.poll_times())
+        stream = reconstruct_stream(iter(samples), len(poller.poll_times()))
+        assert stream.failures == batch.failures
+        assert stream.censored_links == batch.censored_links
+        assert stream.blind_sweeps == batch.blind_sweeps
+
+
+class TestInBandBlindness:
+    def test_unreachable_agents_yield_no_rows(self, small_dataset):
+        """During a ground-truth isolation the cut-off router answers no
+        polls, while an out-of-band management network sees every agent."""
+        inband = SnmpPoller(
+            small_dataset,
+            PollParameters(period=300.0, poll_loss_probability=0.0, in_band=True),
+            seed=8,
+        )
+        oob = SnmpPoller(
+            small_dataset,
+            PollParameters(period=300.0, poll_loss_probability=0.0, in_band=False),
+            seed=8,
+        )
+        inband_rows = sum(1 for _ in inband.samples())
+        oob_rows = sum(1 for _ in oob.samples())
+        assert oob_rows >= inband_rows
+        interfaces = 2 * len(small_dataset.network.links)
+        assert oob_rows == len(oob.poll_times()) * interfaces

@@ -1,0 +1,128 @@
+"""Stateful property tests: the LSDB and the listener under random drives.
+
+hypothesis generates whole interaction sequences (arbitrary interleavings
+of floods, duplicates, stale copies, purges) and checks that the
+invariants hold at every step — the kind of ordering bugs unit tests
+rarely construct by hand.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.isis.database import LinkStateDatabase
+from repro.isis.listener import IsisListener
+from repro.isis.lsp import LinkStatePacket, LspId
+from repro.isis.tlv import ExtendedIsReachabilityTlv, IsNeighbor
+from repro.topology.addressing import system_id_for_index
+
+ORIGINS = [system_id_for_index(i) for i in range(1, 4)]
+NEIGHBORS = [system_id_for_index(i) for i in range(10, 14)]
+
+
+def make_lsp(origin, seqno, neighbor_indices, lifetime=1199):
+    neighbors = tuple(
+        IsNeighbor(NEIGHBORS[i], 10) for i in sorted(neighbor_indices)
+    )
+    tlvs = (
+        (ExtendedIsReachabilityTlv(neighbors=neighbors),) if neighbors else ()
+    )
+    return LinkStatePacket(
+        lsp_id=LspId(origin),
+        sequence_number=seqno,
+        remaining_lifetime=lifetime,
+        tlvs=tlvs,
+    )
+
+
+class LsdbMachine(RuleBasedStateMachine):
+    """The LSDB must always hold, per LSP ID, the highest sequence seen."""
+
+    def __init__(self):
+        super().__init__()
+        self.database = LinkStateDatabase()
+        self.highest = {}  # origin -> highest accepted seqno
+        self.clock = 0.0
+
+    @rule(
+        origin=st.sampled_from(ORIGINS),
+        seqno=st.integers(min_value=1, max_value=40),
+        neighbors=st.sets(st.integers(0, 3), max_size=4),
+    )
+    def consider(self, origin, seqno, neighbors):
+        self.clock += 1.0
+        lsp = make_lsp(origin, seqno, neighbors)
+        accepted = self.database.consider(lsp, self.clock)
+        previous = self.highest.get(origin)
+        if previous is None or seqno > previous:
+            assert accepted
+            self.highest[origin] = seqno
+        else:
+            assert not accepted
+
+    @rule(origin=st.sampled_from(ORIGINS))
+    def purge_current(self, origin):
+        self.clock += 1.0
+        current = self.highest.get(origin)
+        if current is None:
+            return
+        purge = make_lsp(origin, current, set(), lifetime=0)
+        stored = self.database.get(LspId(origin))
+        expect = not stored.lsp.is_purge()
+        assert self.database.consider(purge, self.clock) == expect
+
+    @invariant()
+    def stored_matches_model(self):
+        for origin, seqno in self.highest.items():
+            stored = self.database.get(LspId(origin))
+            assert stored is not None
+            assert stored.lsp.sequence_number == seqno
+
+
+class ListenerMachine(RuleBasedStateMachine):
+    """The listener's view must track the newest accepted advertisement,
+    and every emitted change must describe a genuine set difference."""
+
+    def __init__(self):
+        super().__init__()
+        self.listener = IsisListener()
+        self.clock = 0.0
+        self.highest = {}  # origin -> (seqno, frozenset(neighbors))
+        self.seen_first = set()
+
+    @rule(
+        origin=st.sampled_from(ORIGINS),
+        seqno=st.integers(min_value=1, max_value=60),
+        neighbors=st.sets(st.integers(0, 3), max_size=4),
+    )
+    def observe(self, origin, seqno, neighbors):
+        self.clock += 1.0
+        advertised = frozenset(NEIGHBORS[i] for i in neighbors)
+        previous = self.highest.get(origin)
+        changes = self.listener.observe(
+            self.clock, make_lsp(origin, seqno, neighbors)
+        )
+
+        if previous is not None and seqno <= previous[0]:
+            assert changes == []  # stale or duplicate: no effect
+            return
+
+        if previous is None:
+            assert changes == []  # first contact seeds silently
+        else:
+            downs = {c.target for c in changes if c.direction == "down"}
+            ups = {c.target for c in changes if c.direction == "up"}
+            assert downs == previous[1] - advertised
+            assert ups == advertised - previous[1]
+        self.highest[origin] = (seqno, advertised)
+
+    @invariant()
+    def view_matches_model(self):
+        for origin, (_, advertised) in self.highest.items():
+            assert self.listener.current_is_neighbors(origin) == advertised
+
+
+TestLsdbMachine = LsdbMachine.TestCase
+TestLsdbMachine.settings = settings(max_examples=60, stateful_step_count=40)
+TestListenerMachine = ListenerMachine.TestCase
+TestListenerMachine.settings = settings(max_examples=60, stateful_step_count=40)

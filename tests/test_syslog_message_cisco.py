@@ -1,0 +1,139 @@
+"""Tests for RFC 3164 framing and the Cisco message vocabulary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.syslog.cisco import (
+    AdjacencyChangeMessage,
+    CiscoFlavor,
+    LineProtoUpDownMessage,
+    LinkUpDownMessage,
+    MessageCategory,
+    parse_cisco_body,
+)
+from repro.syslog.message import (
+    Facility,
+    Severity,
+    SyslogMessage,
+    SyslogParseError,
+    parse_syslog_line,
+)
+
+
+class TestSyslogMessage:
+    def test_priority_encoding(self):
+        msg = SyslogMessage(0.0, "r1", "x", Facility.LOCAL7, Severity.NOTICE)
+        assert msg.priority == 23 * 8 + 5
+
+    def test_render_parse_round_trip(self):
+        msg = SyslogMessage(12.345, "lax-core-01", "%TEST-5-THING: hello")
+        assert parse_syslog_line(msg.render()) == msg
+
+    def test_multiline_body_rejected(self):
+        with pytest.raises(ValueError):
+            SyslogMessage(0.0, "r1", "two\nlines").render()
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SyslogParseError):
+            parse_syslog_line("not a syslog line")
+
+    def test_pri_out_of_range_rejected(self):
+        with pytest.raises(SyslogParseError):
+            parse_syslog_line("<999>Oct 20 00:00:00.000 r1 body")
+
+    @given(
+        time=st.floats(min_value=0, max_value=300 * 86400.0),
+        host=st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Ll", "Nd"), whitelist_characters="-."
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        facility=st.sampled_from(list(Facility)),
+        severity=st.sampled_from(list(Severity)),
+    )
+    @settings(max_examples=200)
+    def test_round_trip_property(self, time, host, facility, severity):
+        msg = SyslogMessage(time, host, "%X-1-Y: body text", facility, severity)
+        recovered = parse_syslog_line(msg.render())
+        assert recovered.hostname == msg.hostname
+        assert recovered.body == msg.body
+        assert recovered.facility == msg.facility
+        assert recovered.severity == msg.severity
+        assert abs(recovered.timestamp - msg.timestamp) < 0.001 + 1e-6
+
+
+class TestAdjacencyChangeMessage:
+    def test_ios_round_trip(self):
+        original = AdjacencyChangeMessage(
+            router="cust001-cpe-01",
+            interface="GigabitEthernet0/0",
+            neighbor_hostname="lax-core-01",
+            direction="down",
+            reason="hold time expired",
+            flavor=CiscoFlavor.IOS,
+        )
+        body = original.render_body()
+        assert body.startswith("%CLNS-5-ADJCHANGE")
+        assert parse_cisco_body("cust001-cpe-01", body) == original
+
+    def test_ios_xr_round_trip(self):
+        original = AdjacencyChangeMessage(
+            router="lax-core-01",
+            interface="TenGigE0/0/0",
+            neighbor_hostname="cust001-cpe-01",
+            direction="up",
+            reason="new adjacency",
+            flavor=CiscoFlavor.IOS_XR,
+        )
+        body = original.render_body()
+        assert body.startswith("%ROUTING-ISIS-4-ADJCHANGE")
+        assert parse_cisco_body("lax-core-01", body) == original
+
+    def test_reasonless_round_trip(self):
+        original = AdjacencyChangeMessage(
+            router="r1", interface="Gi0/0", neighbor_hostname="r2", direction="up"
+        )
+        assert parse_cisco_body("r1", original.render_body()) == original
+
+    def test_category_is_isis(self):
+        msg = AdjacencyChangeMessage("r", "i", "n", "up")
+        assert msg.category is MessageCategory.ISIS
+
+    def test_severity_tracks_flavor(self):
+        ios = AdjacencyChangeMessage("r", "i", "n", "up", flavor=CiscoFlavor.IOS)
+        xr = AdjacencyChangeMessage("r", "i", "n", "up", flavor=CiscoFlavor.IOS_XR)
+        assert ios.severity == Severity.NOTICE
+        assert xr.severity == Severity.WARNING
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            AdjacencyChangeMessage("r", "i", "n", "sideways")
+
+    def test_to_syslog_carries_router_as_hostname(self):
+        msg = AdjacencyChangeMessage("r9", "i", "n", "up").to_syslog(5.0)
+        assert msg.hostname == "r9"
+        assert msg.timestamp == 5.0
+
+
+class TestMediaMessages:
+    def test_link_round_trip(self):
+        original = LinkUpDownMessage("r1", "TenGigE0/0/0", "down")
+        assert parse_cisco_body("r1", original.render_body()) == original
+
+    def test_lineproto_round_trip(self):
+        original = LineProtoUpDownMessage("r1", "TenGigE0/0/0", "up")
+        assert parse_cisco_body("r1", original.render_body()) == original
+
+    def test_category_physical(self):
+        assert LinkUpDownMessage("r", "i", "up").category is MessageCategory.PHYSICAL
+        assert (
+            LineProtoUpDownMessage("r", "i", "up").category
+            is MessageCategory.PHYSICAL
+        )
+
+    def test_unrelated_body_returns_none(self):
+        assert parse_cisco_body("r1", "%SYS-5-CONFIG_I: Configured from console") is None
+        assert parse_cisco_body("r1", "random chatter") is None

@@ -1,0 +1,229 @@
+"""Tests for the lossy UDP channel and the central collector."""
+
+import pytest
+
+from repro.syslog.collector import SyslogCollector
+from repro.syslog.message import SyslogMessage
+from repro.syslog.transport import (
+    DeliveryRecord,
+    LossyUdpChannel,
+    TransportParameters,
+)
+from repro.util.rand import child_rng
+
+
+def channel(**overrides):
+    return LossyUdpChannel(
+        child_rng(1, "test-transport"), TransportParameters(**overrides)
+    )
+
+
+def msg(time, host="r1", body="%X-1-Y: body"):
+    return SyslogMessage(time, host, body)
+
+
+class TestTransportParameters:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            TransportParameters(base_loss_probability=1.5)
+        with pytest.raises(ValueError):
+            TransportParameters(spurious_retransmit_probability=-0.1)
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            TransportParameters(min_delay=2.0, max_delay=1.0)
+
+    def test_burst_threshold_validation(self):
+        with pytest.raises(ValueError):
+            TransportParameters(burst_threshold=0)
+
+
+class TestLoss:
+    def test_no_loss_when_probability_zero(self):
+        ch = channel(
+            base_loss_probability=0.0,
+            down_loss_bonus=0.0,
+            burst_loss_probability=0.0,
+            spurious_retransmit_probability=0.0,
+        )
+        for i in range(100):
+            ch.send(msg(i * 1000.0))
+        assert ch.loss_count() == 0
+        assert len(ch.delivered()) == 100
+
+    def test_total_loss_when_probability_one(self):
+        ch = channel(
+            base_loss_probability=1.0,
+            down_loss_bonus=0.0,
+            burst_loss_probability=1.0,
+        )
+        for i in range(50):
+            ch.send(msg(i * 1000.0))
+        assert ch.loss_count() == 50
+        assert ch.delivered() == []
+
+    def test_baseline_loss_rate(self):
+        ch = channel(
+            base_loss_probability=0.1,
+            down_loss_bonus=0.0,
+            spurious_retransmit_probability=0.0,
+        )
+        for i in range(5000):
+            ch.send(msg(i * 1000.0))  # far apart: never a burst
+        rate = ch.loss_count() / 5000
+        assert 0.07 <= rate <= 0.13
+
+    def test_burst_loss_kicks_in(self):
+        ch = channel(
+            base_loss_probability=0.0,
+            down_loss_bonus=0.0,
+            burst_loss_probability=0.9,
+            burst_threshold=3,
+            burst_window=60.0,
+            spurious_retransmit_probability=0.0,
+        )
+        for i in range(200):
+            ch.send(msg(1000.0 + i, host="flappy"))
+        # First two messages are pre-burst, the rest face 90% loss.
+        assert ch.loss_count() > 150
+
+    def test_burst_tracking_is_per_router(self):
+        ch = channel(
+            base_loss_probability=0.0,
+            down_loss_bonus=0.0,
+            burst_loss_probability=1.0,
+            burst_threshold=3,
+            burst_window=60.0,
+            spurious_retransmit_probability=0.0,
+        )
+        # Interleave two routers; each sends only 2 messages in-window.
+        for i in range(2):
+            ch.send(msg(1000.0 + i, host="r1"))
+            ch.send(msg(1000.0 + i, host="r2"))
+        assert ch.loss_count() == 0
+
+    def test_down_messages_lose_more(self):
+        down_body = "%LINK-3-UPDOWN: Interface Gi0/0, changed state to down"
+        up_body = "%LINK-3-UPDOWN: Interface Gi0/0, changed state to up"
+        losses = {}
+        for label, body in (("down", down_body), ("up", up_body)):
+            ch = LossyUdpChannel(
+                child_rng(9, f"bias-{label}"),
+                TransportParameters(
+                    base_loss_probability=0.05,
+                    down_loss_bonus=0.15,
+                    spurious_retransmit_probability=0.0,
+                ),
+            )
+            for i in range(8000):
+                ch.send(msg(i * 1000.0, body=body))
+            losses[label] = ch.loss_count()
+        assert losses["down"] > losses["up"] * 2
+
+
+class TestSpuriousRetransmission:
+    def test_spurious_copy_has_new_timestamp(self):
+        ch = channel(
+            base_loss_probability=0.0,
+            down_loss_bonus=0.0,
+            spurious_retransmit_probability=1.0,
+            spurious_min_delay=5.0,
+            spurious_max_delay=5.0,
+        )
+        records = ch.send(msg(100.0))
+        assert len(records) == 2
+        primary, copy = records
+        assert not primary.spurious and copy.spurious
+        assert copy.message.timestamp == 105.0
+        assert copy.message.body == primary.message.body
+
+    def test_lost_primary_spawns_no_copy(self):
+        ch = channel(
+            base_loss_probability=1.0,
+            down_loss_bonus=0.0,
+            spurious_retransmit_probability=1.0,
+        )
+        records = ch.send(msg(100.0))
+        assert len(records) == 1
+        assert not records[0].delivered
+
+
+class TestDelivery:
+    def test_delivery_order_is_arrival_order(self):
+        ch = channel(base_loss_probability=0.0, down_loss_bonus=0.0,
+                     spurious_retransmit_probability=0.0)
+        for t in (500.0, 100.0, 300.0):
+            ch.send(msg(t))
+        arrivals = [r.arrival_time for r in ch.delivered()]
+        assert arrivals == sorted(arrivals)
+
+    def test_delay_bounds_respected(self):
+        ch = channel(
+            base_loss_probability=0.0,
+            down_loss_bonus=0.0,
+            min_delay=0.1,
+            max_delay=0.5,
+            spurious_retransmit_probability=0.0,
+        )
+        for i in range(200):
+            ch.send(msg(i * 1000.0))
+        for record in ch.delivered():
+            delay = record.arrival_time - record.sent_time
+            assert 0.1 <= delay <= 0.5
+
+
+class TestCollector:
+    def test_receives_only_delivered(self):
+        collector = SyslogCollector()
+        lost = DeliveryRecord(msg(1.0), 1.0, arrival_time=None)
+        with pytest.raises(ValueError):
+            collector.receive(lost)
+
+    def test_receive_all_filters_lost(self):
+        collector = SyslogCollector()
+        records = [
+            DeliveryRecord(msg(1.0), 1.0, arrival_time=1.5),
+            DeliveryRecord(msg(2.0), 2.0, arrival_time=None),
+        ]
+        assert collector.receive_all(records) == 1
+        assert len(collector) == 1
+
+    def test_log_round_trip(self):
+        collector = SyslogCollector()
+        bodies = [
+            "%CLNS-5-ADJCHANGE: ISIS: Adjacency to lax-core-01 (GigabitEthernet0/0) Down, hold time expired",
+            "%LINK-3-UPDOWN: Interface GigabitEthernet0/0, changed state to down",
+            "unrelated chatter",
+        ]
+        for i, body in enumerate(bodies):
+            collector.receive(
+                DeliveryRecord(msg(float(i), body=body), float(i), arrival_time=i + 0.5)
+            )
+        entries = SyslogCollector.parse_log(collector.render_log())
+        assert len(entries) == 3
+        assert entries[0].entry is not None
+        assert entries[1].entry is not None
+        assert entries[2].entry is None  # unparseable body kept raw
+        assert entries[2].raw_body == "unrelated chatter"
+
+    def test_write_and_read_file(self, tmp_path):
+        collector = SyslogCollector()
+        collector.receive(DeliveryRecord(msg(1.0), 1.0, arrival_time=1.1))
+        path = tmp_path / "syslog.log"
+        collector.write_log(path)
+        assert len(SyslogCollector.read_log(path)) == 1
+
+    def test_year_ambiguity_resolved_by_monotonic_read(self):
+        """Messages 13 months apart on the same calendar date stay ordered.
+
+        The log's steady stream of intermediate traffic is what carries the
+        year context forward — exactly how a real collector's file reads.
+        """
+        collector = SyslogCollector()
+        times = [5 * 86400.0, 200 * 86400.0, 369 * 86400.0, 370 * 86400.0]
+        # times[0] and times[3] render to the same calendar date (Oct 25).
+        for t in times:
+            collector.receive(DeliveryRecord(msg(t), t, arrival_time=t))
+        entries = SyslogCollector.parse_log(collector.render_log())
+        for t, entry in zip(times, entries):
+            assert entry.generated_time == pytest.approx(t)

@@ -1,0 +1,105 @@
+"""Tests for trouble ticket generation and the long-failure cross-check."""
+
+import pytest
+
+from repro.ticketing import TicketParameters, TicketSystem, TroubleTicket
+from repro.util.rand import child_rng
+
+
+class TestTroubleTicket:
+    def test_inverted_times_rejected(self):
+        with pytest.raises(ValueError):
+            TroubleTicket("T1", "link", open_time=10.0, close_time=5.0, summary="")
+
+    def test_span(self):
+        ticket = TroubleTicket("T1", "link", 10.0, 20.0, "outage")
+        assert ticket.span.duration == 10.0
+
+
+class TestTicketParameters:
+    def test_coverage_is_probability(self):
+        with pytest.raises(ValueError):
+            TicketParameters(coverage=1.5)
+
+    def test_negative_lags_rejected(self):
+        with pytest.raises(ValueError):
+            TicketParameters(max_open_lag=-1.0)
+
+
+class TestGeneration:
+    def test_short_outages_never_ticketed(self):
+        rng = child_rng(1, "tickets")
+        system = TicketSystem.from_ground_truth(
+            [("l1", 0.0, 600.0)],
+            rng,
+            TicketParameters(min_duration=1800.0, coverage=1.0),
+        )
+        assert len(system) == 0
+
+    def test_long_outages_ticketed_at_full_coverage(self):
+        rng = child_rng(1, "tickets")
+        system = TicketSystem.from_ground_truth(
+            [("l1", 0.0, 7200.0), ("l2", 100.0, 90000.0)],
+            rng,
+            TicketParameters(coverage=1.0),
+        )
+        assert len(system) == 2
+
+    def test_coverage_fraction_respected(self):
+        rng = child_rng(1, "tickets")
+        outages = [(f"l{i}", i * 1e5, i * 1e5 + 7200.0) for i in range(2000)]
+        system = TicketSystem.from_ground_truth(
+            outages, rng, TicketParameters(coverage=0.8)
+        )
+        assert 1500 <= len(system) <= 1700
+
+    def test_open_close_lags_within_bounds(self):
+        rng = child_rng(1, "tickets")
+        params = TicketParameters(coverage=1.0, max_open_lag=900.0, max_close_lag=3600.0)
+        system = TicketSystem.from_ground_truth([("l1", 1000.0, 9000.0)], rng, params)
+        (ticket,) = system.tickets_for("l1")
+        assert 1000.0 <= ticket.open_time <= 1900.0
+        assert 9000.0 <= ticket.close_time <= 12600.0
+
+    def test_ids_unique(self):
+        rng = child_rng(1, "tickets")
+        outages = [(f"l{i}", 0.0, 7200.0) for i in range(50)]
+        system = TicketSystem.from_ground_truth(
+            outages, rng, TicketParameters(coverage=1.0)
+        )
+        ids = [t.ticket_id for link in (f"l{i}" for i in range(50)) for t in system.tickets_for(link)]
+        assert len(ids) == len(set(ids))
+
+
+class TestConfirms:
+    @pytest.fixture
+    def system(self):
+        return TicketSystem(
+            [TroubleTicket("T1", "l1", open_time=10000.0, close_time=96400.0, summary="")]
+        )
+
+    def test_matching_both_edges_confirms(self, system):
+        assert system.confirms("l1", 9000.0, 95000.0, slack=7200.0)
+
+    def test_wrong_link_not_confirmed(self, system):
+        assert not system.confirms("l2", 9000.0, 95000.0, slack=7200.0)
+
+    def test_week_long_claim_not_vouched_by_short_ticket(self, system):
+        # The spurious-downtime case of §4.2: a claimed outage stretching
+        # far past the ticket's close must not be confirmed.
+        assert not system.confirms("l1", 9000.0, 9000.0 + 14 * 86400.0, slack=7200.0)
+
+    def test_start_mismatch_not_confirmed(self, system):
+        assert not system.confirms("l1", 9000.0 - 10 * 86400.0, 95000.0, slack=7200.0)
+
+    def test_overlaps_any_is_weaker(self, system):
+        assert system.overlaps_any("l1", 9000.0, 9000.0 + 14 * 86400.0)
+
+    def test_generated_long_outage_round_trip(self):
+        """An outage ticketed by the generator must confirm itself."""
+        rng = child_rng(3, "tickets")
+        params = TicketParameters(coverage=1.0)
+        system = TicketSystem.from_ground_truth(
+            [("l1", 50000.0, 50000.0 + 2 * 86400.0)], rng, params
+        )
+        assert system.confirms("l1", 50000.0, 50000.0 + 2 * 86400.0, slack=7200.0)

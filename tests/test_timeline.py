@@ -1,0 +1,205 @@
+"""Unit and property tests for link state timelines and ambiguity handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Interval, IntervalSet
+from repro.intervals.timeline import (
+    DOWN,
+    UP,
+    AmbiguityStrategy,
+    LinkState,
+    LinkStateTimeline,
+)
+
+
+def build(transitions, strategy=AmbiguityStrategy.PREVIOUS_STATE, horizon=(0.0, 100.0)):
+    return LinkStateTimeline.from_transitions(
+        transitions, horizon[0], horizon[1], strategy=strategy
+    )
+
+
+class TestCleanSequences:
+    def test_empty_stream_is_all_up(self):
+        t = build([])
+        assert t.up_intervals == IntervalSet([Interval(0, 100)])
+        assert t.downtime() == 0
+
+    def test_single_failure(self):
+        t = build([(10, DOWN), (20, UP)])
+        assert t.down_intervals == IntervalSet([Interval(10, 20)])
+        assert t.downtime() == 10
+
+    def test_two_failures(self):
+        t = build([(10, DOWN), (20, UP), (50, DOWN), (55, UP)])
+        assert t.downtime() == 15
+        assert len(t.down_spans()) == 2
+
+    def test_state_at(self):
+        t = build([(10, DOWN), (20, UP)])
+        assert t.state_at(5) is LinkState.UP
+        assert t.state_at(10) is LinkState.DOWN
+        assert t.state_at(19.999) is LinkState.DOWN
+        assert t.state_at(20) is LinkState.UP
+
+    def test_state_at_outside_horizon_rejected(self):
+        t = build([])
+        with pytest.raises(ValueError):
+            t.state_at(100.0)
+        with pytest.raises(ValueError):
+            t.state_at(-0.1)
+
+    def test_transitions_outside_horizon_ignored(self):
+        t = build([(-5, DOWN), (150, DOWN)])
+        assert t.downtime() == 0
+
+    def test_inverted_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            LinkStateTimeline.from_transitions([], 10, 0)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            build([(10, "sideways")])
+
+
+class TestCensoring:
+    def test_down_at_horizon_end_is_censored(self):
+        t = build([(90, DOWN)])
+        assert t.downtime() == 10
+        assert t.down_spans() == []  # censored: no complete failure
+        assert len(t.down_spans(include_censored=True)) == 1
+
+    def test_initial_state_down_is_censored_left(self):
+        t = build(
+            [(10, UP)],
+            strategy=AmbiguityStrategy.PREVIOUS_STATE,
+        )
+        # Default initial state is UP, so an Up at 10 agrees with it — no
+        # downtime at all.
+        assert t.downtime() == 0
+
+    def test_explicit_initial_down(self):
+        t = LinkStateTimeline.from_transitions(
+            [(10, UP)], 0, 100, initial_state=LinkState.DOWN
+        )
+        assert t.down_intervals == IntervalSet([Interval(0, 10)])
+        assert t.down_spans() == []  # censored on the left
+
+
+class TestAmbiguity:
+    DOUBLE_DOWN = [(10, DOWN), (30, DOWN), (40, UP)]
+    DOUBLE_UP = [(10, DOWN), (20, UP), (50, UP)]
+
+    def test_double_down_records_anomaly(self):
+        t = build(self.DOUBLE_DOWN)
+        assert len(t.anomalies) == 1
+        anomaly = t.anomalies[0]
+        assert anomaly.direction == DOWN
+        assert (anomaly.window_start, anomaly.window_end) == (10, 30)
+        assert anomaly.duration == 20
+
+    def test_previous_state_keeps_link_down_across_double_down(self):
+        t = build(self.DOUBLE_DOWN, AmbiguityStrategy.PREVIOUS_STATE)
+        assert t.down_intervals == IntervalSet([Interval(10, 40)])
+
+    def test_assume_up_splits_double_down_into_two_failures(self):
+        t = build(self.DOUBLE_DOWN, AmbiguityStrategy.ASSUME_UP)
+        assert t.down_intervals == IntervalSet([Interval(10, 10), Interval(30, 40)])
+        assert len(t.down_spans()) == 2 or len(t.down_spans()) == 1
+
+    def test_assume_down_equals_previous_state_for_double_down(self):
+        a = build(self.DOUBLE_DOWN, AmbiguityStrategy.ASSUME_DOWN)
+        b = build(self.DOUBLE_DOWN, AmbiguityStrategy.PREVIOUS_STATE)
+        assert a.down_intervals == b.down_intervals
+
+    def test_discard_marks_window_ambiguous(self):
+        t = build(self.DOUBLE_DOWN, AmbiguityStrategy.DISCARD)
+        assert t.ambiguous_intervals == IntervalSet([Interval(10, 30)])
+        assert t.down_intervals == IntervalSet([Interval(30, 40)])
+
+    def test_double_up_previous_state_stays_up(self):
+        t = build(self.DOUBLE_UP, AmbiguityStrategy.PREVIOUS_STATE)
+        assert t.down_intervals == IntervalSet([Interval(10, 20)])
+
+    def test_double_up_assume_down_creates_phantom_downtime(self):
+        t = build(self.DOUBLE_UP, AmbiguityStrategy.ASSUME_DOWN)
+        assert t.down_intervals == IntervalSet([Interval(10, 20), Interval(20, 50)])
+
+    def test_first_message_agreeing_with_initial_state_is_not_anomalous(self):
+        t = build([(5, UP), (10, DOWN), (20, UP)])
+        assert t.anomalies == ()
+
+    def test_triple_down_creates_two_anomalies(self):
+        t = build([(10, DOWN), (20, DOWN), (30, DOWN), (40, UP)])
+        assert len(t.anomalies) == 2
+        assert t.down_intervals == IntervalSet([Interval(10, 40)])
+
+
+class TestSpanInvariants:
+    @staticmethod
+    def transitions_strategy():
+        return st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=99.9),
+                st.sampled_from([UP, DOWN]),
+            ),
+            max_size=30,
+        )
+
+    @given(transitions_strategy(), st.sampled_from(list(AmbiguityStrategy)))
+    @settings(max_examples=300)
+    def test_spans_tile_horizon(self, transitions, strategy):
+        t = build(transitions, strategy)
+        spans = t.spans
+        assert spans[0].start == 0.0
+        assert spans[-1].end == 100.0
+        for first, second in zip(spans, spans[1:]):
+            assert first.end == second.start
+            assert first.state != second.state
+
+    @given(transitions_strategy(), st.sampled_from(list(AmbiguityStrategy)))
+    @settings(max_examples=300)
+    def test_state_partition_measures_sum_to_horizon(self, transitions, strategy):
+        t = build(transitions, strategy)
+        total = (
+            t.up_intervals.total_duration()
+            + t.down_intervals.total_duration()
+            + t.ambiguous_intervals.total_duration()
+        )
+        assert total == pytest.approx(100.0)
+
+    @given(transitions_strategy())
+    @settings(max_examples=300)
+    def test_only_discard_produces_ambiguous_time(self, transitions):
+        for strategy in (
+            AmbiguityStrategy.PREVIOUS_STATE,
+            AmbiguityStrategy.ASSUME_DOWN,
+            AmbiguityStrategy.ASSUME_UP,
+        ):
+            assert build(transitions, strategy).ambiguous_intervals == IntervalSet()
+
+    @given(transitions_strategy())
+    @settings(max_examples=300)
+    def test_anomaly_count_independent_of_strategy(self, transitions):
+        counts = {
+            strategy: len(build(transitions, strategy).anomalies)
+            for strategy in AmbiguityStrategy
+        }
+        assert len(set(counts.values())) == 1
+
+    @given(transitions_strategy())
+    @settings(max_examples=300)
+    def test_assume_down_dominates_downtime(self, transitions):
+        """ASSUME_DOWN yields at least as much downtime as any strategy."""
+        down = build(transitions, AmbiguityStrategy.ASSUME_DOWN).downtime()
+        for strategy in AmbiguityStrategy:
+            assert down >= build(transitions, strategy).downtime() - 1e-9
+
+    @given(transitions_strategy())
+    @settings(max_examples=300)
+    def test_state_at_consistent_with_down_intervals(self, transitions):
+        t = build(transitions, AmbiguityStrategy.PREVIOUS_STATE)
+        for probe in (0.0, 25.0, 50.0, 75.0, 99.9):
+            in_down = t.down_intervals.contains(probe)
+            assert (t.state_at(probe) is LinkState.DOWN) == in_down

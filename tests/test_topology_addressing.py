@@ -1,0 +1,128 @@
+"""Unit tests for OSI and IPv4 addressing helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.addressing import (
+    Ipv4SubnetAllocator,
+    format_ipv4,
+    net_for_system_id,
+    parse_ipv4,
+    parse_system_id,
+    prefix_mask,
+    system_id_for_index,
+    system_id_from_bytes,
+    system_id_from_net,
+    system_id_to_bytes,
+)
+
+
+class TestSystemIds:
+    def test_format(self):
+        assert system_id_for_index(1) == "0000.0000.0001"
+        assert system_id_for_index(0xABCDEF) == "0000.00ab.cdef"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            system_id_for_index(-1)
+        with pytest.raises(ValueError):
+            system_id_for_index(2**48)
+
+    def test_parse_inverse(self):
+        assert parse_system_id("0000.00ab.cdef") == 0xABCDEF
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("0000.0000", "xxxx.0000.0001", "0000-0000-0001", "0000.0000.00010"):
+            with pytest.raises(ValueError):
+                parse_system_id(bad)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    @settings(max_examples=200)
+    def test_round_trip_index(self, index):
+        assert parse_system_id(system_id_for_index(index)) == index
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    @settings(max_examples=200)
+    def test_round_trip_bytes(self, index):
+        text = system_id_for_index(index)
+        assert system_id_from_bytes(system_id_to_bytes(text)) == text
+
+    def test_bytes_length_checked(self):
+        with pytest.raises(ValueError):
+            system_id_from_bytes(b"\x00" * 5)
+
+
+class TestNets:
+    def test_net_format(self):
+        assert net_for_system_id("0000.0000.0001") == "49.0001.0000.0000.0001.00"
+
+    def test_net_custom_area(self):
+        assert net_for_system_id("0000.0000.0001", area="00ff").startswith("49.00ff.")
+
+    def test_net_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            net_for_system_id("0000.0000.0001", area="zz")
+
+    def test_extract_system_id(self):
+        assert system_id_from_net("49.0001.0000.0000.0001.00") == "0000.0000.0001"
+
+    def test_extract_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            system_id_from_net("47.0001.0000.0000.0001.00")
+
+
+class TestIpv4:
+    def test_parse_format(self):
+        assert parse_ipv4("137.164.0.1") == 0x89A40001
+        assert format_ipv4(0x89A40001) == "137.164.0.1"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(2**32)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200)
+    def test_round_trip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+    @pytest.mark.parametrize(
+        "length,mask",
+        [(0, "0.0.0.0"), (8, "255.0.0.0"), (31, "255.255.255.254"), (32, "255.255.255.255")],
+    )
+    def test_prefix_mask(self, length, mask):
+        assert prefix_mask(length) == mask
+
+    def test_prefix_mask_range_checked(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+
+
+class TestAllocator:
+    def test_consecutive_even_subnets(self):
+        allocator = Ipv4SubnetAllocator("10.0.0.0")
+        first, second, third = (allocator.allocate() for _ in range(3))
+        assert (first, second, third) == (
+            parse_ipv4("10.0.0.0"),
+            parse_ipv4("10.0.0.2"),
+            parse_ipv4("10.0.0.4"),
+        )
+
+    def test_all_allocations_distinct(self):
+        allocator = Ipv4SubnetAllocator()
+        seen = {allocator.allocate() for _ in range(1000)}
+        assert len(seen) == 1000
+        assert all(subnet % 2 == 0 for subnet in seen)
+
+    def test_odd_base_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4SubnetAllocator("10.0.0.1")
+
+    def test_only_slash_31(self):
+        with pytest.raises(ValueError):
+            Ipv4SubnetAllocator("10.0.0.0", prefix_length=30)

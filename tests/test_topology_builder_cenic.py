@@ -1,0 +1,142 @@
+"""Tests for the network builder and the CENIC-like generator."""
+
+import dataclasses
+
+import networkx as nx
+import pytest
+
+from repro.topology.builder import NetworkBuilder
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+from repro.topology.model import LinkClass, RouterClass
+
+
+class TestNetworkBuilder:
+    def test_basic_build(self):
+        b = NetworkBuilder()
+        b.add_router("x-core-01", RouterClass.CORE)
+        b.add_router("y-cpe-01", RouterClass.CPE)
+        link = b.add_link("x-core-01", "y-cpe-01")
+        net = b.build()
+        assert link.link_class is LinkClass.CPE
+        assert len(net.links) == 1
+
+    def test_system_ids_sequential_and_unique(self):
+        b = NetworkBuilder()
+        routers = [b.add_router(f"r{i}-core-01", RouterClass.CORE) for i in range(5)]
+        assert len({r.system_id for r in routers}) == 5
+
+    def test_ports_unique_per_router(self):
+        b = NetworkBuilder()
+        b.add_router("a-core-01", RouterClass.CORE)
+        b.add_router("b-core-01", RouterClass.CORE)
+        first = b.add_link("a-core-01", "b-core-01")
+        second = b.add_link("a-core-01", "b-core-01")
+        assert first.port_on("a-core-01") != second.port_on("a-core-01")
+
+    def test_parallel_links_produce_multilink_pair(self):
+        b = NetworkBuilder()
+        b.add_router("a-core-01", RouterClass.CORE)
+        b.add_router("b-core-01", RouterClass.CORE)
+        b.add_link("a-core-01", "b-core-01")
+        b.add_link("a-core-01", "b-core-01")
+        net = b.build()
+        assert net.multi_link_pairs() == [frozenset({"a-core-01", "b-core-01"})]
+
+    def test_unknown_router_rejected(self):
+        b = NetworkBuilder()
+        b.add_router("a-core-01", RouterClass.CORE)
+        with pytest.raises(ValueError):
+            b.add_link("a-core-01", "ghost")
+
+    def test_port_stems_by_class(self):
+        b = NetworkBuilder()
+        b.add_router("a-core-01", RouterClass.CORE)
+        b.add_router("b-cpe-01", RouterClass.CPE)
+        link = b.add_link("a-core-01", "b-cpe-01")
+        assert link.port_on("a-core-01").startswith("TenGigE")
+        assert link.port_on("b-cpe-01").startswith("GigabitEthernet")
+
+
+class TestCenicGenerator:
+    def test_default_matches_table1(self, cenic_network):
+        net = cenic_network
+        assert len(net.core_routers()) == 60
+        assert len(net.cpe_routers()) == 175
+        assert len(net.core_links()) == 84
+        assert len(net.cpe_links()) == 215
+        assert len(net.multi_link_pairs()) == 26
+        assert len(net.sites) == 120
+
+    def test_deterministic_for_seed(self):
+        a = build_cenic_like_network(CenicParameters(seed=5))
+        b = build_cenic_like_network(CenicParameters(seed=5))
+        assert sorted(a.links) == sorted(b.links)
+        assert {l.subnet for l in a.links.values()} == {
+            l.subnet for l in b.links.values()
+        }
+        pairs_a = sorted(tuple(sorted(l.device_pair)) for l in a.links.values())
+        pairs_b = sorted(tuple(sorted(l.device_pair)) for l in b.links.values())
+        assert pairs_a == pairs_b
+
+    def test_seeds_differ(self):
+        a = build_cenic_like_network(CenicParameters(seed=5))
+        b = build_cenic_like_network(CenicParameters(seed=6))
+        pairs_a = sorted(tuple(sorted(l.device_pair)) for l in a.links.values())
+        pairs_b = sorted(tuple(sorted(l.device_pair)) for l in b.links.values())
+        assert pairs_a != pairs_b
+
+    def test_connected_and_valid(self, cenic_network):
+        cenic_network.validate()
+
+    def test_two_connected_backbone(self, cenic_network):
+        """Rings mean no single core link cut disconnects the backbone."""
+        core_names = {r.name for r in cenic_network.core_routers()}
+        g = nx.Graph()
+        for link in cenic_network.core_links():
+            g.add_edge(link.router_a, link.router_b)
+        g.add_nodes_from(core_names)
+        assert nx.is_connected(g)
+        assert nx.edge_connectivity(g) >= 2
+
+    def test_every_site_attached_and_every_cpe_serves_a_site(self, cenic_network):
+        attached = set()
+        for site in cenic_network.sites.values():
+            attached.update(site.attachment_routers)
+        cpe_names = {r.name for r in cenic_network.cpe_routers()}
+        assert attached == cpe_names
+
+    def test_parameter_accounting_properties(self):
+        params = CenicParameters(seed=1)
+        assert params.core_count == 60
+        assert params.core_link_count == 84
+        assert params.cpe_link_count == 215
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CenicParameters(hub_count=2)
+        with pytest.raises(ValueError):
+            CenicParameters(cpe_count=10, cpe_dual_homed=6, cpe_parallel_homed=6)
+        with pytest.raises(ValueError):
+            CenicParameters(site_count=500)
+
+    def test_scaled_down_variant(self):
+        params = CenicParameters(
+            seed=3,
+            hub_count=4,
+            region_size=2,
+            cross_link_count=1,
+            core_parallel_pairs=2,
+            cpe_count=20,
+            cpe_dual_homed=3,
+            cpe_parallel_homed=2,
+            site_count=15,
+        )
+        net = build_cenic_like_network(params)
+        assert len(net.core_routers()) == params.core_count
+        assert len(net.core_links()) == params.core_link_count
+        assert len(net.cpe_links()) == params.cpe_link_count
+        net.validate()
+
+    def test_unique_subnets_across_all_links(self, cenic_network):
+        subnets = [l.subnet for l in cenic_network.links.values()]
+        assert len(subnets) == len(set(subnets))

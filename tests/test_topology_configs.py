@@ -1,0 +1,122 @@
+"""Tests for config rendering and the config miner (§3.4's inventory path)."""
+
+import pytest
+
+from repro.topology.addressing import format_ipv4
+from repro.topology.cenic import CenicParameters, build_cenic_like_network
+from repro.topology.configgen import render_all_configs, render_config
+from repro.topology.configmine import ConfigArchive, mine_configs
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_cenic_like_network(CenicParameters(seed=42))
+
+
+@pytest.fixture(scope="module")
+def mined(network):
+    archive = ConfigArchive()
+    for hostname, text in render_all_configs(network).items():
+        archive.add(hostname, text)
+    return mine_configs(archive)
+
+
+class TestRenderConfig:
+    def test_contains_hostname_and_net(self, network):
+        name = sorted(network.routers)[0]
+        text = render_config(network, name)
+        router = network.routers[name]
+        assert f"hostname {name}" in text
+        assert router.system_id in text
+        assert "router isis cenic" in text
+
+    def test_every_interface_rendered(self, network):
+        name = sorted(network.routers)[0]
+        text = render_config(network, name)
+        for interface in network.interfaces_of(name):
+            assert f"interface {interface.name}" in text
+            assert interface.address_text in text
+
+    def test_descriptions_name_the_far_end(self, network):
+        name = sorted(network.routers)[0]
+        text = render_config(network, name)
+        for link in network.links_of(name):
+            far = link.other_end(name)
+            assert f"Link to {far} {link.port_on(far)}" in text
+
+    def test_all_configs_rendered(self, network):
+        configs = render_all_configs(network)
+        assert set(configs) == set(network.routers)
+
+
+class TestConfigMining:
+    def test_recovers_every_link(self, network, mined):
+        assert len(mined.links) == len(network.links)
+        assert not mined.unpaired_interfaces
+
+    def test_recovers_hostname_mapping(self, network, mined):
+        assert len(mined.hostname_to_system_id) == len(network.routers)
+        for name, router in network.routers.items():
+            assert mined.hostname_to_system_id[name] == router.system_id
+            assert mined.system_id_to_hostname[router.system_id] == name
+
+    def test_recovered_links_have_correct_endpoints(self, network, mined):
+        truth = {
+            link.canonical_name: link.subnet for link in network.links.values()
+        }
+        for link in mined.links:
+            assert truth[link.canonical_name] == link.subnet
+
+    def test_unpaired_interface_reported(self):
+        archive = ConfigArchive()
+        archive.add(
+            "lonely",
+            "hostname lonely-cpe-01\n"
+            "interface GigabitEthernet0/0\n"
+            " description Link to nobody GigabitEthernet0/0\n"
+            " ip address 10.0.0.0 255.255.255.254\n"
+            "!\n"
+            "router isis cenic\n"
+            " net 49.0001.0000.0000.0001.00\n",
+        )
+        inventory = mine_configs(archive)
+        assert inventory.links == []
+        assert len(inventory.unpaired_interfaces) == 1
+        assert inventory.unpaired_interfaces[0].router == "lonely-cpe-01"
+
+    def test_config_without_hostname_skipped(self):
+        archive = ConfigArchive()
+        archive.add("broken", "interface Gi0/0\n ip address 10.0.0.0 255.255.255.254\n")
+        inventory = mine_configs(archive)
+        assert inventory.interfaces == []
+
+    def test_later_snapshot_wins(self, network):
+        # Two snapshots of the same router: the second (sorted later)
+        # changes an address; mining must reflect exactly one interface
+        # record per (router, port).
+        archive = ConfigArchive()
+        base = (
+            "hostname twice-cpe-01\n"
+            "interface GigabitEthernet0/0\n"
+            " ip address {addr} 255.255.255.254\n"
+            "!\n"
+            "router isis cenic\n"
+            " net 49.0001.0000.0000.0009.00\n"
+        )
+        archive.add("a-snapshot", base.format(addr="10.0.0.0"))
+        archive.add("b-snapshot", base.format(addr="10.0.0.2"))
+        inventory = mine_configs(archive)
+        assert len(inventory.interfaces) == 1
+        assert format_ipv4(inventory.interfaces[0].address) == "10.0.0.2"
+
+    def test_description_metadata_recovered(self, mined):
+        assert all(
+            interface.described_far_router is not None
+            for interface in mined.interfaces
+        )
+
+    def test_archive_len(self, network):
+        archive = ConfigArchive()
+        for hostname, text in render_all_configs(network).items():
+            archive.add(hostname, text)
+        assert len(archive) == len(network.routers)

@@ -1,0 +1,110 @@
+"""Tests for time-varying reachability (isolation/in-band loss substrate)."""
+
+import pytest
+
+from repro.intervals import Interval, IntervalSet
+from repro.topology.builder import NetworkBuilder
+from repro.topology.connectivity import unreachable_intervals
+from repro.topology.model import RouterClass
+
+
+@pytest.fixture
+def line_network():
+    """root — mid — leaf (CPE), plus a ring alternative root—alt—mid."""
+    b = NetworkBuilder()
+    b.add_router("a-core-01", RouterClass.CORE)  # root (alphabetical first)
+    b.add_router("m-core-01", RouterClass.CORE)
+    b.add_router("x-alt-core-01", RouterClass.CORE)
+    b.add_router("z-cpe-01", RouterClass.CPE)
+    links = {}
+    links["root-mid"] = b.add_link("a-core-01", "m-core-01").link_id
+    links["root-alt"] = b.add_link("a-core-01", "x-alt-core-01").link_id
+    links["alt-mid"] = b.add_link("m-core-01", "x-alt-core-01").link_id
+    links["mid-leaf"] = b.add_link("m-core-01", "z-cpe-01").link_id
+    return b.build(), links
+
+
+class TestUnreachableIntervals:
+    def test_no_failures_nothing_unreachable(self, line_network):
+        net, _ = line_network
+        result = unreachable_intervals(net, {}, 0.0, 100.0)
+        assert all(not intervals for intervals in result.values())
+
+    def test_leaf_cut_by_single_link(self, line_network):
+        net, links = line_network
+        down = {links["mid-leaf"]: IntervalSet([Interval(10, 20)])}
+        result = unreachable_intervals(net, down, 0.0, 100.0)
+        assert result["z-cpe-01"] == IntervalSet([Interval(10, 20)])
+        assert not result["m-core-01"]
+
+    def test_ring_protects_mid_router(self, line_network):
+        net, links = line_network
+        down = {links["root-mid"]: IntervalSet([Interval(10, 20)])}
+        result = unreachable_intervals(net, down, 0.0, 100.0)
+        # mid is still reachable via the alternate path through x-alt.
+        assert not result["m-core-01"]
+        assert not result["z-cpe-01"]
+
+    def test_double_cut_isolates_mid_and_leaf(self, line_network):
+        net, links = line_network
+        down = {
+            links["root-mid"]: IntervalSet([Interval(10, 30)]),
+            links["alt-mid"]: IntervalSet([Interval(20, 40)]),
+        }
+        result = unreachable_intervals(net, down, 0.0, 100.0)
+        # Isolated only while both cuts overlap.
+        assert result["m-core-01"] == IntervalSet([Interval(20, 30)])
+        assert result["z-cpe-01"] == IntervalSet([Interval(20, 30)])
+
+    def test_unreachability_extends_to_horizon_when_still_down(self, line_network):
+        net, links = line_network
+        down = {links["mid-leaf"]: IntervalSet([Interval(90, 150)])}
+        result = unreachable_intervals(net, down, 0.0, 100.0)
+        assert result["z-cpe-01"] == IntervalSet([Interval(90, 100)])
+
+    def test_root_never_unreachable(self, line_network):
+        net, links = line_network
+        down = {
+            name: IntervalSet([Interval(0, 100)]) for name in links.values()
+        }
+        result = unreachable_intervals(net, down, 0.0, 100.0)
+        assert not result["a-core-01"]
+
+    def test_explicit_root(self, line_network):
+        net, links = line_network
+        down = {links["mid-leaf"]: IntervalSet([Interval(10, 20)])}
+        result = unreachable_intervals(net, down, 0.0, 100.0, root="m-core-01")
+        assert result["z-cpe-01"] == IntervalSet([Interval(10, 20)])
+        # From mid's perspective the root side is reachable via ring anyway.
+        assert not result["a-core-01"]
+
+    def test_unknown_root_rejected(self, line_network):
+        net, _ = line_network
+        with pytest.raises(ValueError):
+            unreachable_intervals(net, {}, 0.0, 100.0, root="ghost")
+
+    def test_unknown_link_rejected(self, line_network):
+        net, _ = line_network
+        with pytest.raises(KeyError):
+            unreachable_intervals(
+                net, {"no-such-link": IntervalSet([Interval(0, 1)])}, 0.0, 100.0
+            )
+
+    def test_empty_horizon_rejected(self, line_network):
+        net, _ = line_network
+        with pytest.raises(ValueError):
+            unreachable_intervals(net, {}, 10.0, 10.0)
+
+    def test_parallel_links_require_both_down(self):
+        b = NetworkBuilder()
+        b.add_router("a-core-01", RouterClass.CORE)
+        b.add_router("b-cpe-01", RouterClass.CPE)
+        first = b.add_link("a-core-01", "b-cpe-01").link_id
+        second = b.add_link("a-core-01", "b-cpe-01").link_id
+        net = b.build(validate=False)
+        down = {
+            first: IntervalSet([Interval(0, 50)]),
+            second: IntervalSet([Interval(40, 80)]),
+        }
+        result = unreachable_intervals(net, down, 0.0, 100.0)
+        assert result["b-cpe-01"] == IntervalSet([Interval(40, 50)])

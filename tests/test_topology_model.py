@@ -1,0 +1,192 @@
+"""Unit tests for the network object model."""
+
+import pytest
+
+from repro.topology.model import (
+    CustomerSite,
+    Link,
+    LinkClass,
+    Network,
+    Router,
+    RouterClass,
+)
+
+
+def make_router(name, cls=RouterClass.CORE, sysid=None):
+    index = abs(hash(name)) % 1000 + 1
+    return Router(
+        name=name,
+        router_class=cls,
+        system_id=sysid or f"0000.0000.{index:04x}",
+    )
+
+
+def make_link(a, b, link_id="link-1", subnet=0x89A40000, **kwargs):
+    (ra, pa), (rb, pb) = sorted([(a, "p0"), (b, "p0")])
+    return Link(
+        link_id=link_id,
+        router_a=ra,
+        port_a=pa,
+        router_b=rb,
+        port_b=pb,
+        subnet=subnet,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def tiny_network():
+    net = Network()
+    net.add_router(make_router("a-core-01", sysid="0000.0000.0001"))
+    net.add_router(make_router("b-core-01", sysid="0000.0000.0002"))
+    net.add_router(make_router("c-cpe-01", RouterClass.CPE, "0000.0000.0003"))
+    net.add_link(make_link("a-core-01", "b-core-01", "l-ab", 0x89A40000))
+    net.add_link(
+        make_link(
+            "b-core-01", "c-cpe-01", "l-bc", 0x89A40002, link_class=LinkClass.CPE
+        )
+    )
+    net.add_link(
+        make_link(
+            "a-core-01", "c-cpe-01", "l-ac", 0x89A40004, link_class=LinkClass.CPE
+        )
+    )
+    net.add_site(CustomerSite("site-1", ("c-cpe-01",)))
+    return net
+
+
+class TestLink:
+    def test_canonical_order_enforced(self):
+        with pytest.raises(ValueError):
+            Link("l", "z-router", "p0", "a-router", "p0", 0x89A40000)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Link("l", "a", "p0", "a", "p1", 0x89A40000)
+
+    def test_odd_subnet_rejected(self):
+        with pytest.raises(ValueError):
+            make_link("a", "b", subnet=0x89A40001)
+
+    def test_other_end_and_port(self):
+        link = make_link("a", "b")
+        assert link.other_end("a") == "b"
+        assert link.other_end("b") == "a"
+        with pytest.raises(ValueError):
+            link.other_end("z")
+
+    def test_addresses_split_across_ends(self):
+        link = make_link("a", "b", subnet=0x89A40000)
+        assert {link.address_on("a"), link.address_on("b")} == {
+            0x89A40000,
+            0x89A40001,
+        }
+
+    def test_canonical_name(self):
+        link = make_link("a", "b")
+        assert link.canonical_name == "(a:p0, b:p0)"
+
+
+class TestNetworkConstruction:
+    def test_duplicate_router_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.add_router(make_router("a-core-01", sysid="0000.0000.0099"))
+
+    def test_duplicate_system_id_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.add_router(make_router("fresh", sysid="0000.0000.0001"))
+
+    def test_duplicate_link_id_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.add_link(make_link("a-core-01", "b-core-01", "l-ab", 0x89A40010))
+
+    def test_duplicate_subnet_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.add_link(make_link("a-core-01", "b-core-01", "l-x", 0x89A40000))
+
+    def test_link_to_unknown_router_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.add_link(make_link("a-core-01", "ghost", "l-g", 0x89A40010))
+
+    def test_site_must_attach_to_cpe(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.add_site(CustomerSite("bad", ("a-core-01",)))
+
+    def test_site_needs_attachment(self):
+        with pytest.raises(ValueError):
+            CustomerSite("empty", ())
+
+
+class TestNetworkQueries:
+    def test_router_by_system_id(self, tiny_network):
+        assert tiny_network.router_by_system_id("0000.0000.0002").name == "b-core-01"
+        with pytest.raises(KeyError):
+            tiny_network.router_by_system_id("ffff.ffff.ffff")
+
+    def test_links_between(self, tiny_network):
+        links = tiny_network.links_between("a-core-01", "b-core-01")
+        assert [l.link_id for l in links] == ["l-ab"]
+
+    def test_links_of(self, tiny_network):
+        assert {l.link_id for l in tiny_network.links_of("c-cpe-01")} == {
+            "l-bc",
+            "l-ac",
+        }
+
+    def test_no_multi_link_pairs_in_tiny(self, tiny_network):
+        assert tiny_network.multi_link_pairs() == []
+        assert sorted(tiny_network.single_link_ids()) == ["l-ab", "l-ac", "l-bc"]
+
+    def test_multi_link_detection(self, tiny_network):
+        tiny_network.add_link(
+            Link("l-ab2", "a-core-01", "p9", "b-core-01", "p9", 0x89A40010)
+        )
+        assert tiny_network.multi_link_pairs() == [
+            frozenset({"a-core-01", "b-core-01"})
+        ]
+        assert "l-ab" not in tiny_network.single_link_ids()
+        assert "l-ab2" not in tiny_network.single_link_ids()
+
+    def test_class_partitions(self, tiny_network):
+        assert [l.link_id for l in tiny_network.core_links()] == ["l-ab"]
+        assert {l.link_id for l in tiny_network.cpe_links()} == {"l-bc", "l-ac"}
+        assert len(tiny_network.core_routers()) == 2
+        assert len(tiny_network.cpe_routers()) == 1
+
+    def test_graph_is_multigraph(self, tiny_network):
+        tiny_network.add_link(
+            Link("l-ab2", "a-core-01", "p9", "b-core-01", "p9", 0x89A40010)
+        )
+        g = tiny_network.graph()
+        assert g.number_of_edges("a-core-01", "b-core-01") == 2
+
+    def test_interfaces_of(self, tiny_network):
+        interfaces = tiny_network.interfaces_of("c-cpe-01")
+        assert len(interfaces) == 2
+        assert all(itf.router == "c-cpe-01" for itf in interfaces)
+        assert {itf.link_id for itf in interfaces} == {"l-bc", "l-ac"}
+
+
+class TestValidate:
+    def test_valid_network_passes(self, tiny_network):
+        tiny_network.validate()
+
+    def test_misclassified_link_caught(self, tiny_network):
+        tiny_network.add_link(
+            Link(
+                "l-wrong",
+                "b-core-01",
+                "p7",
+                "c-cpe-01",
+                "p7",
+                0x89A40020,
+                link_class=LinkClass.CORE,  # endpoints imply CPE
+            )
+        )
+        with pytest.raises(ValueError, match="marked core"):
+            tiny_network.validate()
+
+    def test_disconnected_network_caught(self, tiny_network):
+        tiny_network.add_router(make_router("island-cpe-01", RouterClass.CPE, "0000.0000.00aa"))
+        with pytest.raises(ValueError, match="not connected"):
+            tiny_network.validate()

@@ -1,0 +1,95 @@
+"""Unit tests for timestamp formatting and parsing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.timefmt import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_YEAR,
+    format_duration,
+    format_timestamp,
+    parse_timestamp,
+)
+
+
+class TestConstants:
+    def test_units_consistent(self):
+        assert SECONDS_PER_DAY == 24 * SECONDS_PER_HOUR
+        assert SECONDS_PER_YEAR == 365 * SECONDS_PER_DAY
+
+
+class TestFormatTimestamp:
+    def test_epoch_is_study_start(self):
+        assert format_timestamp(0.0) == "Oct 20 00:00:00.000"
+
+    def test_milliseconds_rendered(self):
+        assert format_timestamp(1.5).endswith(".500")
+
+    def test_single_digit_day_padded_like_syslog(self):
+        # Nov 1 is 12 days in; syslog pads single-digit days with a space.
+        stamp = format_timestamp(12 * SECONDS_PER_DAY)
+        assert stamp.startswith("Nov  1")
+
+    def test_year_rollover(self):
+        # 100 days after Oct 20, 2010 is late January 2011.
+        assert format_timestamp(100 * SECONDS_PER_DAY).startswith("Jan")
+
+
+class TestParseTimestamp:
+    def test_inverse_of_format_at_epoch(self):
+        assert parse_timestamp("Oct 20 00:00:00.000") == 0.0
+
+    def test_pre_epoch_month_rolls_to_next_year(self):
+        # January predates the Oct 20 epoch within 2010, so it must parse
+        # into 2011.
+        assert parse_timestamp("Jan  1 00:00:00.000") > 70 * SECONDS_PER_DAY
+
+    def test_milliseconds_parsed(self):
+        assert parse_timestamp("Oct 20 00:00:01.250") == pytest.approx(1.25)
+
+    @given(st.floats(min_value=0.0, max_value=360 * SECONDS_PER_DAY))
+    @settings(max_examples=300)
+    def test_round_trip_within_a_millisecond(self, sim_time):
+        # Within the first year the bare parse is unambiguous.
+        recovered = parse_timestamp(format_timestamp(sim_time))
+        assert abs(recovered - sim_time) < 0.001 + 1e-6
+
+    @given(st.floats(min_value=0.0, max_value=700 * SECONDS_PER_DAY))
+    @settings(max_examples=300)
+    def test_round_trip_with_context_resolves_year(self, sim_time):
+        # With monotonic context (``after``), even second-year dates
+        # round-trip — this is how the collector reads a 13-month log.
+        recovered = parse_timestamp(
+            format_timestamp(sim_time), after=max(0.0, sim_time - 3600.0)
+        )
+        assert abs(recovered - sim_time) < 0.001 + 1e-6
+
+    def test_year_ambiguous_date_without_context_parses_to_first_year(self):
+        assert parse_timestamp("Oct 25 00:00:00.000") == 5 * SECONDS_PER_DAY
+
+    def test_year_ambiguous_date_with_context_parses_to_second_year(self):
+        late = 370 * SECONDS_PER_DAY
+        assert parse_timestamp("Oct 25 00:00:00.000", after=late) == 370 * SECONDS_PER_DAY
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "0s"),
+            (42, "42s"),
+            (60, "1m"),
+            (61, "1m 1s"),
+            (3600, "1h"),
+            (90061, "1d 1h 1m 1s"),
+            (86400 * 3, "3d"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
