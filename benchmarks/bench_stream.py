@@ -1,0 +1,135 @@
+"""Streaming engine — throughput and working-set size vs the batch pass.
+
+Not a paper table: this bench characterises the :mod:`repro.stream`
+engine on a two-month campaign.  Three questions:
+
+* **throughput** — events/second through the full online methodology
+  (merge → timelines → sanitise → match → flaps), vs the batch
+  pipeline's wall time on the same data;
+* **working set** — the batch pass must hold the whole campaign (log
+  text, LSP archive, every message list) before emitting anything; the
+  engine's *undecided* state (open runs, pending timelines, held
+  failures, match candidates, coverage rings) stays bounded by the
+  network's size and the methodology's windows, not by campaign length;
+* **checkpoint size** — the full JSON state document, dominated by the
+  accumulated (already-final) results, should still be far smaller than
+  the raw inputs it lets you discard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from _bench_utils import emit
+from repro import ScenarioConfig, run_analysis, run_scenario
+from repro.core.report import render_table
+from repro.stream import stream_dataset
+
+BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "60"))
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_scenario(ScenarioConfig(seed=2013, duration_days=BENCH_DAYS))
+
+
+def _dataset_bytes(dataset) -> int:
+    return len(dataset.syslog_text.encode("utf-8")) + sum(
+        len(raw) for _, raw in dataset.lsp_records
+    )
+
+
+def _run_stream(dataset):
+    peak = {"working_set": 0, "checkpoint_bytes": 0}
+
+    def on_progress(engine) -> None:
+        summary = engine.summary()
+        working = (
+            summary["open_runs"]
+            + summary["held_failures"]
+            + summary["match_pending"]
+            + engine.coverage.message_buffer_size
+            + len(engine.coverage.pending)
+        )
+        peak["working_set"] = max(peak["working_set"], working)
+
+    def on_checkpoint(engine) -> None:
+        document = json.dumps(engine.checkpoint_state(), separators=(",", ":"))
+        peak["checkpoint_bytes"] = max(peak["checkpoint_bytes"], len(document))
+
+    start = time.perf_counter()
+    result = stream_dataset(
+        dataset,
+        on_progress=on_progress,
+        progress_every=500,
+        checkpoint_every=20000,
+        on_checkpoint=on_checkpoint,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed, peak
+
+
+def build_table(dataset) -> str:
+    batch_start = time.perf_counter()
+    batch = run_analysis(dataset)
+    batch_elapsed = time.perf_counter() - batch_start
+
+    result, stream_elapsed, peak = _run_stream(dataset)
+    events = result.counters["events"]
+    input_bytes = _dataset_bytes(dataset)
+
+    assert result.syslog_failures == batch.syslog_failures
+    assert result.isis_failures == batch.isis_failures
+    assert result.failure_match.pairs == batch.failure_match.pairs
+
+    rows = [
+        ["Campaign days", f"{BENCH_DAYS:g}", ""],
+        ["Events streamed", f"{events:,}", ""],
+        [
+            "Throughput",
+            f"{events / stream_elapsed:,.0f} events/s",
+            f"{stream_elapsed:.2f}s total",
+        ],
+        [
+            "Batch pipeline",
+            f"{events / batch_elapsed:,.0f} events/s equiv",
+            f"{batch_elapsed:.2f}s total",
+        ],
+        [
+            "Raw inputs (batch working set)",
+            f"{input_bytes / 1e6:,.2f} MB",
+            "held until the end",
+        ],
+        [
+            "Peak undecided state",
+            f"{peak['working_set']:,} items",
+            "open runs + held + pending + rings",
+        ],
+        [
+            "Peak checkpoint document",
+            f"{peak['checkpoint_bytes'] / 1e6:,.2f} MB",
+            "full resumable state",
+        ],
+    ]
+    return render_table(
+        ["Quantity", "Value", "Note"],
+        rows,
+        title="Streaming engine vs batch pipeline",
+    )
+
+
+def test_stream_throughput(benchmark, campaign):
+    table = benchmark.pedantic(build_table, args=(campaign,), rounds=1, iterations=1)
+    emit("stream", table)
+
+    result, _elapsed, peak = _run_stream(campaign)
+    # The undecided working set is bounded by topology and windows — it
+    # must not scale with campaign length the way the inputs do.
+    assert peak["working_set"] < 10_000
+    # The resumable state stays well under the inputs it replaces.
+    assert peak["checkpoint_bytes"] < _dataset_bytes(campaign)
+    assert result.counters["events"] > 0

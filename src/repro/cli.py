@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands mirror the paper's workflow:
+Four subcommands mirror the paper's workflow:
 
 ``repro simulate``
     Run a measurement campaign and save the dataset directory (configs/,
@@ -14,11 +14,20 @@ Three subcommands mirror the paper's workflow:
 ``repro report``
     Print one of the paper's tables computed from a dataset.
 
+``repro stream``
+    Tail a dataset through the online incremental engine
+    (:mod:`repro.stream`): live progress summaries while the stream runs,
+    the same end-of-stream tables as ``analyze``, and optional periodic
+    checkpoints a killed run resumes from with ``--resume``.
+
 Examples::
 
     repro simulate --seed 7 --days 60 --out campaign/
     repro analyze campaign/ --seed 7
     repro report campaign/ --seed 7 --table table4
+    repro stream campaign/ --seed 7 --checkpoint engine.ckpt \\
+        --checkpoint-every 50000
+    repro stream campaign/ --seed 7 --checkpoint engine.ckpt --resume
 """
 
 from __future__ import annotations
@@ -56,8 +65,41 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--days", type=float, default=60.0)
     report.add_argument(
         "--table",
-        choices=["table4", "table5", "flaps"],
+        choices=["table2", "table3", "table4", "table5", "flaps"],
         default="table4",
+    )
+
+    stream = sub.add_parser(
+        "stream", help="tail a campaign through the incremental engine"
+    )
+    stream.add_argument("dataset", nargs="?", help="saved dataset directory")
+    stream.add_argument("--seed", type=int, default=2013)
+    stream.add_argument("--days", type=float, default=60.0)
+    stream.add_argument(
+        "--progress-every",
+        type=int,
+        default=25000,
+        help="events between live summaries (0 disables them)",
+    )
+    stream.add_argument(
+        "--checkpoint", help="checkpoint file to write and/or resume from"
+    )
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="events between checkpoint writes (requires --checkpoint)",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the --checkpoint file instead of starting over",
+    )
+    stream.add_argument(
+        "--drain-interval",
+        type=int,
+        default=256,
+        help="events between watermark sweeps (latency knob, not results)",
     )
     return parser
 
@@ -119,7 +161,91 @@ def _print_analysis(result: AnalysisResult) -> None:
     )
 
 
+def _print_table2(result: AnalysisResult) -> None:
+    from repro.core.matching import transition_match_fraction
+
+    config = result.options.matching
+    fractions = {}
+    for field, reference in (
+        ("IS", result.isis.is_transitions),
+        ("IP", result.isis.ip_transitions),
+    ):
+        for category, messages in (
+            ("isis", result.syslog.isis_messages),
+            ("media", result.syslog.physical_messages),
+        ):
+            fractions[(field, category)] = transition_match_fraction(
+                reference, messages, config
+            )
+    rows = []
+    for category, label in (("isis", "IS-IS"), ("media", "physical media")):
+        for direction in ("down", "up"):
+            rows.append(
+                [
+                    f"{label} {direction.capitalize()}",
+                    format_percent(fractions[("IS", category)][direction]),
+                    format_percent(fractions[("IP", category)][direction]),
+                ]
+            )
+    print(
+        render_table(
+            ["Syslog type", "IS reach", "IP reach"],
+            rows,
+            title="Table 2: state transitions matching syslog by LSP field",
+        )
+    )
+
+
+def _print_table3(result: AnalysisResult) -> None:
+    from repro.core.flapping import in_flap
+
+    coverage = result.coverage
+    rows = []
+    for direction in ("down", "up"):
+        rows.append(
+            [direction.upper()]
+            + [
+                f"{coverage.counts[direction][bucket]:,} "
+                f"({format_percent(coverage.fraction(direction, bucket))})"
+                for bucket in (0, 1, 2)
+            ]
+        )
+    print(
+        render_table(
+            ["IS-IS transition", "None", "One", "Both"],
+            rows,
+            title="Table 3: IS-IS transitions by matching syslog messages",
+        )
+    )
+    print()
+    flap_rows = []
+    for direction in ("down", "up"):
+        unmatched = [t for t in coverage.unmatched if t.direction == direction]
+        inside = sum(
+            1
+            for t in unmatched
+            if in_flap(result.flap_intervals, t.link, t.time)
+        )
+        share = inside / len(unmatched) if unmatched else 0.0
+        flap_rows.append(
+            [direction.upper(), f"{format_percent(share)} of {len(unmatched):,}"]
+        )
+    print(
+        render_table(
+            ["Direction", "Unmatched inside flap periods"],
+            flap_rows,
+            title="§4.1: flap attribution of unmatched transitions",
+        )
+    )
+
+
 def _print_report(result: AnalysisResult, table: str) -> None:
+    if table == "table2":
+        _print_table2(result)
+        return
+    if table == "table3":
+        _print_table3(result)
+        return
     if table == "table4":
         _print_analysis(result)
         return
@@ -181,6 +307,95 @@ def _print_report(result: AnalysisResult, table: str) -> None:
     raise ValueError(f"unknown table {table!r}")
 
 
+def _run_stream(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        CheckpointError,
+        load_checkpoint,
+        save_checkpoint,
+        stream_dataset,
+    )
+    from repro.stream.engine import StreamOptions
+
+    if args.checkpoint_every and not args.checkpoint:
+        print("--checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.drain_interval < 1:
+        print("--drain-interval must be at least 1", file=sys.stderr)
+        return 2
+
+    dataset = _load_or_run(args)
+    resume_state = None
+    if args.resume:
+        try:
+            resume_state = load_checkpoint(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"(resuming from {args.checkpoint}: "
+            f"{resume_state['events_consumed']:,} events already consumed)",
+            file=sys.stderr,
+        )
+
+    def on_progress(engine) -> None:
+        s = engine.summary()
+        print(
+            f"[{s['events']:>10,} ev] t={s['watermark']:>12,.0f}s  "
+            f"kept syslog {s['syslog_kept']:,} / isis {s['isis_kept']:,}  "
+            f"matched {s['matched']:,} (+{s['match_pending']} pending)  "
+            f"flap episodes {s['flap_episodes']:,}",
+            file=sys.stderr,
+        )
+
+    def on_checkpoint(engine) -> None:
+        save_checkpoint(args.checkpoint, engine)
+        print(
+            f"(checkpoint written at event {engine.events_consumed:,})",
+            file=sys.stderr,
+        )
+
+    result = stream_dataset(
+        dataset,
+        StreamOptions(drain_interval=args.drain_interval),
+        resume_state=resume_state,
+        on_progress=on_progress if args.progress_every else None,
+        progress_every=args.progress_every,
+        checkpoint_every=args.checkpoint_every,
+        on_checkpoint=on_checkpoint if args.checkpoint_every else None,
+    )
+
+    counters = result.counters
+    print(
+        render_table(
+            ["Quantity", "Count"],
+            [
+                ["Events consumed", f"{counters['events']:,}"],
+                [
+                    "Syslog messages",
+                    f"{counters['syslog_isis_messages'] + counters['syslog_physical_messages']:,}",
+                ],
+                [
+                    "IS-IS reachability changes",
+                    f"{counters['isis_is_messages'] + counters['isis_ip_messages']:,}",
+                ],
+                ["LSP refresh ticks", f"{counters['ticks']:,}"],
+                [
+                    "Link transitions",
+                    f"{sum(counters[f'{k}-transitions'] for k in ('syslog-isis', 'syslog-physical', 'isis-is', 'isis-ip')):,}",
+                ],
+            ],
+            title="Stream consumption",
+        )
+    )
+    print()
+    # StreamResult exposes the same fields the analyze printer reads.
+    _print_analysis(result)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
@@ -203,6 +418,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_analysis(_load_or_run(args))
         _print_report(result, args.table)
         return 0
+    if args.command == "stream":
+        return _run_stream(args)
     raise AssertionError("unreachable")
 
 

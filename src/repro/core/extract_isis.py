@@ -18,7 +18,7 @@ Link state and failures are derived from **IS reachability** (the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import (
     SOURCE_ISIS_IP,
@@ -77,59 +77,80 @@ def replay_lsp_records(
     return listener, list(listener.changes)
 
 
+#: Classification labels returned by :func:`classify_change`.
+CHANGE_IS = "is"
+CHANGE_IP = "ip"
+CHANGE_MULTILINK = "multilink"
+CHANGE_UNRESOLVED = "unresolved"
+
+
+def classify_change(
+    change: ReachabilityChange, resolver: LinkResolver
+) -> Tuple[str, Optional[LinkMessage]]:
+    """Resolve one reachability change to a link message, or say why not.
+
+    Returns ``(kind, message)`` where ``kind`` is ``CHANGE_IS`` /
+    ``CHANGE_IP`` (with the resolved :class:`LinkMessage`),
+    ``CHANGE_MULTILINK`` (an IS change on a parallel-link device pair,
+    omitted per §3.4), or ``CHANGE_UNRESOLVED``.  This is the single-change
+    resolution logic shared by the batch extractor and the streaming
+    sources.
+    """
+    origin_host = resolver.hostname_for(change.origin_system_id)
+    if origin_host is None:
+        return CHANGE_UNRESOLVED, None
+    if change.kind is ReachabilityKind.IS:
+        record, multi = resolver.resolve_adjacency(
+            change.origin_system_id, str(change.target)
+        )
+        if record is None:
+            return (CHANGE_MULTILINK if multi else CHANGE_UNRESOLVED), None
+        return CHANGE_IS, LinkMessage(
+            time=change.time,
+            link=record.name,
+            direction=change.direction,
+            reporter=origin_host,
+            source=SOURCE_ISIS_IS,
+            category="is-reachability",
+        )
+    prefix, prefix_length = change.target  # type: ignore[misc]
+    record = resolver.resolve_prefix(prefix, prefix_length)
+    if record is None:
+        return CHANGE_UNRESOLVED, None
+    return CHANGE_IP, LinkMessage(
+        time=change.time,
+        link=record.name,
+        direction=change.direction,
+        reporter=origin_host,
+        source=SOURCE_ISIS_IP,
+        category="ip-reachability",
+    )
+
+
 def extract_isis(
     lsp_records: Sequence[Tuple[float, bytes]],
     resolver: LinkResolver,
     horizon_start: float,
     horizon_end: float,
-    config: IsisExtractionConfig = IsisExtractionConfig(),
+    config: Optional[IsisExtractionConfig] = None,
 ) -> IsisExtraction:
     """Run the full IS-IS reconstruction (see module docstring)."""
+    if config is None:
+        config = IsisExtractionConfig()
     listener, changes = replay_lsp_records(lsp_records)
     result = IsisExtraction()
     result.rejected_lsps = listener.rejected_count
 
     for change in changes:
-        origin_host = resolver.hostname_for(change.origin_system_id)
-        if origin_host is None:
-            result.unresolved_count += 1
-            continue
-        if change.kind is ReachabilityKind.IS:
-            record, multi = resolver.resolve_adjacency(
-                change.origin_system_id, str(change.target)
-            )
-            if record is None:
-                if multi:
-                    result.multilink_skipped += 1
-                else:
-                    result.unresolved_count += 1
-                continue
-            result.is_messages.append(
-                LinkMessage(
-                    time=change.time,
-                    link=record.name,
-                    direction=change.direction,
-                    reporter=origin_host,
-                    source=SOURCE_ISIS_IS,
-                    category="is-reachability",
-                )
-            )
+        kind, message = classify_change(change, resolver)
+        if kind == CHANGE_IS:
+            result.is_messages.append(message)
+        elif kind == CHANGE_IP:
+            result.ip_messages.append(message)
+        elif kind == CHANGE_MULTILINK:
+            result.multilink_skipped += 1
         else:
-            prefix, prefix_length = change.target  # type: ignore[misc]
-            record = resolver.resolve_prefix(prefix, prefix_length)
-            if record is None:
-                result.unresolved_count += 1
-                continue
-            result.ip_messages.append(
-                LinkMessage(
-                    time=change.time,
-                    link=record.name,
-                    direction=change.direction,
-                    reporter=origin_host,
-                    source=SOURCE_ISIS_IP,
-                    category="ip-reachability",
-                )
-            )
+            result.unresolved_count += 1
 
     result.is_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
     result.ip_messages.sort(key=lambda m: (m.time, m.link, m.reporter))

@@ -20,7 +20,7 @@ the timeline resolves per the chosen strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import SOURCE_SYSLOG, FailureEvent, LinkMessage, Transition
 from repro.core.links import LinkResolver
@@ -73,53 +73,80 @@ class SyslogExtraction:
         }
 
 
+#: Classification labels returned by :func:`classify_entry`.
+ENTRY_ISIS = "isis"
+ENTRY_PHYSICAL = "physical"
+ENTRY_UNPARSED = "unparsed"
+ENTRY_UNRESOLVED = "unresolved"
+ENTRY_OTHER = "other"
+
+
+def classify_entry(
+    entry: CollectedEntry, resolver: LinkResolver
+) -> Tuple[str, Optional[LinkMessage]]:
+    """Resolve one collected entry to a link message, or say why not.
+
+    Returns ``(kind, message)`` where ``kind`` is one of ``ENTRY_ISIS`` /
+    ``ENTRY_PHYSICAL`` (with the resolved :class:`LinkMessage`),
+    ``ENTRY_UNPARSED`` (not a Cisco message), ``ENTRY_UNRESOLVED`` (names a
+    port absent from the mined inventory), or ``ENTRY_OTHER`` (a Cisco
+    message that is not link-related).  This is the single-entry transition
+    logic shared by the batch extractor and the streaming sources.
+    """
+    parsed = entry.entry
+    if parsed is None:
+        return ENTRY_UNPARSED, None
+    if isinstance(parsed, AdjacencyChangeMessage):
+        record = resolver.resolve_port(parsed.router, parsed.interface)
+        if record is None:
+            return ENTRY_UNRESOLVED, None
+        return ENTRY_ISIS, LinkMessage(
+            time=entry.generated_time,
+            link=record.name,
+            direction=parsed.direction,
+            reporter=parsed.router,
+            source=SOURCE_SYSLOG,
+            category="isis",
+            reason=parsed.reason,
+        )
+    if isinstance(parsed, (LinkUpDownMessage, LineProtoUpDownMessage)):
+        record = resolver.resolve_port(parsed.router, parsed.interface)
+        if record is None:
+            return ENTRY_UNRESOLVED, None
+        return ENTRY_PHYSICAL, LinkMessage(
+            time=entry.generated_time,
+            link=record.name,
+            direction=parsed.direction,
+            reporter=parsed.router,
+            source=SOURCE_SYSLOG,
+            category="physical",
+            reason="",
+        )
+    return ENTRY_OTHER, None
+
+
 def extract_syslog(
     entries: Sequence[CollectedEntry],
     resolver: LinkResolver,
     horizon_start: float,
     horizon_end: float,
-    config: SyslogExtractionConfig = SyslogExtractionConfig(),
+    config: Optional[SyslogExtractionConfig] = None,
 ) -> SyslogExtraction:
     """Run the full syslog reconstruction (see module docstring)."""
+    if config is None:
+        config = SyslogExtractionConfig()
     result = SyslogExtraction()
 
     for entry in entries:
-        parsed = entry.entry
-        if parsed is None:
+        kind, message = classify_entry(entry, resolver)
+        if kind == ENTRY_ISIS:
+            result.isis_messages.append(message)
+        elif kind == ENTRY_PHYSICAL:
+            result.physical_messages.append(message)
+        elif kind == ENTRY_UNPARSED:
             result.unparsed_count += 1
-            continue
-        if isinstance(parsed, AdjacencyChangeMessage):
-            record = resolver.resolve_port(parsed.router, parsed.interface)
-            if record is None:
-                result.unresolved_count += 1
-                continue
-            result.isis_messages.append(
-                LinkMessage(
-                    time=entry.generated_time,
-                    link=record.name,
-                    direction=parsed.direction,
-                    reporter=parsed.router,
-                    source=SOURCE_SYSLOG,
-                    category="isis",
-                    reason=parsed.reason,
-                )
-            )
-        elif isinstance(parsed, (LinkUpDownMessage, LineProtoUpDownMessage)):
-            record = resolver.resolve_port(parsed.router, parsed.interface)
-            if record is None:
-                result.unresolved_count += 1
-                continue
-            result.physical_messages.append(
-                LinkMessage(
-                    time=entry.generated_time,
-                    link=record.name,
-                    direction=parsed.direction,
-                    reporter=parsed.router,
-                    source=SOURCE_SYSLOG,
-                    category="physical",
-                    reason="",
-                )
-            )
+        elif kind == ENTRY_UNRESOLVED:
+            result.unresolved_count += 1
 
     result.isis_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
     result.physical_messages.sort(key=lambda m: (m.time, m.link, m.reporter))

@@ -20,7 +20,7 @@ expensive steps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.extract_isis import IsisExtraction, IsisExtractionConfig, extract_isis
 from repro.core.extract_syslog import (
@@ -89,9 +89,11 @@ class AnalysisResult:
 
 def run_analysis(
     dataset: Dataset,
-    options: AnalysisOptions = AnalysisOptions(),
+    options: Optional[AnalysisOptions] = None,
 ) -> AnalysisResult:
     """Run the complete methodology against one dataset."""
+    if options is None:
+        options = AnalysisOptions()
     resolver = LinkResolver(dataset.inventory)
     horizon_start = dataset.analysis_start
     horizon_end = dataset.horizon_end

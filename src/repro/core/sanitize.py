@@ -64,11 +64,61 @@ class SanitizationReport:
         return sum(f.duration for f in self.kept) / SECONDS_PER_HOUR
 
 
+#: Dispositions returned by :func:`classify_failure`.
+KEEP = "keep"
+KEEP_VERIFIED = "keep-verified"
+DROP_LISTENER = "drop-listener"
+DROP_UNVERIFIED = "drop-unverified"
+
+
+def classify_failure(
+    failure: FailureEvent,
+    listener_outages: IntervalSet,
+    tickets: Optional[TicketSystem],
+    config: SanitizationConfig,
+) -> str:
+    """Decide one failure's fate under §4.2's cleaning rules.
+
+    Returns ``KEEP``, ``KEEP_VERIFIED`` (a long failure corroborated by a
+    ticket), ``DROP_LISTENER`` (spans a listener outage), or
+    ``DROP_UNVERIFIED`` (a long failure no ticket corroborates).  This is
+    the single-failure decision shared by the batch pass and the streaming
+    sanitiser.
+    """
+    span = Interval(failure.start, failure.end)
+    if listener_outages.intersection(IntervalSet([span])):
+        return DROP_LISTENER
+    if failure.duration >= config.long_failure_threshold and tickets is not None:
+        if tickets.confirms(
+            failure.link, failure.start, failure.end, slack=config.ticket_slack
+        ):
+            return KEEP_VERIFIED
+        return DROP_UNVERIFIED
+    return KEEP
+
+
+def apply_disposition(
+    report: SanitizationReport, failure: FailureEvent, disposition: str
+) -> None:
+    """Record one classified failure in a report (shared batch/stream)."""
+    if disposition == DROP_LISTENER:
+        report.removed_listener_overlap.append(failure)
+    elif disposition == DROP_UNVERIFIED:
+        report.removed_unverified_long.append(failure)
+    elif disposition == KEEP_VERIFIED:
+        report.verified_long.append(failure)
+        report.kept.append(failure)
+    elif disposition == KEEP:
+        report.kept.append(failure)
+    else:
+        raise ValueError(f"unknown disposition {disposition!r}")
+
+
 def sanitize_failures(
     failures: Sequence[FailureEvent],
     listener_outages: IntervalSet,
     tickets: Optional[TicketSystem],
-    config: SanitizationConfig = SanitizationConfig(),
+    config: Optional[SanitizationConfig] = None,
 ) -> SanitizationReport:
     """Apply §4.2's cleaning to one channel's failure list.
 
@@ -77,20 +127,11 @@ def sanitize_failures(
     removal applies to both channels so the comparison covers the same
     wall-clock.
     """
+    if config is None:
+        config = SanitizationConfig()
     report = SanitizationReport()
     for failure in failures:
-        span = Interval(failure.start, failure.end)
-        if listener_outages.intersection(IntervalSet([span])):
-            report.removed_listener_overlap.append(failure)
-            continue
-        if failure.duration >= config.long_failure_threshold and tickets is not None:
-            if tickets.confirms(
-                failure.link, failure.start, failure.end, slack=config.ticket_slack
-            ):
-                report.verified_long.append(failure)
-                report.kept.append(failure)
-            else:
-                report.removed_unverified_long.append(failure)
-            continue
-        report.kept.append(failure)
+        apply_disposition(
+            report, failure, classify_failure(failure, listener_outages, tickets, config)
+        )
     return report

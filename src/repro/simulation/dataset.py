@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 from repro.intervals import Interval, IntervalSet
 from repro.isis.mrt import MrtDumpReader, MrtDumpWriter
@@ -67,6 +67,23 @@ class Dataset:
     horizon_end: float
     analysis_start: float
     summary: DatasetSummary = None  # filled by the scenario runner
+
+    # ------------------------------------------------------------- stream
+    def iter_syslog_entries(self) -> Iterator["CollectedEntry"]:
+        """Parsed central-log entries in arrival order (streaming feed).
+
+        Arrival order is what the collector's file preserves; generation
+        timestamps inside the entries may be mildly out of order because of
+        delivery delays — streaming consumers re-order them in event time
+        (see :mod:`repro.stream.sources`).
+        """
+        from repro.syslog.collector import SyslogCollector
+
+        return iter(SyslogCollector.parse_log(self.syslog_text))
+
+    def iter_lsp_records(self) -> Iterator[Tuple[float, bytes]]:
+        """Timestamped raw LSPs in capture order (streaming feed)."""
+        return iter(self.lsp_records)
 
     # ------------------------------------------------------------ persist
     def save(self, directory: Union[str, Path]) -> None:

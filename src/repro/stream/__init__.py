@@ -1,0 +1,60 @@
+"""repro.stream — online, incremental failure analysis with checkpoint/resume.
+
+The batch pipeline (:func:`repro.core.pipeline.run_analysis`) needs the
+complete syslog file and LSP archive before it can emit a single failure.
+This package maintains the same §3–§4 methodology *incrementally*: an
+event-time-ordered merge of the two channels drives per-link online state
+machines, a watermark-driven matcher, online sanitisation, and flap
+detection, so failures, match verdicts, and flap episodes are emitted as
+soon as they are provably final — and never retracted.
+
+The load-bearing guarantee, enforced by the test suite: on any dataset the
+streaming engine's end-of-stream results equal ``run_analysis``'s exactly,
+and serialising the engine state mid-stream (:mod:`repro.stream.checkpoint`)
+then resuming changes nothing.
+
+Quickstart::
+
+    from repro import run_scenario, ScenarioConfig
+    from repro.stream import stream_dataset
+
+    dataset = run_scenario(ScenarioConfig(seed=7, duration_days=30))
+    result = stream_dataset(dataset)
+    print(len(result.syslog_failures), len(result.isis_failures))
+"""
+
+from repro.stream.engine import (
+    StreamEngine,
+    StreamOptions,
+    StreamResult,
+    stream_dataset,
+)
+from repro.stream.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.sources import (
+    StreamEvent,
+    ReorderBuffer,
+    dataset_event_stream,
+    isis_events,
+    merge_events,
+    syslog_events,
+)
+
+__all__ = [
+    "StreamEngine",
+    "StreamOptions",
+    "StreamResult",
+    "stream_dataset",
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
+    "StreamEvent",
+    "ReorderBuffer",
+    "dataset_event_stream",
+    "isis_events",
+    "merge_events",
+    "syslog_events",
+]

@@ -1,0 +1,505 @@
+"""Checkpoint/resume: the engine's entire state as a JSON document.
+
+Everything a :class:`~repro.stream.engine.StreamEngine` holds — open
+message runs, per-link timeline machines, held failures awaiting their
+ticket horizon, undecided match candidates, coverage rings, flap runs,
+accumulated results — round-trips through plain JSON.  Floats survive
+exactly (JSON carries them as shortest-round-trip decimal), frozensets
+become sorted lists, and sentinel infinities become ``null``, so a
+restored engine is value-identical to the checkpointed one and the
+resumed stream finishes with byte-identical results; the test suite cuts
+streams at arbitrary points to enforce this.
+
+The document also records how many events the engine had consumed.
+Event delivery is deterministic (the merge's tie-breaks are fixed), so
+resuming is simply: rebuild the engine, skip that many events, continue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.flapping import FlapEpisode
+from repro.core.links import LinkResolver
+from repro.core.matching import MatchConfig
+from repro.core.pipeline import AnalysisOptions
+from repro.core.sanitize import SanitizationConfig, SanitizationReport
+from repro.core.extract_isis import IsisExtractionConfig
+from repro.core.extract_syslog import SyslogExtractionConfig
+from repro.intervals import IntervalSet
+from repro.intervals.timeline import AmbiguityStrategy, LinkState
+from repro.ticketing import TicketSystem
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """A checkpoint document is unreadable or incompatible."""
+
+
+# ------------------------------------------------------------- event codecs
+def encode_message(message: LinkMessage) -> List[Any]:
+    return [
+        message.time,
+        message.link,
+        message.direction,
+        message.reporter,
+        message.source,
+        message.category,
+        message.reason,
+    ]
+
+
+def decode_message(raw: List[Any]) -> LinkMessage:
+    time, link, direction, reporter, source, category, reason = raw
+    return LinkMessage(
+        time=time,
+        link=link,
+        direction=direction,
+        reporter=reporter,
+        source=source,
+        category=category,
+        reason=reason,
+    )
+
+
+def encode_transition(transition: Transition) -> List[Any]:
+    return [
+        transition.time,
+        transition.link,
+        transition.direction,
+        transition.source,
+        sorted(transition.reporters),
+        [encode_message(message) for message in transition.messages],
+    ]
+
+
+def decode_transition(raw: List[Any]) -> Transition:
+    time, link, direction, source, reporters, messages = raw
+    return Transition(
+        time=time,
+        link=link,
+        direction=direction,
+        source=source,
+        reporters=frozenset(reporters),
+        messages=tuple(decode_message(message) for message in messages),
+    )
+
+
+def encode_failure(failure: FailureEvent) -> List[Any]:
+    return [
+        failure.link,
+        failure.start,
+        failure.end,
+        failure.source,
+        None
+        if failure.start_transition is None
+        else encode_transition(failure.start_transition),
+        None
+        if failure.end_transition is None
+        else encode_transition(failure.end_transition),
+    ]
+
+
+def decode_failure(raw: List[Any]) -> FailureEvent:
+    link, start, end, source, start_transition, end_transition = raw
+    return FailureEvent(
+        link=link,
+        start=start,
+        end=end,
+        source=source,
+        start_transition=None
+        if start_transition is None
+        else decode_transition(start_transition),
+        end_transition=None
+        if end_transition is None
+        else decode_transition(end_transition),
+    )
+
+
+def encode_episode(episode: FlapEpisode) -> List[Any]:
+    return [episode.link, episode.start, episode.end, episode.failure_count]
+
+
+def decode_episode(raw: List[Any]) -> FlapEpisode:
+    link, start, end, failure_count = raw
+    return FlapEpisode(link=link, start=start, end=end, failure_count=failure_count)
+
+
+def encode_report(report: SanitizationReport) -> Dict[str, Any]:
+    return {
+        "kept": [encode_failure(f) for f in report.kept],
+        "removed_listener_overlap": [
+            encode_failure(f) for f in report.removed_listener_overlap
+        ],
+        "removed_unverified_long": [
+            encode_failure(f) for f in report.removed_unverified_long
+        ],
+        "verified_long": [encode_failure(f) for f in report.verified_long],
+    }
+
+
+def decode_report(raw: Dict[str, Any]) -> SanitizationReport:
+    report = SanitizationReport()
+    report.kept = [decode_failure(f) for f in raw["kept"]]
+    report.removed_listener_overlap = [
+        decode_failure(f) for f in raw["removed_listener_overlap"]
+    ]
+    report.removed_unverified_long = [
+        decode_failure(f) for f in raw["removed_unverified_long"]
+    ]
+    report.verified_long = [decode_failure(f) for f in raw["verified_long"]]
+    return report
+
+
+def _encode_maybe_inf(value: float) -> Optional[float]:
+    # JSON has no infinities; the engine's pre-first-event watermark is
+    # the only non-finite value in its state.
+    return None if math.isinf(value) else value
+
+
+def _decode_watermark(raw: Optional[float]) -> float:
+    return -math.inf if raw is None else raw
+
+
+# ----------------------------------------------------------- options codec
+def encode_options(options: "StreamOptions") -> Dict[str, Any]:  # noqa: F821
+    analysis = options.analysis
+    return {
+        "drain_interval": options.drain_interval,
+        "syslog": {
+            "merge_window": analysis.syslog.merge_window,
+            "strategy": analysis.syslog.strategy.value,
+        },
+        "isis": {
+            "merge_window": analysis.isis.merge_window,
+            "strategy": analysis.isis.strategy.value,
+        },
+        "matching": {"window": analysis.matching.window},
+        "sanitization": {
+            "long_failure_threshold": analysis.sanitization.long_failure_threshold,
+            "ticket_slack": analysis.sanitization.ticket_slack,
+        },
+        "flap_gap_threshold": analysis.flap_gap_threshold,
+    }
+
+
+def decode_options(raw: Dict[str, Any]) -> "StreamOptions":  # noqa: F821
+    from repro.stream.engine import StreamOptions
+
+    return StreamOptions(
+        analysis=AnalysisOptions(
+            syslog=SyslogExtractionConfig(
+                merge_window=raw["syslog"]["merge_window"],
+                strategy=AmbiguityStrategy(raw["syslog"]["strategy"]),
+            ),
+            isis=IsisExtractionConfig(
+                merge_window=raw["isis"]["merge_window"],
+                strategy=AmbiguityStrategy(raw["isis"]["strategy"]),
+            ),
+            matching=MatchConfig(window=raw["matching"]["window"]),
+            sanitization=SanitizationConfig(
+                long_failure_threshold=raw["sanitization"][
+                    "long_failure_threshold"
+                ],
+                ticket_slack=raw["sanitization"]["ticket_slack"],
+            ),
+            flap_gap_threshold=raw["flap_gap_threshold"],
+        ),
+        drain_interval=raw["drain_interval"],
+    )
+
+
+# ------------------------------------------------------------ engine codec
+def encode_engine(engine: "StreamEngine") -> Dict[str, Any]:  # noqa: F821
+    from repro.stream.engine import MERGER_KEYS
+    from repro.stream.sources import ISIS_CHANNEL, SYSLOG_CHANNEL
+
+    if engine.finished:
+        raise CheckpointError("a finished engine cannot be checkpointed")
+    return {
+        "version": CHECKPOINT_VERSION,
+        "options": encode_options(engine.options),
+        "horizon_start": engine.horizon_start,
+        "horizon_end": engine.horizon_end,
+        "watermark": _encode_maybe_inf(engine.watermark),
+        "events_consumed": engine.events_consumed,
+        "counters": dict(engine.counters),
+        "mergers": {
+            key: {
+                "transition_count": engine.mergers[key].transition_count,
+                "open_runs": {
+                    link: [encode_message(m) for m in run]
+                    for link, run in sorted(engine.mergers[key].open_runs.items())
+                },
+            }
+            for key in MERGER_KEYS
+        },
+        "timelines": {
+            channel: {
+                link: _encode_timeline(timeline)
+                for link, timeline in sorted(engine.timelines[channel].items())
+            }
+            for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL)
+        },
+        "sanitizers": {
+            channel: {
+                "report": encode_report(engine.sanitizers[channel].report),
+                "held": {
+                    link: [encode_failure(f) for f in queue]
+                    for link, queue in sorted(
+                        engine.sanitizers[channel].held.items()
+                    )
+                },
+            }
+            for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL)
+        },
+        "matcher": _encode_matcher(engine.matcher),
+        "coverage": _encode_coverage(engine.coverage),
+        "flaps": _encode_flaps(engine.flaps),
+        "raw_failures": {
+            channel: [encode_failure(f) for f in engine.raw_failures[channel]]
+            for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL)
+        },
+    }
+
+
+def decode_engine(
+    state: Dict[str, Any],
+    resolver: LinkResolver,
+    listener_outages: IntervalSet,
+    tickets: Optional[TicketSystem],
+) -> "StreamEngine":  # noqa: F821
+    from repro.stream.engine import MERGER_KEYS, StreamEngine
+    from repro.stream.sources import ISIS_CHANNEL, SYSLOG_CHANNEL
+
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} is not supported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    engine = StreamEngine(
+        resolver,
+        state["horizon_start"],
+        state["horizon_end"],
+        listener_outages,
+        tickets,
+        decode_options(state["options"]),
+    )
+    engine.watermark = _decode_watermark(state["watermark"])
+    engine.events_consumed = state["events_consumed"]
+    engine.counters = dict(state["counters"])
+    for key in MERGER_KEYS:
+        merger = engine.mergers[key]
+        raw = state["mergers"][key]
+        merger.transition_count = raw["transition_count"]
+        for link, run in raw["open_runs"].items():
+            merger.open_runs[link] = [decode_message(m) for m in run]
+    for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL):
+        for link, raw_timeline in state["timelines"][channel].items():
+            engine.timelines[channel][link] = _decode_timeline(
+                engine, channel, link, raw_timeline
+            )
+        sanitizer = engine.sanitizers[channel]
+        raw_sanitizer = state["sanitizers"][channel]
+        sanitizer.report = decode_report(raw_sanitizer["report"])
+        for link, queue in raw_sanitizer["held"].items():
+            sanitizer.held[link] = deque(decode_failure(f) for f in queue)
+        engine.raw_failures[channel] = [
+            decode_failure(f) for f in state["raw_failures"][channel]
+        ]
+    _decode_matcher(engine.matcher, state["matcher"])
+    _decode_coverage(engine.coverage, state["coverage"])
+    _decode_flaps(engine.flaps, state["flaps"])
+    return engine
+
+
+# ------------------------------------------------------- component codecs
+def _encode_timeline(timeline: "OnlineTimeline") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "cursor": timeline.cursor,
+        "state": timeline.state.value,
+        "last_message_time": timeline.last_message_time,
+        "tail": None
+        if timeline.tail is None
+        else [timeline.tail[0], timeline.tail[1], timeline.tail[2].value],
+        "pending": [encode_transition(t) for t in timeline.pending],
+        "pending_time": timeline.pending_time,
+        "index": [
+            [time, direction, encode_transition(transition)]
+            for (time, direction), transition in sorted(timeline.index.items())
+        ],
+        "anomaly_count": timeline.anomaly_count,
+        "emitted": [encode_failure(f) for f in timeline.emitted],
+        "flushed": timeline.flushed,
+    }
+
+
+def _decode_timeline(
+    engine: "StreamEngine",  # noqa: F821
+    channel: str,
+    link: str,
+    raw: Dict[str, Any],
+) -> "OnlineTimeline":  # noqa: F821
+    from repro.core.events import SOURCE_ISIS_IS, SOURCE_SYSLOG
+    from repro.stream.sources import SYSLOG_CHANNEL
+    from repro.stream.state import OnlineTimeline
+
+    timeline = OnlineTimeline(
+        link,
+        engine.horizon_start,
+        engine.horizon_end,
+        engine.options.analysis.syslog.strategy
+        if channel == SYSLOG_CHANNEL
+        else engine.options.analysis.isis.strategy,
+        SOURCE_SYSLOG if channel == SYSLOG_CHANNEL else SOURCE_ISIS_IS,
+    )
+    timeline.cursor = raw["cursor"]
+    timeline.state = LinkState(raw["state"])
+    timeline.last_message_time = raw["last_message_time"]
+    tail = raw["tail"]
+    timeline.tail = (
+        None if tail is None else (tail[0], tail[1], LinkState(tail[2]))
+    )
+    timeline.pending = [decode_transition(t) for t in raw["pending"]]
+    timeline.pending_time = raw["pending_time"]
+    timeline.index = {
+        (time, direction): decode_transition(transition)
+        for time, direction, transition in raw["index"]
+    }
+    timeline.anomaly_count = raw["anomaly_count"]
+    timeline.emitted = [decode_failure(f) for f in raw["emitted"]]
+    timeline.flushed = raw["flushed"]
+    return timeline
+
+
+def _encode_matcher(matcher: "OnlineMatcher") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "pairs": [
+            [encode_failure(fa), encode_failure(fb)] for fa, fb in matcher.pairs
+        ],
+        "only_a": [encode_failure(f) for f in matcher.only_a],
+        "only_b": [encode_failure(f) for f in matcher.only_b],
+        "partial_a": [encode_failure(f) for f in matcher.partial_a],
+        "partial_b": [encode_failure(f) for f in matcher.partial_b],
+        "links": {
+            link: {
+                "a_pending": len(state.a_pending),
+                "b_pending": list(state.b_pending),
+                "a_all": [encode_failure(f) for f in state.a_all],
+                "b_all": [encode_failure(f) for f in state.b_all],
+                "b_consumed": list(state.b_consumed),
+            }
+            for link, state in sorted(matcher.links.items())
+        },
+    }
+
+
+def _decode_matcher(
+    matcher: "OnlineMatcher", raw: Dict[str, Any]  # noqa: F821
+) -> None:
+    matcher.pairs = [
+        (decode_failure(fa), decode_failure(fb)) for fa, fb in raw["pairs"]
+    ]
+    matcher.only_a = [decode_failure(f) for f in raw["only_a"]]
+    matcher.only_b = [decode_failure(f) for f in raw["only_b"]]
+    matcher.partial_a = [decode_failure(f) for f in raw["partial_a"]]
+    matcher.partial_b = [decode_failure(f) for f in raw["partial_b"]]
+    for link, raw_state in raw["links"].items():
+        state = matcher._state(link)
+        state.a_all = [decode_failure(f) for f in raw_state["a_all"]]
+        state.b_all = [decode_failure(f) for f in raw_state["b_all"]]
+        state.b_consumed = list(raw_state["b_consumed"])
+        # a_pending is always the trailing slice of a_all (decisions pop
+        # from the front in arrival order), so its length suffices.
+        pending = raw_state["a_pending"]
+        state.a_pending = deque(
+            state.a_all[len(state.a_all) - pending :] if pending else []
+        )
+        state.b_pending = deque(raw_state["b_pending"])
+
+
+def _encode_coverage(coverage: "OnlineCoverage") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "counts": {
+            direction: {str(bucket): count for bucket, count in buckets.items()}
+            for direction, buckets in coverage.counts.items()
+        },
+        "unmatched": [encode_transition(t) for t in coverage.unmatched],
+        "pending": [encode_transition(t) for t in coverage.pending],
+        "messages": [
+            [link, direction, [[time, reporter] for time, reporter in ring]]
+            for (link, direction), ring in sorted(coverage.messages.items())
+        ],
+    }
+
+
+def _decode_coverage(
+    coverage: "OnlineCoverage", raw: Dict[str, Any]  # noqa: F821
+) -> None:
+    coverage.counts = {
+        direction: {int(bucket): count for bucket, count in buckets.items()}
+        for direction, buckets in raw["counts"].items()
+    }
+    coverage.unmatched = [decode_transition(t) for t in raw["unmatched"]]
+    coverage.pending = deque(decode_transition(t) for t in raw["pending"])
+    for link, direction, ring in raw["messages"]:
+        coverage.messages[(link, direction)] = deque(
+            (time, reporter) for time, reporter in ring
+        )
+
+
+def _encode_flaps(flaps: "OnlineFlapDetector") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "episodes": [encode_episode(e) for e in flaps.episodes],
+        "runs": {
+            link: [run.start, run.end, run.count]
+            for link, run in sorted(flaps.runs.items())
+        },
+    }
+
+
+def _decode_flaps(
+    flaps: "OnlineFlapDetector", raw: Dict[str, Any]  # noqa: F821
+) -> None:
+    from repro.stream.flaps import _FlapRun
+
+    flaps.episodes = [decode_episode(e) for e in raw["episodes"]]
+    for link, (start, end, count) in raw["runs"].items():
+        run = _FlapRun.__new__(_FlapRun)
+        run.start = start
+        run.end = end
+        run.count = count
+        flaps.runs[link] = run
+
+
+# -------------------------------------------------------------- file I/O
+def save_checkpoint(path: str, engine: "StreamEngine") -> None:  # noqa: F821
+    """Write the engine's full state to ``path`` as JSON."""
+    document = engine.checkpoint_state()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read a checkpoint document; raises :class:`CheckpointError` if bad."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    if not isinstance(document, dict) or "version" not in document:
+        raise CheckpointError(f"{path} is not a checkpoint document")
+    version = document["version"]
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} is not supported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    return document

@@ -1,0 +1,183 @@
+"""Online sanitisation (§4.2) and flap detection (§4.1).
+
+:class:`OnlineSanitizer` applies the batch cleaning rules as failures
+are emitted, with the one genuinely temporal rule deferred: a syslog
+failure at or above the 24 h threshold is held until the watermark
+passes its end plus the ticket slack — the horizon inside which a NOC
+ticket corroborating it could still close — before the ticket archive is
+consulted.  Listener-outage masking is immediate: the listener's outage
+log for the elapsed portion of the campaign is already final when the
+failure ends.  Per-link release order is preserved (a held long failure
+queues everything behind it on its link) so downstream consumers see
+per-link failure streams in start order.
+
+:class:`OnlineFlapDetector` replicates the ten-minute rule of §4.1
+(:func:`repro.core.flapping.detect_flap_episodes`): a run of sanitised
+IS-IS failures closes into an episode once the channel's frontier proves
+no further failure can start within the gap threshold of the run's last
+end.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.events import FailureEvent
+from repro.core.flapping import FlapEpisode
+from repro.core.sanitize import (
+    KEEP,
+    KEEP_VERIFIED,
+    SanitizationConfig,
+    SanitizationReport,
+    apply_disposition,
+    classify_failure,
+)
+from repro.intervals import IntervalSet
+from repro.ticketing import TicketSystem
+
+
+class OnlineSanitizer:
+    """Streaming replica of :func:`repro.core.sanitize.sanitize_failures`."""
+
+    def __init__(
+        self,
+        listener_outages: IntervalSet,
+        tickets: Optional[TicketSystem],
+        config: SanitizationConfig,
+    ) -> None:
+        self.listener_outages = listener_outages
+        self.tickets = tickets
+        self.config = config
+        self.report = SanitizationReport()
+        #: Per-link FIFO of failures awaiting a decision.
+        self.held: Dict[str, Deque[FailureEvent]] = {}
+
+    def _decidable(self, failure: FailureEvent, watermark: float) -> bool:
+        if self.tickets is None:
+            return True
+        if failure.duration < self.config.long_failure_threshold:
+            return True
+        # The ticket horizon: a corroborating ticket can open/close up to
+        # `ticket_slack` after the outage; only then is absence decisive.
+        return watermark > failure.end + self.config.ticket_slack
+
+    def feed(self, failure: FailureEvent, watermark: float) -> List[FailureEvent]:
+        """Add one failure; returns the kept failures released by it."""
+        queue = self.held.get(failure.link)
+        if queue is None:
+            queue = self.held[failure.link] = deque()
+        queue.append(failure)
+        return self._drain_link(failure.link, watermark)
+
+    def _drain_link(self, link: str, watermark: float) -> List[FailureEvent]:
+        queue = self.held.get(link)
+        released: List[FailureEvent] = []
+        while queue and self._decidable(queue[0], watermark):
+            failure = queue.popleft()
+            disposition = classify_failure(
+                failure, self.listener_outages, self.tickets, self.config
+            )
+            apply_disposition(self.report, failure, disposition)
+            if disposition in (KEEP, KEEP_VERIFIED):
+                released.append(failure)
+        if queue is not None and not queue:
+            del self.held[link]
+        return released
+
+    def advance(self, watermark: float) -> List[FailureEvent]:
+        """Release everything whose ticket horizon has closed."""
+        released: List[FailureEvent] = []
+        for link in sorted(self.held):
+            released.extend(self._drain_link(link, watermark))
+        return released
+
+    def flush(self) -> List[FailureEvent]:
+        return self.advance(math.inf)
+
+    def held_frontier(self, link: str) -> float:
+        """Lower bound on the start of any held (undecided) failure."""
+        queue = self.held.get(link)
+        return queue[0].start if queue else math.inf
+
+    @property
+    def held_count(self) -> int:
+        return sum(len(queue) for queue in self.held.values())
+
+    def finalized_report(self) -> SanitizationReport:
+        """The report in the batch pass's canonical (start, link) order."""
+        report = SanitizationReport()
+        key = lambda f: (f.start, f.link)  # noqa: E731
+        report.kept = sorted(self.report.kept, key=key)
+        report.removed_listener_overlap = sorted(
+            self.report.removed_listener_overlap, key=key
+        )
+        report.removed_unverified_long = sorted(
+            self.report.removed_unverified_long, key=key
+        )
+        report.verified_long = sorted(self.report.verified_long, key=key)
+        return report
+
+
+class _FlapRun:
+    """A growing run of rapid consecutive failures on one link."""
+
+    __slots__ = ("start", "end", "count")
+
+    def __init__(self, failure: FailureEvent) -> None:
+        self.start = failure.start
+        self.end = failure.end
+        self.count = 1
+
+
+class OnlineFlapDetector:
+    """Streaming replica of :func:`detect_flap_episodes` (ten-minute rule)."""
+
+    def __init__(self, gap_threshold: float) -> None:
+        if gap_threshold <= 0:
+            raise ValueError("gap threshold must be positive")
+        self.gap_threshold = gap_threshold
+        self.runs: Dict[str, _FlapRun] = {}
+        self.episodes: List[FlapEpisode] = []
+
+    def feed(self, failure: FailureEvent) -> None:
+        """Add one sanitised failure (per-link start order required)."""
+        run = self.runs.get(failure.link)
+        if run is not None and failure.start - run.end < self.gap_threshold:
+            run.end = failure.end
+            run.count += 1
+            return
+        if run is not None:
+            self._close(failure.link, run)
+        self.runs[failure.link] = _FlapRun(failure)
+
+    def _close(self, link: str, run: _FlapRun) -> None:
+        if run.count >= 2:
+            self.episodes.append(FlapEpisode(link, run.start, run.end, run.count))
+
+    def advance(self, frontier: Callable[[str], float]) -> None:
+        """Close every run no future failure can extend.
+
+        ``frontier(link)`` bounds the start of any sanitised failure the
+        channel may still emit on ``link``; a run is over once that bound
+        reaches its last end plus the gap threshold.
+        """
+        for link in sorted(self.runs):
+            run = self.runs[link]
+            if frontier(link) >= run.end + self.gap_threshold:
+                self._close(link, run)
+                del self.runs[link]
+
+    def flush(self) -> None:
+        for link in sorted(self.runs):
+            self._close(link, self.runs[link])
+        self.runs.clear()
+
+    def result(self) -> List[FlapEpisode]:
+        """Episodes in the batch detector's canonical (start, link) order."""
+        return sorted(self.episodes, key=lambda e: (e.start, e.link))
+
+    @property
+    def open_run_count(self) -> int:
+        return len(self.runs)

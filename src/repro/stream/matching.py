@@ -1,0 +1,251 @@
+"""Watermark-driven failure matching and transition coverage (§3.4 online).
+
+:class:`OnlineMatcher` replicates the batch greedy one-to-one matcher
+(:func:`repro.core.matching.match_failures`) with deferred decisions.
+Matching is per-link, and per-link failure streams are ordered by start
+*and* end (down spans on one link cannot overlap), so a syslog failure's
+verdict is final as soon as the IS-IS side's **frontier** — a lower bound
+on the start of any IS-IS failure still to come on that link — clears
+both the matching window past the failure's start and the failure's end
+(for partial-overlap accounting).  Decisions therefore stream out within
+one matching window plus hold-timer slack of real time, and the
+end-of-stream result is exactly the batch matcher's.
+
+:class:`OnlineCoverage` replicates
+:func:`repro.core.matching.count_matching_reporters` (Table 3): each
+IS-IS transition is scored once the watermark passes its time plus the
+matching window, against a pruned ring of recent syslog messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Set, Tuple
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.matching import (
+    FailureMatchResult,
+    TransitionCoverage,
+)
+
+
+class _LinkMatchState:
+    """Matcher bookkeeping for one link."""
+
+    __slots__ = ("a_pending", "b_pending", "a_all", "b_all", "b_consumed")
+
+    def __init__(self) -> None:
+        #: Undecided failures, FIFO in start order.
+        self.a_pending: Deque[FailureEvent] = deque()
+        #: Indices into b_all not yet resolved as matched or only-b.
+        self.b_pending: Deque[int] = deque()
+        #: Every kept failure seen, in start order (overlap accounting).
+        self.a_all: List[FailureEvent] = []
+        self.b_all: List[FailureEvent] = []
+        self.b_consumed: List[bool] = []
+
+
+class OnlineMatcher:
+    """Greedy one-to-one failure matching with provably-final decisions.
+
+    ``a`` is the syslog channel, ``b`` the IS-IS channel, matching the
+    batch call ``match_failures(syslog_kept, isis_kept)``.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window < 0:
+            raise ValueError("matching window must be non-negative")
+        self.window = window
+        self.links: Dict[str, _LinkMatchState] = {}
+        self.pairs: List[Tuple[FailureEvent, FailureEvent]] = []
+        self.only_a: List[FailureEvent] = []
+        self.only_b: List[FailureEvent] = []
+        self.partial_a: List[FailureEvent] = []
+        self.partial_b: List[FailureEvent] = []
+
+    def _state(self, link: str) -> _LinkMatchState:
+        state = self.links.get(link)
+        if state is None:
+            state = self.links[link] = _LinkMatchState()
+        return state
+
+    def feed_a(self, failure: FailureEvent) -> None:
+        state = self._state(failure.link)
+        state.a_pending.append(failure)
+        state.a_all.append(failure)
+
+    def feed_b(self, failure: FailureEvent) -> None:
+        state = self._state(failure.link)
+        state.b_all.append(failure)
+        state.b_consumed.append(False)
+        state.b_pending.append(len(state.b_all) - 1)
+
+    # ---------------------------------------------------------- decisions
+    def advance(
+        self,
+        frontier_a: Callable[[str], float],
+        frontier_b: Callable[[str], float],
+    ) -> None:
+        """Decide every pending failure the frontiers prove final.
+
+        ``frontier_a(link)`` / ``frontier_b(link)`` return a lower bound
+        on the start of any *kept* failure the respective channel may
+        still emit on ``link``.
+        """
+        for link, state in self.links.items():
+            if state.a_pending or state.b_pending:
+                self._advance_link(link, state, frontier_a(link), frontier_b(link))
+
+    def _advance_link(
+        self,
+        link: str,
+        state: _LinkMatchState,
+        frontier_a: float,
+        frontier_b: float,
+    ) -> None:
+        window = self.window
+        while state.a_pending:
+            fa = state.a_pending[0]
+            if not (frontier_b > fa.start + window and frontier_b >= fa.end):
+                break
+            state.a_pending.popleft()
+            match_index = None
+            for i, fb in enumerate(state.b_all):
+                if state.b_consumed[i]:
+                    continue
+                if fb.start > fa.start + window:
+                    break
+                if (
+                    abs(fb.start - fa.start) <= window
+                    and abs(fb.end - fa.end) <= window
+                ):
+                    match_index = i
+                    break
+            if match_index is None:
+                self.only_a.append(fa)
+                if any(fa.overlaps(fb) for fb in state.b_all):
+                    self.partial_a.append(fa)
+            else:
+                state.b_consumed[match_index] = True
+                self.pairs.append((fa, state.b_all[match_index]))
+
+        while state.b_pending:
+            index = state.b_pending[0]
+            if state.b_consumed[index]:
+                # Matched; the pair was recorded on the a side.
+                state.b_pending.popleft()
+                continue
+            fb = state.b_all[index]
+            if not (frontier_a > fb.start + window and frontier_a >= fb.end):
+                break
+            if state.a_pending and state.a_pending[0].start <= fb.start + window:
+                # An undecided syslog failure could still consume it.
+                break
+            state.b_pending.popleft()
+            self.only_b.append(fb)
+            if any(fb.overlaps(fa) for fa in state.a_all):
+                self.partial_b.append(fb)
+
+    def flush(self) -> None:
+        """End of stream: every frontier is infinite; decide everything."""
+        infinite = lambda _link: float("inf")  # noqa: E731
+        self.advance(infinite, infinite)
+
+    def result(self) -> FailureMatchResult:
+        """The match result in the batch matcher's canonical order."""
+        result = FailureMatchResult()
+        result.pairs = sorted(self.pairs, key=lambda p: (p[0].start, p[0].link))
+        result.only_a = sorted(self.only_a, key=lambda f: (f.start, f.link))
+        result.only_b = sorted(self.only_b, key=lambda f: (f.start, f.link))
+        result.partial_a = sorted(self.partial_a, key=lambda f: (f.start, f.link))
+        result.partial_b = sorted(self.partial_b, key=lambda f: (f.start, f.link))
+        return result
+
+    @property
+    def pending_count(self) -> int:
+        return sum(
+            len(s.a_pending) + len(s.b_pending) for s in self.links.values()
+        )
+
+    @property
+    def decided_count(self) -> int:
+        return len(self.pairs) + len(self.only_a) + len(self.only_b)
+
+
+class OnlineCoverage:
+    """Incremental Table 3: reporters matching each IS-IS transition."""
+
+    def __init__(self, window: float, reference_merge_window: float) -> None:
+        self.window = window
+        self.reference_merge_window = reference_merge_window
+        self.counts: Dict[str, Dict[int, int]] = {
+            "down": {0: 0, 1: 0, 2: 0},
+            "up": {0: 0, 1: 0, 2: 0},
+        }
+        self.unmatched: List[Transition] = []
+        self.pending: Deque[Transition] = deque()
+        #: (link, direction) -> deque of (time, reporter), in event time.
+        self.messages: Dict[Tuple[str, str], Deque[Tuple[float, str]]] = {}
+
+    def feed_message(self, message: LinkMessage) -> None:
+        key = (message.link, message.direction)
+        ring = self.messages.get(key)
+        if ring is None:
+            ring = self.messages[key] = deque()
+        ring.append((message.time, message.reporter))
+
+    def feed_transition(self, transition: Transition) -> None:
+        self.pending.append(transition)
+
+    def advance(self, watermark: float) -> None:
+        while self.pending and watermark > self.pending[0].time + self.window:
+            self._decide(self.pending.popleft())
+        self._prune(watermark)
+
+    def _decide(self, transition: Transition) -> None:
+        ring = self.messages.get((transition.link, transition.direction), ())
+        low = transition.time - self.window
+        high = transition.time + self.window
+        reporters: Set[str] = set()
+        for time, reporter in ring:
+            if time < low:
+                continue
+            if time > high:
+                break
+            reporters.add(reporter)
+        bucket = min(len(reporters), 2)
+        self.counts[transition.direction][bucket] += 1
+        if bucket == 0:
+            self.unmatched.append(transition)
+
+    def _prune(self, watermark: float) -> None:
+        # Messages can be dropped once nothing pending or future (the
+        # earliest future reference transition starts no earlier than the
+        # watermark minus the reference channel's merge window) needs them.
+        cut = watermark - self.reference_merge_window
+        for transition in self.pending:
+            cut = min(cut, transition.time)
+        cut -= self.window
+        for ring in self.messages.values():
+            while ring and ring[0][0] < cut:
+                ring.popleft()
+
+    def flush(self) -> None:
+        while self.pending:
+            self._decide(self.pending.popleft())
+        self.messages.clear()
+
+    def result(self) -> TransitionCoverage:
+        """Coverage in the batch reference order (time, then link)."""
+        coverage = TransitionCoverage()
+        coverage.counts = {
+            direction: dict(buckets) for direction, buckets in self.counts.items()
+        }
+        coverage.unmatched = sorted(
+            self.unmatched, key=lambda t: (t.time, t.link)
+        )
+        return coverage
+
+    @property
+    def message_buffer_size(self) -> int:
+        return sum(len(ring) for ring in self.messages.values())

@@ -1,0 +1,294 @@
+"""Per-link online state machines replacing the batch timeline build.
+
+Two machines, both exact incremental replicas of their batch
+counterparts:
+
+:class:`OnlineRunMerger`
+    replicates :func:`repro.core.reconstruct.merge_messages`: per-link
+    runs of same-direction messages collapse into link-level
+    :class:`~repro.core.events.Transition` records.  A run closes the
+    moment a message proves it over (direction change, or same direction
+    outside the merge window) — or when the watermark passes the run's
+    start plus the merge window, after which no message can join it.
+
+:class:`OnlineTimeline`
+    replicates :meth:`LinkStateTimeline.from_transitions` plus
+    :func:`failures_from_timelines` for one link: it applies the
+    ambiguity strategy transition by transition, merges contiguous
+    equal-state segments on the fly, and emits a
+    :class:`~repro.core.events.FailureEvent` the moment a complete
+    (non-censored) DOWN span can no longer change — which for the
+    paper's PREVIOUS_STATE strategy is as soon as the watermark passes
+    the closing UP transition.
+
+Both machines expose *frontiers*: provable lower bounds on the time of
+anything they may still emit for a link.  Frontiers are what lets the
+downstream matcher and flap detector finalise early without ever being
+wrong.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.intervals.timeline import (
+    DOWN,
+    AmbiguityStrategy,
+    LinkState,
+    _window_state,
+)
+
+
+class OnlineRunMerger:
+    """Incremental replica of ``merge_messages`` for one message category."""
+
+    def __init__(self, merge_window: float, source: str) -> None:
+        if merge_window < 0:
+            raise ValueError("merge window must be non-negative")
+        self.merge_window = merge_window
+        self.source = source
+        self._open_runs: Dict[str, List[LinkMessage]] = {}
+        self.transition_count = 0
+
+    def _close(self, run: List[LinkMessage]) -> Transition:
+        self.transition_count += 1
+        return Transition(
+            time=run[0].time,
+            link=run[0].link,
+            direction=run[0].direction,
+            source=self.source,
+            reporters=frozenset(message.reporter for message in run),
+            messages=tuple(run),
+        )
+
+    def feed(self, message: LinkMessage) -> Optional[Transition]:
+        """Add one message; returns the transition it closed, if any."""
+        run = self._open_runs.get(message.link)
+        if (
+            run is not None
+            and message.direction == run[0].direction
+            and message.time - run[0].time <= self.merge_window
+        ):
+            run.append(message)
+            return None
+        self._open_runs[message.link] = [message]
+        return self._close(run) if run is not None else None
+
+    def advance(self, watermark: float) -> List[Transition]:
+        """Close every run no future message (time >= watermark) can join."""
+        closed: List[Transition] = []
+        for link in sorted(self._open_runs):
+            run = self._open_runs[link]
+            if watermark > run[0].time + self.merge_window:
+                closed.append(self._close(run))
+                del self._open_runs[link]
+        return closed
+
+    def frontier(self, link: str, watermark: float) -> float:
+        """Lower bound on the time of any future transition on ``link``."""
+        run = self._open_runs.get(link)
+        return min(run[0].time, watermark) if run is not None else watermark
+
+    @property
+    def open_run_count(self) -> int:
+        return len(self._open_runs)
+
+    @property
+    def open_runs(self) -> Dict[str, List[LinkMessage]]:
+        """The open runs, exposed for checkpointing."""
+        return self._open_runs
+
+
+class OnlineTimeline:
+    """Incremental replica of the batch timeline build for one link.
+
+    State mirrors the loop variables of ``from_transitions`` (``cursor``,
+    ``state``, ``last_message_time``) plus the one piece of deferred
+    bookkeeping the batch code does afterwards: the *tail*, the last
+    merged constant-state segment, which stays open until a
+    different-state segment (or the horizon) seals it.  Sealed DOWN
+    tails that touch neither horizon edge become failures.
+    """
+
+    def __init__(
+        self,
+        link: str,
+        horizon_start: float,
+        horizon_end: float,
+        strategy: AmbiguityStrategy,
+        source: str,
+    ) -> None:
+        self.link = link
+        self.horizon_start = horizon_start
+        self.horizon_end = horizon_end
+        self.strategy = strategy
+        self.source = source
+
+        self.cursor = horizon_start
+        self.state = LinkState.UP
+        self.last_message_time: Optional[float] = None
+        #: The unfinalised merged segment, or None ((start, end, state));
+        #: invariant: tail.end == cursor.
+        self.tail: Optional[Tuple[float, float, LinkState]] = None
+        #: Same-time reorder buffer: transitions at pending_time.
+        self.pending: List[Transition] = []
+        self.pending_time: Optional[float] = None
+        #: (time, direction) -> Transition, for failure attachment.
+        self.index: Dict[Tuple[float, str], Transition] = {}
+        self.anomaly_count = 0
+        self.flushed = False
+        #: Finalised failures awaiting collection by the engine.
+        self.emitted: List[FailureEvent] = []
+
+    # -------------------------------------------------------------- feed
+    def feed(self, transition: Transition) -> None:
+        """Apply one link transition (must arrive in time order)."""
+        time = transition.time
+        if not self.horizon_start <= time < self.horizon_end:
+            return
+        if self.pending_time is not None and time < self.pending_time:
+            raise ValueError(
+                f"transition at {time} precedes pending time {self.pending_time}"
+            )
+        if self.pending_time is not None and time > self.pending_time:
+            self._release_pending()
+        self.pending_time = time
+        self.pending.append(transition)
+        self.index[(time, transition.direction)] = transition
+
+    def _release_pending(self) -> None:
+        # The batch build sorts (time, direction) pairs, so equal-time
+        # transitions apply down-before-up regardless of arrival order.
+        self.pending.sort(key=lambda t: t.direction)
+        for transition in self.pending:
+            self._apply(transition.time, transition.direction)
+        self.pending = []
+        self.pending_time = None
+
+    def _apply(self, time: float, direction: str) -> None:
+        new_state = LinkState.DOWN if direction == DOWN else LinkState.UP
+        if new_state == self.state:
+            if self.last_message_time is None:
+                self.last_message_time = time
+                return
+            self.anomaly_count += 1
+            window = _window_state(self.strategy, self.state)
+            if window != self.state:
+                self._append(self.cursor, self.last_message_time, self.state)
+                self._append(self.last_message_time, time, window)
+                self.cursor = time
+            self.last_message_time = time
+        else:
+            self._append(self.cursor, time, self.state)
+            self.cursor = time
+            self.state = new_state
+            self.last_message_time = time
+
+    # ----------------------------------------------------- segment merge
+    def _append(self, start: float, end: float, state: LinkState) -> None:
+        if start == end:
+            return
+        if (
+            self.tail is not None
+            and self.tail[2] == state
+            and self.tail[1] == start
+        ):
+            self.tail = (self.tail[0], end, state)
+            return
+        if self.tail is not None:
+            self._seal_tail()
+        self.tail = (start, end, state)
+
+    def _seal_tail(self) -> None:
+        start, end, state = self.tail
+        self.tail = None
+        if (
+            state is LinkState.DOWN
+            and start > self.horizon_start
+            and end < self.horizon_end
+        ):
+            self.emitted.append(
+                FailureEvent(
+                    link=self.link,
+                    start=start,
+                    end=end,
+                    source=self.source,
+                    start_transition=self.index.get((start, "down")),
+                    end_transition=self.index.get((end, "up")),
+                )
+            )
+        # Future span boundaries all lie at or after this segment's end.
+        stale = [key for key in self.index if key[0] < end]
+        for key in stale:
+            del self.index[key]
+
+    # ----------------------------------------------------------- advance
+    def advance(self, watermark: float) -> None:
+        """Finalise everything the watermark proves immutable."""
+        if self.pending_time is not None and watermark > self.pending_time:
+            self._release_pending()
+        if (
+            self.tail is not None
+            and self.tail[2] != self.state
+            and watermark > self.cursor
+            and not self._tail_can_still_grow()
+        ):
+            self._seal_tail()
+
+    def _tail_can_still_grow(self) -> bool:
+        # A future ambiguity window starting exactly at the tail's end
+        # could merge into it — only when the strategy forces windows to
+        # the tail's state and the last message sits at the cursor.
+        return (
+            _window_state(self.strategy, self.state) == self.tail[2]
+            and self.last_message_time == self.cursor
+        )
+
+    def flush(self) -> None:
+        """End of stream: close the final segment at the horizon edge."""
+        if self.flushed:
+            return
+        self.flushed = True
+        if self.pending:
+            self._release_pending()
+        self.pending_time = None
+        self._append(self.cursor, self.horizon_end, self.state)
+        self.cursor = self.horizon_end
+        if self.tail is not None:
+            self._seal_tail()
+
+    def collect(self) -> List[FailureEvent]:
+        """Drain finalised failures (engine calls after feed/advance)."""
+        if not self.emitted:
+            return []
+        out = self.emitted
+        self.emitted = []
+        return out
+
+    # ---------------------------------------------------------- frontier
+    def down_frontier(self) -> float:
+        """Lower bound on the start of any failure still to be emitted."""
+        frontier = math.inf
+        if self.tail is not None and self.tail[2] is LinkState.DOWN:
+            frontier = min(frontier, self.tail[0])
+        if self.state is LinkState.DOWN:
+            if (
+                self.tail is not None
+                and self.tail[2] is LinkState.DOWN
+                and self.tail[1] == self.cursor
+            ):
+                frontier = min(frontier, self.tail[0])
+            else:
+                frontier = min(frontier, self.cursor)
+        if self.pending_time is not None:
+            frontier = min(frontier, self.pending_time)
+        if (
+            self.strategy is not AmbiguityStrategy.PREVIOUS_STATE
+            and self.last_message_time is not None
+        ):
+            # Non-default strategies can open DOWN windows reaching back
+            # to the last message.
+            frontier = min(frontier, self.last_message_time)
+        return frontier

@@ -53,6 +53,72 @@ class TestReport:
         assert "Channel comparison" in capsys.readouterr().out
 
 
+class TestReportNewTables:
+    def test_table2(self, campaign_dir, capsys):
+        code = main(["report", str(campaign_dir), "--seed", "11", "--table", "table2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "IS reach" in out
+
+    def test_table3(self, campaign_dir, capsys):
+        code = main(["report", str(campaign_dir), "--seed", "11", "--table", "table3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "flap attribution" in out
+
+
+class TestStream:
+    def test_matches_analyze_output(self, campaign_dir, capsys):
+        code = main(["analyze", str(campaign_dir), "--seed", "11"])
+        assert code == 0
+        analyze_out = capsys.readouterr().out
+        code = main(
+            ["stream", str(campaign_dir), "--seed", "11", "--progress-every", "0"]
+        )
+        assert code == 0
+        stream_out = capsys.readouterr().out
+        assert "Stream consumption" in stream_out
+        # The end-of-stream tables are byte-identical to analyze's.
+        start = stream_out.index("Channel comparison")
+        assert stream_out[start:] == analyze_out[analyze_out.index("Channel comparison"):]
+
+    def test_checkpoint_and_resume(self, campaign_dir, tmp_path, capsys):
+        ckpt = tmp_path / "engine.ckpt"
+        code = main(
+            [
+                "stream", str(campaign_dir), "--seed", "11",
+                "--progress-every", "0",
+                "--checkpoint", str(ckpt), "--checkpoint-every", "500",
+            ]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+        code = main(
+            [
+                "stream", str(campaign_dir), "--seed", "11",
+                "--progress-every", "0",
+                "--checkpoint", str(ckpt), "--resume",
+            ]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+        start = first.index("Channel comparison")
+        assert first[start:] == resumed[resumed.index("Channel comparison"):]
+
+    def test_checkpoint_every_requires_checkpoint(self, campaign_dir, capsys):
+        code = main(
+            ["stream", str(campaign_dir), "--seed", "11", "--checkpoint-every", "10"]
+        )
+        assert code == 2
+
+    def test_resume_requires_checkpoint(self, campaign_dir):
+        code = main(["stream", str(campaign_dir), "--seed", "11", "--resume"])
+        assert code == 2
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
