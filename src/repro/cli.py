@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands mirror the paper's workflow:
+Five subcommands — four mirror the paper's workflow, one guards it:
 
 ``repro simulate``
     Run a measurement campaign and save the dataset directory (configs/,
@@ -20,6 +20,11 @@ Four subcommands mirror the paper's workflow:
     the same end-of-stream tables as ``analyze``, and optional periodic
     checkpoints a killed run resumes from with ``--resume``.
 
+``repro lint``
+    Run the project's reproducibility linter (:mod:`repro.devtools`):
+    determinism, mutable-default, checkpoint-codec-drift, and event-time
+    rules over the source tree.  See ``docs/static-analysis.md``.
+
 Examples::
 
     repro simulate --seed 7 --days 60 --out campaign/
@@ -28,6 +33,7 @@ Examples::
     repro stream campaign/ --seed 7 --checkpoint engine.ckpt \\
         --checkpoint-every 50000
     repro stream campaign/ --seed 7 --checkpoint engine.ckpt --resume
+    repro lint src --format json
 """
 
 from __future__ import annotations
@@ -101,6 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=256,
         help="events between watermark sweeps (latency knob, not results)",
     )
+
+    from repro.devtools.lint import add_arguments as add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint", help="run the reproducibility linter (docs/static-analysis.md)"
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -420,6 +433,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "stream":
         return _run_stream(args)
+    if args.command == "lint":
+        from repro.devtools.lint import run as run_lint
+
+        return run_lint(args)
     raise AssertionError("unreachable")
 
 

@@ -234,7 +234,9 @@ def write_figure1(analysis, directory: Union[str, Path]) -> List[Path]:
         written.append(svg_path)
         csv_path = root / f"figure1{suffix}.csv"
         lines = ["series,value"]
-        for label, series in panels[name].items():
+        # Panels are built in a fixed literal order (Syslog before IS-IS)
+        # and the CSV must keep that presentation order, not sort it.
+        for label, series in panels[name].items():  # reprolint: disable=D005 -- panel dict is built in fixed literal order; CSV rows keep presentation order
             lines.extend(f"{label},{value:.6f}" for value in sorted(series.values))
         csv_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
         written.append(csv_path)

@@ -111,7 +111,7 @@ def intersect_isolation(
 ) -> Dict[str, IntervalSet]:
     """Per-site intersection — Table 7's "Intersection" row."""
     result: Dict[str, IntervalSet] = {}
-    for site in set(per_site_a) | set(per_site_b):
+    for site in sorted(set(per_site_a) | set(per_site_b)):
         a = per_site_a.get(site, IntervalSet())
         b = per_site_b.get(site, IntervalSet())
         result[site] = a.intersection(b)

@@ -196,7 +196,7 @@ def match_failures(
             used[match_index] = True
             result.pairs.append((failure, candidates[match_index]))
 
-    for link, candidates in by_link_b.items():
+    for link, candidates in sorted(by_link_b.items()):
         for i, candidate in enumerate(candidates):
             if not consumed[link][i]:
                 result.only_b.append(candidate)

@@ -99,7 +99,7 @@ def time_between_failures_hours(
     for failure in failures:
         by_link.setdefault(failure.link, []).append(failure)
     gaps: List[float] = []
-    for link_failures in by_link.values():
+    for _link, link_failures in sorted(by_link.items()):
         ordered = sorted(link_failures, key=lambda f: f.start)
         for previous, current in zip(ordered, ordered[1:]):
             gaps.append(max(0.0, current.start - previous.end) / SECONDS_PER_HOUR)

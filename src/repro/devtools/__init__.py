@@ -1,0 +1,26 @@
+"""``repro.devtools`` — project-specific static analysis (``repro lint``).
+
+The linter exists because the repository's guarantees are statistical
+only if they are also mechanical: byte-reproducible tables from the same
+traces, and checkpoint/resume identical to batch.  See
+``docs/static-analysis.md`` for the rule catalogue and
+:mod:`repro.devtools.lint` for the command-line driver.
+"""
+
+from repro.devtools.base import (
+    Finding,
+    Project,
+    REGISTRY,
+    Rule,
+    SourceModule,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "Project",
+    "REGISTRY",
+    "Rule",
+    "SourceModule",
+    "register",
+]

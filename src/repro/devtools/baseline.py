@@ -1,0 +1,97 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON document listing findings that existed
+when the linter was introduced.  ``repro lint`` subtracts baselined
+findings from its report, so new code is held to the rules immediately
+while legacy findings are burned down over time.  This repository ships
+an **empty** baseline — every finding was fixed or justified inline —
+but the mechanism stays, because the next rule added will likely land
+with history behind it.
+
+Matching is by ``(rule, path, stripped source line)`` rather than line
+number, so unrelated edits that shift lines do not invalidate entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.devtools.base import Finding
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+class BaselineError(Exception):
+    """A baseline file is unreadable or structurally wrong."""
+
+
+def _key(rule: str, path: str, snippet: str) -> _Key:
+    return (rule, os.path.normpath(path).replace("\\", "/"), snippet.strip())
+
+
+def finding_key(finding: Finding) -> _Key:
+    return _key(finding.rule, finding.path, finding.snippet)
+
+
+def load_baseline(path: str) -> Set[_Key]:
+    """Read a baseline document into a set of match keys."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    except ValueError as error:
+        raise BaselineError(f"baseline {path} is not JSON: {error}") from error
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise BaselineError(f"baseline {path} is not a baseline document")
+    keys: Set[_Key] = set()
+    for entry in document["findings"]:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path} has a malformed entry")
+        keys.add(
+            _key(
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("snippet", "")),
+            )
+        )
+    return keys
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as a fresh baseline document."""
+    entries: List[Dict[str, object]] = [
+        {
+            "rule": finding.rule,
+            "path": os.path.normpath(finding.path).replace("\\", "/"),
+            "snippet": finding.snippet.strip(),
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Set[_Key]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined)."""
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        if finding_key(finding) in baseline:
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

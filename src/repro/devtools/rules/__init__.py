@@ -1,0 +1,3 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.devtools.rules import codec, determinism, eventtime, mutability  # noqa: F401

@@ -1,0 +1,328 @@
+"""Checkpoint-codec completeness rules (C001, C002).
+
+``repro.stream.checkpoint`` promises that a restored engine is
+value-identical to the checkpointed one.  That promise dies silently
+the day someone adds a field to a state class in ``stream/state.py``
+(or ``stream/matching.py``/``stream/flaps.py``) and forgets the codec:
+the checkpoint still round-trips, the resumed stream just computes
+different numbers.  These rules make that drift a lint failure.
+
+The convention they enforce is already the codebase's own:
+
+* every codec pair is two functions ``[_]encode_X`` / ``[_]decode_X``
+  in the same project, paired by the ``X`` suffix;
+* the encode function's first parameter is annotated with the state
+  class it serialises (a real name or a string forward reference);
+* the encode function must *read* every checkable attribute of that
+  class (C001).  Checkable attributes are dataclass fields and
+  ``self.x = ...`` assignments in ``__init__``, minus underscore-private
+  names and pure parameter aliases (``self.x = x``), which the decode
+  side reconstructs through the constructor;
+* every string key the encode side writes into a dict literal must be
+  read back by the paired decode function, and vice versa (C002).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.base import (
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    register,
+)
+
+CODEC_NAME_RE = re.compile(r"^_?(encode|decode)_(\w+)$")
+
+
+@dataclass
+class StateClass:
+    """A state class plus where each checkable attribute is defined."""
+
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    #: attribute name -> defining AST node (for finding anchors).
+    attributes: Dict[str, ast.AST] = field(default_factory=dict)
+
+
+def _annotation_class_name(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The class name an encode parameter annotation refers to."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        # Forward reference: "StreamEngine", possibly dotted.
+        return annotation.value.rsplit(".", 1)[-1].strip()
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):
+        # Optional["X"] / Annotated[X, ...] — look at the first argument.
+        inner = annotation.slice
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            return _annotation_class_name(inner.elts[0])
+        return _annotation_class_name(inner)
+    return None
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    return (
+        isinstance(annotation, ast.Name)
+        and annotation.id == "ClassVar"
+        or isinstance(annotation, ast.Attribute)
+        and annotation.attr == "ClassVar"
+    )
+
+
+def collect_state_class(
+    module: SourceModule, node: ast.ClassDef
+) -> StateClass:
+    """Gather the checkable attributes of one class.
+
+    Dataclass-style annotated fields and ``__init__`` self-assignments
+    both count; underscore-private names and ``self.x = x`` parameter
+    aliases do not (the constructor reconstructs those on decode).
+    """
+    state = StateClass(name=node.name, module=module, node=node)
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            name = statement.target.id
+            if not name.startswith("_") and not _is_classvar(
+                statement.annotation
+            ):
+                state.attributes.setdefault(name, statement)
+    init = next(
+        (
+            item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+        ),
+        None,
+    )
+    if init is not None:
+        params = {arg.arg for arg in init.args.args}
+        for statement in ast.walk(init):
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target, value = statement.targets[0], statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                target, value = statement.target, statement.value
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            name = target.attr
+            if name.startswith("_"):
+                continue
+            if (
+                isinstance(value, ast.Name)
+                and value.id in params
+                and value.id == name
+            ):
+                continue  # pure parameter alias; rebuilt by the constructor
+            state.attributes.setdefault(name, target)
+    return state
+
+
+def _attribute_reads(func: ast.FunctionDef, param: str) -> Set[str]:
+    """Attribute names read off ``param`` anywhere in ``func``."""
+    reads: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+        ):
+            reads.add(node.attr)
+    return reads
+
+
+def _dict_keys(func: ast.FunctionDef) -> Dict[str, ast.AST]:
+    """Every string key of every dict literal in ``func``."""
+    keys: Dict[str, ast.AST] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.setdefault(key.value, key)
+    return keys
+
+
+def _read_keys(func: ast.FunctionDef) -> Set[str]:
+    """String keys a decode function reads: subscripts and ``.get``."""
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(
+                index.value, str
+            ):
+                keys.add(index.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+        ):
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                keys.add(first.value)
+    return keys
+
+
+@dataclass
+class CodecFunction:
+    module: SourceModule
+    node: ast.FunctionDef
+    kind: str  # "encode" | "decode"
+    suffix: str
+
+
+def find_codec_functions(project: Project) -> List[CodecFunction]:
+    found: List[CodecFunction] = []
+    for module in project.modules:
+        if module.tree is None:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            match = CODEC_NAME_RE.match(node.name)
+            if match is None:
+                continue
+            found.append(
+                CodecFunction(
+                    module=module,
+                    node=node,
+                    kind=match.group(1),
+                    suffix=match.group(2),
+                )
+            )
+    return found
+
+
+class _CodecRuleBase(Rule):
+    """Shared driver: run once per project, anchored to the encode module."""
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        codecs = find_codec_functions(project)
+        encoders = [c for c in codecs if c.kind == "encode"]
+        decoders = {c.suffix: c for c in codecs if c.kind == "decode"}
+        for encoder in encoders:
+            # Each (encode, decode) pair is checked exactly once, when the
+            # driver visits the module holding the encode function.
+            if encoder.module is not module:
+                continue
+            yield from self.check_pair(encoder, decoders.get(encoder.suffix), project)
+
+    def check_pair(
+        self,
+        encoder: CodecFunction,
+        decoder: Optional[CodecFunction],
+        project: Project,
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class CodecFieldRule(_CodecRuleBase):
+    id = "C001"
+    name = "codec-missing-field"
+    rationale = (
+        "A state field the encode function never reads silently vanishes "
+        "from checkpoints: resume still works, the numbers just change. "
+        "Every checkable field of the annotated state class must be read "
+        "by its encoder (or carry a justified suppression)."
+    )
+
+    def check_pair(
+        self,
+        encoder: CodecFunction,
+        decoder: Optional[CodecFunction],
+        project: Project,
+    ) -> Iterator[Finding]:
+        args = encoder.node.args.args
+        if not args:
+            return
+        class_name = _annotation_class_name(args[0].annotation)
+        if class_name is None:
+            return
+        located = project.find_class(class_name)
+        if located is None:
+            return
+        state_module, class_node = located
+        state = collect_state_class(state_module, class_node)
+        reads = _attribute_reads(encoder.node, args[0].arg)
+        for attr in sorted(state.attributes):
+            if attr in reads:
+                continue
+            yield state_module.finding(
+                self.id,
+                state.attributes[attr],
+                f"state field `{class_name}.{attr}` is never read by "
+                f"`{encoder.node.name}` in {encoder.module.path}: "
+                f"checkpoints silently drop it (codec drift)",
+            )
+
+
+@register
+class CodecKeyRule(_CodecRuleBase):
+    id = "C002"
+    name = "codec-key-drift"
+    rationale = (
+        "Every key the encode side writes must be read by the paired "
+        "decode (and vice versa); a one-sided key means a checkpoint "
+        "round-trip silently loses or invents state."
+    )
+
+    def check_pair(
+        self,
+        encoder: CodecFunction,
+        decoder: Optional[CodecFunction],
+        project: Project,
+    ) -> Iterator[Finding]:
+        written = _dict_keys(encoder.node)
+        if decoder is None:
+            if written:
+                yield encoder.module.finding(
+                    self.id,
+                    encoder.node,
+                    f"`{encoder.node.name}` writes checkpoint keys but has "
+                    f"no paired `decode_{encoder.suffix}`",
+                )
+            return
+        read = _read_keys(decoder.node)
+        for key in sorted(set(written) - read):
+            yield encoder.module.finding(
+                self.id,
+                written[key],
+                f"checkpoint key '{key}' written by `{encoder.node.name}` "
+                f"is never read by `{decoder.node.name}`",
+            )
+        for key in sorted(read - set(written)):
+            yield decoder.module.finding(
+                self.id,
+                decoder.node,
+                f"checkpoint key '{key}' read by `{decoder.node.name}` is "
+                f"never written by `{encoder.node.name}`",
+            )

@@ -1,0 +1,392 @@
+"""Determinism rules (D001–D005).
+
+Byte-reproducibility is the project's core methodological claim: the
+same traces must yield the same Table 2/3 numbers on every run.  These
+rules ban the constructs that break that silently — wall-clock reads,
+shared/unseeded randomness, and iteration orders the interpreter does
+not pin down.  They are scoped to the output-producing packages
+(``core``, ``stream``, ``simulation``); files outside the ``repro``
+package are always checked so fixtures can exercise them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.devtools.base import (
+    OUTPUT_PACKAGES,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    SourceModule,
+    call_name,
+    register,
+)
+
+#: Canonical callables that read the wall clock or process timers.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
+#: ``random`` module functions that draw from the shared global generator.
+MODULE_RANDOM_CALLS = {
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.expovariate",
+    "random.betavariate",
+    "random.paretovariate",
+    "random.weibullvariate",
+    "random.lognormvariate",
+    "random.vonmisesvariate",
+    "random.triangular",
+    "random.getrandbits",
+    "random.seed",
+    "random.randbytes",
+}
+
+#: Entropy sources that are nondeterministic by design.
+ENTROPY_CALLS = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "random.SystemRandom",
+}
+
+
+def _last_attr(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _is_datetime_wallclock(dotted: str) -> bool:
+    """``datetime.now()`` / ``date.today()`` / ``utcnow`` chains."""
+    parts = dotted.split(".")
+    if parts[-1] not in ("now", "today", "utcnow"):
+        return False
+    return any(part in ("datetime", "date") for part in parts[:-1])
+
+
+@register
+class WallClockRule(Rule):
+    id = "D001"
+    name = "wall-clock"
+    rationale = (
+        "Reading the wall clock makes output depend on when the analysis "
+        "runs; all time in this project is event time carried by the data."
+    )
+    scope = OUTPUT_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node, imports)
+            if dotted is None:
+                continue
+            if dotted in WALL_CLOCK_CALLS or _is_datetime_wallclock(dotted):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"wall-clock read `{dotted}()`: derive times from "
+                    f"event data, not from when the code runs",
+                )
+
+
+@register
+class SharedRandomRule(Rule):
+    id = "D002"
+    name = "unseeded-random"
+    rationale = (
+        "The global `random` module generator (and an unseeded "
+        "`random.Random()`) is shared, order-sensitive state; every "
+        "stream must come from `repro.util.rand.child_rng`."
+    )
+    scope = OUTPUT_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node, imports)
+            if dotted is None:
+                continue
+            if dotted in MODULE_RANDOM_CALLS:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"`{dotted}()` draws from the shared module-level "
+                    f"generator; derive a stream with "
+                    f"`repro.util.rand.child_rng` instead",
+                )
+            elif dotted == "random.Random" and not node.args and not node.keywords:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "`random.Random()` without a seed is seeded from the "
+                    "OS; pass an explicit seed (see "
+                    "`repro.util.rand.child_rng`)",
+                )
+
+
+@register
+class EntropyRule(Rule):
+    id = "D003"
+    name = "os-entropy"
+    rationale = (
+        "`os.urandom`, `uuid.uuid4` and `SystemRandom` are nondeterministic "
+        "by construction and can never appear on an output path."
+    )
+    scope = OUTPUT_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node, imports)
+            if dotted is None:
+                continue
+            if dotted in ENTROPY_CALLS or dotted.startswith("secrets."):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"`{dotted}()` is OS entropy: results cannot be "
+                    f"reproduced from the trace and the seed",
+                )
+
+
+class _SetishScope:
+    """Names bound to set-valued expressions within one scope."""
+
+    def __init__(self) -> None:
+        self.names: Set[str] = set()
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    dotted = None
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        from repro.devtools.base import dotted_name
+
+        dotted = dotted_name(annotation)
+    if dotted is None:
+        return False
+    return _last_attr(dotted).lower() in ("set", "frozenset", "abstractset", "mutableset")
+
+
+@register
+class SetIterationRule(Rule):
+    id = "D004"
+    name = "set-iteration"
+    rationale = (
+        "Set iteration order depends on string hash randomisation "
+        "(PYTHONHASHSEED); iterating a set into anything ordered makes "
+        "output vary across runs.  Wrap the set in `sorted(...)`."
+    )
+    scope = OUTPUT_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        # One pass to collect set-typed names per scope (module plus each
+        # function); single-assignment inference is deliberately simple.
+        scopes: Dict[ast.AST, _SetishScope] = {}
+
+        def scope_of(stack: list) -> _SetishScope:
+            owner = stack[-1] if stack else module.tree
+            return scopes.setdefault(owner, _SetishScope())
+
+        def collect(node: ast.AST, stack: list) -> None:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._setish(
+                    node.value, imports, scope_of(stack)
+                ):
+                    scope_of(stack).names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and _annotation_is_set(
+                    node.annotation
+                ):
+                    scope_of(stack).names.add(node.target.id)
+            elif isinstance(node, ast.arg):
+                if node.annotation is not None and _annotation_is_set(
+                    node.annotation
+                ):
+                    scope_of(stack).names.add(node.arg)
+            is_scope = isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            )
+            if is_scope:
+                stack = stack + [node]
+            for child in ast.iter_child_nodes(node):
+                collect(child, stack)
+
+        collect(module.tree, [])
+
+        def check_iter(
+            iter_node: ast.AST, anchor: ast.AST, stack: list
+        ) -> Optional[Finding]:
+            scope = scope_of(stack)
+            module_scope = scopes.get(module.tree, _SetishScope())
+            merged = _SetishScope()
+            merged.names = scope.names | module_scope.names
+            if self._setish(iter_node, imports, merged):
+                return module.finding(
+                    self.id,
+                    anchor,
+                    "iteration over a set has no defined order; wrap the "
+                    "set in `sorted(...)` before iterating",
+                )
+            return None
+
+        def walk(node: ast.AST, stack: list) -> Iterator[Finding]:
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                found = check_iter(node.iter, node, stack)
+                if found is not None:
+                    yield found
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    # A set comprehension over a set is itself unordered
+                    # output, which is fine; converting to ordered is not.
+                    if isinstance(node, ast.SetComp):
+                        continue
+                    found = check_iter(gen.iter, gen.iter, stack)
+                    if found is not None:
+                        yield found
+            elif isinstance(node, ast.Call):
+                dotted = call_name(node, imports)
+                if dotted in ("list", "tuple") and len(node.args) == 1:
+                    found = check_iter(node.args[0], node, stack)
+                    if found is not None:
+                        yield found
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and len(node.args) == 1
+                ):
+                    found = check_iter(node.args[0], node, stack)
+                    if found is not None:
+                        yield found
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack = stack + [node]
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child, stack)
+
+        yield from walk(module.tree, [])
+
+    def _setish(
+        self, node: ast.AST, imports: ImportMap, scope: _SetishScope
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in scope.names
+        if isinstance(node, ast.Call):
+            dotted = call_name(node, imports)
+            if dotted in ("set", "frozenset"):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._setish(node.left, imports, scope) or self._setish(
+                node.right, imports, scope
+            )
+        return False
+
+
+def _body_is_order_sensitive(body: list) -> bool:
+    """Does a loop body build ordered output (append/extend/yield/write)?"""
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "append",
+                    "extend",
+                    "appendleft",
+                    "write",
+                    "writelines",
+                ):
+                    return True
+                if isinstance(node.func, ast.Name) and node.func.id == "print":
+                    return True
+    return False
+
+
+@register
+class DictOrderRule(Rule):
+    id = "D005"
+    name = "dict-order"
+    rationale = (
+        "Iterating `.values()`/`.items()` relies on insertion order; "
+        "where the loop builds ordered output, sort the items (or "
+        "justify why insertion order is deterministic)."
+    )
+    scope = OUTPUT_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            iter_node = node.iter
+            if not (
+                isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Attribute)
+                and iter_node.func.attr in ("values", "items", "keys")
+                and not iter_node.args
+                and not iter_node.keywords
+            ):
+                continue
+            if _body_is_order_sensitive(node.body):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"loop over `.{iter_node.func.attr}()` builds ordered "
+                    f"output from dict insertion order; iterate "
+                    f"`sorted(...)` or justify the order with a "
+                    f"suppression",
+                )

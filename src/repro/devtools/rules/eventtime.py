@@ -1,0 +1,281 @@
+"""Event-time discipline rules (T001–T003).
+
+All analysis time in this project is *event time*: float seconds since
+the study epoch, carried by the traces themselves (``docs/streaming.md``
+§ watermarks).  ``datetime`` objects appear only at the rendering edge
+(``repro.util.timefmt``).  Mixing the two representations — adding raw
+seconds to a datetime, comparing a datetime against a float, or mixing
+naive and aware datetimes — produces silently wrong intervals, which is
+how log-analysis pipelines usually break (off-by-3600 rather than by
+crash).  These rules are scoped to the intervals, core, and stream
+layers, where such confusion would corrupt timelines and matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.devtools.base import (
+    EVENT_TIME_PACKAGES,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    SourceModule,
+    call_name,
+    dotted_name,
+    register,
+)
+
+#: Canonical constructors whose results are datetime objects.
+DATETIME_CONSTRUCTORS = {
+    "datetime.datetime",
+    "datetime.date",
+    "datetime.datetime.strptime",
+    "datetime.datetime.fromtimestamp",
+    "datetime.datetime.utcfromtimestamp",
+    "datetime.datetime.combine",
+    "datetime.datetime.fromisoformat",
+}
+
+
+def _is_datetime_call(node: ast.AST, imports: ImportMap) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = call_name(node, imports)
+    if dotted is None:
+        return False
+    if dotted in DATETIME_CONSTRUCTORS:
+        return True
+    # datetime.datetime.now(tz) etc. also yield datetimes; D001 already
+    # polices the wall-clock aspect.
+    parts = dotted.split(".")
+    return (
+        len(parts) >= 2
+        and parts[-1] in ("now", "today", "utcnow")
+        and any(part in ("datetime", "date") for part in parts[:-1])
+    )
+
+
+def _is_datetime_annotation(node: ast.AST, imports: ImportMap) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1] in ("datetime", "date")
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    return imports.resolve(dotted) in ("datetime.datetime", "datetime.date")
+
+
+def _datetime_names(tree: ast.Module, imports: ImportMap) -> Set[str]:
+    """Names assigned from datetime constructors, plus parameters
+    annotated ``datetime``/``date`` (module and function scope)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and _is_datetime_call(
+                node.value, imports
+            ):
+                names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _is_datetime_annotation(node.annotation, imports):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if arg.annotation is not None and _is_datetime_annotation(
+                    arg.annotation, imports
+                ):
+                    names.add(arg.arg)
+    return names
+
+
+def _is_numeric(node: ast.AST, numeric_names: Set[str]) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return True
+    if isinstance(node, ast.Name) and node.id in numeric_names:
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_numeric(node.operand, numeric_names)
+    return False
+
+
+def _is_numeric_annotation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in ("int", "float")
+    return isinstance(node, ast.Name) and node.id in ("int", "float")
+
+
+def _numeric_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, (int, float))
+                and not isinstance(value.value, bool)
+            ):
+                names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _is_numeric_annotation(node.annotation):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if arg.annotation is not None and _is_numeric_annotation(
+                    arg.annotation
+                ):
+                    names.add(arg.arg)
+    return names
+
+
+def _datetimeish(node: ast.AST, imports: ImportMap, names: Set[str]) -> bool:
+    if _is_datetime_call(node, imports):
+        return True
+    return isinstance(node, ast.Name) and node.id in names
+
+
+def _tz_awareness(node: ast.AST, imports: ImportMap) -> Optional[bool]:
+    """True/False for an aware/naive datetime constructor call, else None."""
+    if not isinstance(node, ast.Call) or not _is_datetime_call(node, imports):
+        return None
+    dotted = call_name(node, imports) or ""
+    if dotted.endswith("utcfromtimestamp") or dotted.endswith("utcnow"):
+        return False
+    for keyword in node.keywords:
+        if keyword.arg in ("tzinfo", "tz"):
+            return not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            )
+    if dotted.endswith(".now") and node.args:
+        return True  # datetime.now(tz)
+    return False
+
+
+@register
+class DatetimeArithmeticRule(Rule):
+    id = "T001"
+    name = "datetime-number-arithmetic"
+    rationale = (
+        "`datetime + 3600` is a TypeError at best and a unit bug when the "
+        "operand is a timedelta-like wrapper; raw seconds belong on the "
+        "float event-time axis, datetimes take `timedelta`."
+    )
+    scope = EVENT_TIME_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        dt_names = _datetime_names(module.tree, imports)
+        num_names = _numeric_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp) or not isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                continue
+            pairs = ((node.left, node.right), (node.right, node.left))
+            for dt_side, num_side in pairs:
+                if _datetimeish(dt_side, imports, dt_names) and _is_numeric(
+                    num_side, num_names
+                ):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        "arithmetic between a datetime and a bare number "
+                        "confuses the datetime and float event-time axes; "
+                        "use `datetime.timedelta(seconds=...)` or keep the "
+                        "value in float seconds",
+                    )
+                    break
+
+
+@register
+class DatetimeComparisonRule(Rule):
+    id = "T002"
+    name = "datetime-number-comparison"
+    rationale = (
+        "Comparing a datetime against a bare number mixes the two time "
+        "axes; convert through the study epoch "
+        "(`repro.util.timefmt`) before comparing."
+    )
+    scope = EVENT_TIME_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        dt_names = _datetime_names(module.tree, imports)
+        num_names = _numeric_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            has_dt = any(
+                _datetimeish(op, imports, dt_names) for op in operands
+            )
+            has_num = any(_is_numeric(op, num_names) for op in operands)
+            if has_dt and has_num:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "comparison between a datetime and a bare number mixes "
+                    "the datetime and float event-time axes; convert via "
+                    "the study epoch first",
+                )
+
+
+@register
+class NaiveAwareMixRule(Rule):
+    id = "T003"
+    name = "naive-aware-mix"
+    rationale = (
+        "Mixing naive and aware datetimes raises — or worse, compares "
+        "wrongly after a `.replace(tzinfo=...)`; pick one discipline per "
+        "code path (this project: naive datetimes anchored at the study "
+        "epoch, only in the rendering layer)."
+    )
+    scope = EVENT_TIME_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        for node in ast.walk(module.tree):
+            operands = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                operands = [node.left, node.right]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+            if operands is None:
+                continue
+            awareness = [
+                a
+                for a in (_tz_awareness(op, imports) for op in operands)
+                if a is not None
+            ]
+            if len(awareness) >= 2 and len(set(awareness)) == 2:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "naive and aware datetimes mixed in one expression; "
+                    "the subtraction/comparison is a TypeError or a "
+                    "silent offset bug",
+                )

@@ -1,0 +1,210 @@
+"""Mutable-default rules (M001, M002) — the exact PR 1 bug class.
+
+PR 1 shipped (and had to fix) ``run_analysis(dataset, options=<shared
+AnalysisOptions instance>)``: the default was built once at import, so a
+caller mutating it changed every later call's behaviour — nondeterminism
+across *call order* rather than runs.  M001 flags defaults that
+construct a mutable value once; M002 flags defaults that *reference* a
+module-level mutable singleton, which is the same bug wearing a
+constant's name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.devtools.base import (
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    SourceModule,
+    call_name,
+    dotted_name,
+    register,
+)
+
+#: Callables whose results are immutable (safe as defaults).
+IMMUTABLE_CALLS = {
+    "tuple",
+    "frozenset",
+    "int",
+    "float",
+    "str",
+    "bytes",
+    "bool",
+    "complex",
+    "range",
+    "object",
+    "decimal.Decimal",
+    "fractions.Fraction",
+    "datetime.timedelta",
+    "datetime.datetime",
+    "datetime.date",
+    "pathlib.Path",
+    "pathlib.PurePath",
+}
+
+#: Callables that are mutable containers.
+MUTABLE_CONTAINER_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "collections.deque",
+    "collections.defaultdict",
+    "collections.Counter",
+    "collections.OrderedDict",
+}
+
+
+def _class_is_immutable(node: ast.ClassDef) -> bool:
+    """Frozen dataclasses, NamedTuples, and Enums cannot be mutated."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = dotted_name(decorator.func) or ""
+            if name.rsplit(".", 1)[-1] == "dataclass":
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+    for base in node.bases:
+        name = dotted_name(base) or ""
+        if name.rsplit(".", 1)[-1] in ("NamedTuple", "Enum", "IntEnum", "Flag", "str", "int", "float", "bytes", "tuple", "frozenset"):
+            return True
+    return False
+
+
+def _mutable_default_reason(
+    node: ast.AST, imports: ImportMap, project: Optional[Project] = None
+) -> Optional[str]:
+    """Why ``node`` is a mutable default, or ``None`` if it looks safe."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        kind = type(node).__name__.lower()
+        return f"literal {kind} default is shared across calls"
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        return "comprehension default is evaluated once and shared"
+    if isinstance(node, ast.Call):
+        dotted = call_name(node, imports)
+        if dotted is None:
+            return None
+        if dotted in MUTABLE_CONTAINER_CALLS:
+            return f"`{dotted}()` default is built once and shared"
+        if dotted in IMMUTABLE_CALLS:
+            return None
+        last = dotted.rsplit(".", 1)[-1]
+        if last[:1].isupper():
+            # Constructor call: one shared instance for every call site —
+            # the AnalysisOptions bug.  A class the project defines as a
+            # frozen dataclass / NamedTuple / Enum is exempt: the shared
+            # instance cannot be mutated.
+            if project is not None:
+                located = project.find_class(last)
+                if located is not None and _class_is_immutable(located[1]):
+                    return None
+            return (
+                f"`{dotted}(...)` builds one shared mutable instance at "
+                f"def time (the `AnalysisOptions` bug PR 1 had to fix)"
+            )
+    return None
+
+
+def _module_level_mutables(
+    tree: ast.Module, imports: ImportMap, project: Optional[Project] = None
+) -> Dict[str, str]:
+    """Module-level names bound to mutable values, with the reason."""
+    result: Dict[str, str] = {}
+    for statement in tree.body:
+        targets = []
+        value = None
+        if isinstance(statement, ast.Assign):
+            targets = [
+                t.id for t in statement.targets if isinstance(t, ast.Name)
+            ]
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            targets = [statement.target.id]
+            value = statement.value
+        if value is None:
+            continue
+        reason = _mutable_default_reason(value, imports, project)
+        if reason is None:
+            continue
+        for name in targets:
+            result[name] = reason
+    return result
+
+
+def _iter_defaults(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                yield node, default
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "M001"
+    name = "mutable-default"
+    rationale = (
+        "A mutable default argument is built once at def time and shared "
+        "by every call; mutation leaks across calls and runs."
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        for func, default in _iter_defaults(module.tree):
+            reason = _mutable_default_reason(default, imports, project)
+            if reason is not None:
+                yield module.finding(
+                    self.id,
+                    default,
+                    f"mutable default argument: {reason}; default to "
+                    f"`None` and construct per call",
+                )
+
+
+@register
+class SharedSingletonDefaultRule(Rule):
+    id = "M002"
+    name = "shared-singleton-default"
+    rationale = (
+        "A default referencing a module-level mutable singleton shares "
+        "one instance across every call site, exactly like a literal "
+        "mutable default but hidden behind a constant's name."
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        singletons = _module_level_mutables(module.tree, imports, project)
+        for func, default in _iter_defaults(module.tree):
+            dotted = dotted_name(default)
+            if dotted is None:
+                continue
+            head = dotted.split(".", 1)[0]
+            reason = singletons.get(head)
+            if reason is not None:
+                yield module.finding(
+                    self.id,
+                    default,
+                    f"default references module-level mutable "
+                    f"`{head}` ({reason}); default to `None` and "
+                    f"construct per call",
+                )

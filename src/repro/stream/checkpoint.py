@@ -231,14 +231,7 @@ def encode_engine(engine: "StreamEngine") -> Dict[str, Any]:  # noqa: F821
         "events_consumed": engine.events_consumed,
         "counters": dict(engine.counters),
         "mergers": {
-            key: {
-                "transition_count": engine.mergers[key].transition_count,
-                "open_runs": {
-                    link: [encode_message(m) for m in run]
-                    for link, run in sorted(engine.mergers[key].open_runs.items())
-                },
-            }
-            for key in MERGER_KEYS
+            key: _encode_merger(engine.mergers[key]) for key in MERGER_KEYS
         },
         "timelines": {
             channel: {
@@ -248,15 +241,7 @@ def encode_engine(engine: "StreamEngine") -> Dict[str, Any]:  # noqa: F821
             for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL)
         },
         "sanitizers": {
-            channel: {
-                "report": encode_report(engine.sanitizers[channel].report),
-                "held": {
-                    link: [encode_failure(f) for f in queue]
-                    for link, queue in sorted(
-                        engine.sanitizers[channel].held.items()
-                    )
-                },
-            }
+            channel: _encode_sanitizer(engine.sanitizers[channel])
             for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL)
         },
         "matcher": _encode_matcher(engine.matcher),
@@ -296,21 +281,13 @@ def decode_engine(
     engine.events_consumed = state["events_consumed"]
     engine.counters = dict(state["counters"])
     for key in MERGER_KEYS:
-        merger = engine.mergers[key]
-        raw = state["mergers"][key]
-        merger.transition_count = raw["transition_count"]
-        for link, run in raw["open_runs"].items():
-            merger.open_runs[link] = [decode_message(m) for m in run]
+        _decode_merger(engine.mergers[key], state["mergers"][key])
     for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL):
         for link, raw_timeline in state["timelines"][channel].items():
             engine.timelines[channel][link] = _decode_timeline(
                 engine, channel, link, raw_timeline
             )
-        sanitizer = engine.sanitizers[channel]
-        raw_sanitizer = state["sanitizers"][channel]
-        sanitizer.report = decode_report(raw_sanitizer["report"])
-        for link, queue in raw_sanitizer["held"].items():
-            sanitizer.held[link] = deque(decode_failure(f) for f in queue)
+        _decode_sanitizer(engine.sanitizers[channel], state["sanitizers"][channel])
         engine.raw_failures[channel] = [
             decode_failure(f) for f in state["raw_failures"][channel]
         ]
@@ -321,6 +298,42 @@ def decode_engine(
 
 
 # ------------------------------------------------------- component codecs
+def _encode_merger(merger: "OnlineRunMerger") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "transition_count": merger.transition_count,
+        "open_runs": {
+            link: [encode_message(m) for m in run]
+            for link, run in sorted(merger.open_runs.items())
+        },
+    }
+
+
+def _decode_merger(
+    merger: "OnlineRunMerger", raw: Dict[str, Any]  # noqa: F821
+) -> None:
+    merger.transition_count = raw["transition_count"]
+    for link, run in raw["open_runs"].items():
+        merger.open_runs[link] = [decode_message(m) for m in run]
+
+
+def _encode_sanitizer(sanitizer: "OnlineSanitizer") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "report": encode_report(sanitizer.report),
+        "held": {
+            link: [encode_failure(f) for f in queue]
+            for link, queue in sorted(sanitizer.held.items())
+        },
+    }
+
+
+def _decode_sanitizer(
+    sanitizer: "OnlineSanitizer", raw: Dict[str, Any]  # noqa: F821
+) -> None:
+    sanitizer.report = decode_report(raw["report"])
+    for link, queue in raw["held"].items():
+        sanitizer.held[link] = deque(decode_failure(f) for f in queue)
+
+
 def _encode_timeline(timeline: "OnlineTimeline") -> Dict[str, Any]:  # noqa: F821
     return {
         "cursor": timeline.cursor,

@@ -42,7 +42,7 @@ from repro.core.matching import FailureMatchResult, TransitionCoverage
 from repro.core.links import LinkResolver
 from repro.core.pipeline import AnalysisOptions
 from repro.core.sanitize import SanitizationReport
-from repro.intervals import IntervalSet
+from repro.intervals import AmbiguityStrategy, IntervalSet
 from repro.simulation.dataset import Dataset
 from repro.stream import checkpoint as checkpoint_codec
 from repro.stream.flaps import OnlineFlapDetector, OnlineSanitizer
@@ -125,7 +125,7 @@ class StreamEngine:
         self.resolver = resolver
         self.horizon_start = horizon_start
         self.horizon_end = horizon_end
-        self.single_links = {record.name for record in resolver.single_links()}
+        self.single_links = {record.name for record in resolver.single_links()}  # reprolint: disable=C001 -- derived from the resolver; the constructor rebuilds it on resume
 
         self.watermark = -math.inf
         self.events_consumed = 0
@@ -257,7 +257,7 @@ class StreamEngine:
         timeline.feed(transition)
         self._collect_failures(channel, timeline)
 
-    def _strategy(self, channel: str):
+    def _strategy(self, channel: str) -> AmbiguityStrategy:
         analysis = self.options.analysis
         return (
             analysis.syslog.strategy

@@ -202,6 +202,7 @@ class OnlineTimeline:
         self.tail = (start, end, state)
 
     def _seal_tail(self) -> None:
+        assert self.tail is not None
         start, end, state = self.tail
         self.tail = None
         if (
@@ -241,6 +242,7 @@ class OnlineTimeline:
         # A future ambiguity window starting exactly at the tail's end
         # could merge into it — only when the strategy forces windows to
         # the tail's state and the last message sits at the cursor.
+        assert self.tail is not None
         return (
             _window_state(self.strategy, self.state) == self.tail[2]
             and self.last_message_time == self.cursor

@@ -9,6 +9,7 @@ the originals.
 from __future__ import annotations
 
 import datetime
+from typing import Optional
 
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
@@ -38,7 +39,9 @@ def format_timestamp(sim_time: float) -> str:
 _YEAR_RESOLUTION_SLACK = 2 * 86400.0
 
 
-def parse_timestamp(text: str, year_hint: int = 2010, after: float = None) -> float:
+def parse_timestamp(
+    text: str, year_hint: int = 2010, after: Optional[float] = None
+) -> float:
     """Parse a Cisco-style timestamp back to simulation time.
 
     Syslog timestamps carry no year — the classic RFC 3164 ambiguity.  With

@@ -1,0 +1,10 @@
+"""Fixture: order-sensitive loop over dict views (D005)."""
+
+from typing import Dict, List
+
+
+def flatten(by_link: Dict[str, List[float]]) -> List[float]:
+    gaps: List[float] = []
+    for values in by_link.values():
+        gaps.append(sum(values))
+    return gaps

@@ -1,0 +1,12 @@
+"""Fixture: OS entropy sources (D003)."""
+
+import os
+import uuid
+
+
+def token() -> bytes:
+    return os.urandom(16)
+
+
+def run_id() -> str:
+    return str(uuid.uuid4())

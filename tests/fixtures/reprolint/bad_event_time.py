@@ -1,0 +1,11 @@
+"""Fixture: datetime/number unit confusion (T001, T002)."""
+
+from datetime import datetime
+
+
+def deadline(start: datetime) -> datetime:
+    return start + 30.0
+
+
+def expired(start: datetime, now_seconds: float) -> bool:
+    return start < now_seconds

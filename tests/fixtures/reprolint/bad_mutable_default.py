@@ -1,0 +1,28 @@
+"""Fixture: mutable default arguments (M001)."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class Options:
+    labels: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FrozenOptions:
+    scale: float = 1.0
+
+
+def run(dataset: str, options: Options = Options()) -> str:
+    return f"{dataset}:{options.labels}"
+
+
+def append_row(row: str, rows: List[str] = []) -> List[str]:
+    rows.append(row)
+    return rows
+
+
+def run_frozen(dataset: str, options: FrozenOptions = FrozenOptions()) -> str:
+    # Negative case: frozen dataclass defaults are immutable, hence safe.
+    return f"{dataset}:{options.scale}"

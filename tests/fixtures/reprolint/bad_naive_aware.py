@@ -1,0 +1,7 @@
+"""Fixture: naive/aware datetime mixing (T003)."""
+
+from datetime import datetime, timezone
+
+
+def skew() -> float:
+    return (datetime.now(timezone.utc) - datetime.utcnow()).total_seconds()

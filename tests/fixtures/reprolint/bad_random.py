@@ -1,0 +1,11 @@
+"""Fixture: unseeded / module-level randomness (D002)."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def make_rng() -> "random.Random":
+    return random.Random()

@@ -1,0 +1,15 @@
+"""Fixture: iterating a set in output-producing code (D004)."""
+
+from typing import Dict, List
+
+
+def collect(per_site_a: Dict[str, int], per_site_b: Dict[str, int]) -> List[str]:
+    rows = []
+    for site in set(per_site_a) | set(per_site_b):
+        rows.append(site)
+    return rows
+
+
+def collect_sorted(per_site_a: Dict[str, int], per_site_b: Dict[str, int]) -> List[str]:
+    # Negative case: sorted() launders the set into a deterministic order.
+    return [site for site in sorted(set(per_site_a) | set(per_site_b))]

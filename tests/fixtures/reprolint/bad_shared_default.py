@@ -1,0 +1,14 @@
+"""Fixture: module-level mutable singleton used as a default (M002)."""
+
+from typing import Dict, List
+
+DEFAULT_BUCKETS: List[float] = [1.0, 10.0, 100.0]
+DEFAULT_WEIGHTS: Dict[str, float] = {}
+
+
+def histogram(values: List[float], buckets: List[float] = DEFAULT_BUCKETS) -> int:
+    return len(buckets)
+
+
+def weigh(link: str, weights: Dict[str, float] = DEFAULT_WEIGHTS) -> float:
+    return weights.get(link, 1.0)

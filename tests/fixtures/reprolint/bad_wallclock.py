@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads in analysis code (D001)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_run() -> float:
+    return time.time()
+
+
+def label_output() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,15 @@
+"""Fixture codec: forgets ``overflowed`` (C001) and misspells a key (C002)."""
+
+from typing import Any, Dict
+
+
+def encode_counter(counter: "OnlineCounter") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "count": counter.count,
+        "last_seen": counter.last_seen,
+    }
+
+
+def decode_counter(counter: "OnlineCounter", raw: Dict[str, Any]) -> None:  # noqa: F821
+    counter.count = raw["count"]
+    counter.last_seen = raw["last_scene"]

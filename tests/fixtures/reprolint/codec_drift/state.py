@@ -1,0 +1,11 @@
+"""Fixture: a stateful class whose codec has drifted (C001/C002 target)."""
+
+
+class OnlineCounter:
+    def __init__(self, link: str, horizon: float) -> None:
+        self.link = link
+        self.horizon = horizon
+        self.count = 0
+        self.last_seen = 0.0
+        self.overflowed = False
+        self._scratch = []

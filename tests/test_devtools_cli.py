@@ -1,0 +1,154 @@
+"""End-to-end tests for the ``repro lint`` command-line driver.
+
+Covers the acceptance surface: each committed fixture file exits
+non-zero with the right rule id, ``--format json`` is parseable, the
+baseline workflow grandfathers findings without hiding new ones, and
+usage errors exit 2.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "reprolint"
+
+#: fixture file -> rule ids that must appear in its findings.
+EXPECTED_RULES = {
+    "bad_wallclock.py": {"D001"},
+    "bad_random.py": {"D002"},
+    "bad_entropy.py": {"D003"},
+    "bad_set_iteration.py": {"D004"},
+    "bad_dict_order.py": {"D005"},
+    "bad_mutable_default.py": {"M001"},
+    "bad_shared_default.py": {"M002"},
+    "bad_event_time.py": {"T001", "T002"},
+    "bad_naive_aware.py": {"T003"},
+}
+
+
+def lint_json(capsys, *argv):
+    code = main([*argv, "--format", "json", "--no-baseline"])
+    return code, json.loads(capsys.readouterr().out)
+
+
+@pytest.mark.parametrize("fixture", sorted(EXPECTED_RULES))
+def test_fixture_trips_expected_rules(capsys, fixture):
+    code, report = lint_json(capsys, str(FIXTURES / fixture))
+    assert code == 1
+    found = {f["rule"] for f in report["findings"]}
+    assert EXPECTED_RULES[fixture] <= found
+
+
+def test_codec_drift_fixture_trips_both_codec_rules(capsys):
+    code, report = lint_json(capsys, str(FIXTURES / "codec_drift"))
+    assert code == 1
+    found = {f["rule"] for f in report["findings"]}
+    assert {"C001", "C002"} <= found
+
+
+def test_shipped_tree_is_clean(capsys):
+    code, report = lint_json(capsys, str(REPO_ROOT / "src"))
+    assert code == 0, report["findings"]
+    assert report["findings"] == []
+    assert report["files_checked"] > 50
+    # The two justified in-tree suppressions are reported, not hidden.
+    assert len(report["suppressed"]) >= 2
+
+
+def test_json_finding_shape(capsys):
+    _, report = lint_json(capsys, str(FIXTURES / "bad_wallclock.py"))
+    finding = report["findings"][0]
+    assert set(finding) == {
+        "rule", "path", "line", "column", "message", "snippet"
+    }
+    assert finding["line"] >= 1
+    assert finding["snippet"]
+
+
+def test_unknown_rule_id_is_usage_error(capsys):
+    code = main([str(FIXTURES / "bad_wallclock.py"), "--select", "Z999"])
+    assert code == 2
+
+
+def test_missing_path_is_usage_error(capsys):
+    code = main([str(FIXTURES / "no_such_file.py")])
+    assert code == 2
+
+
+def test_select_narrows_the_rule_set(capsys):
+    code, report = lint_json(
+        capsys, str(FIXTURES / "bad_wallclock.py"), "--select", "D002"
+    )
+    assert code == 0
+    assert report["findings"] == []
+
+
+def test_list_rules_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "D001", "D002", "D003", "D004", "D005",
+        "M001", "M002", "C001", "C002",
+        "T001", "T002", "T003", "S001", "E001",
+    ):
+        assert rule_id in out
+
+
+def test_baseline_grandfathers_old_but_not_new(tmp_path, capsys, monkeypatch):
+    # A fresh project directory with its own pyproject + a violation.
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.reprolint]\n"
+        'paths = ["pkg"]\n'
+        'baseline = "baseline.json"\n',
+        encoding="utf-8",
+    )
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    bad = pkg / "legacy.py"
+    bad.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+
+    # Violation is live before the baseline exists...
+    assert main([]) == 1
+    capsys.readouterr()
+
+    # ...and --update-baseline grandfathers it.
+    assert main(["--update-baseline"]) == 0
+    capsys.readouterr()
+
+    # Baselined finding no longer fails the run, but stays visible.
+    code = main(["--format", "json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert report["findings"] == []
+    assert [f["rule"] for f in report["baselined"]] == ["D001"]
+
+    # The baseline survives a line shift (matched by snippet, not line).
+    bad.write_text(
+        "import time\n\n\nstamp = time.time()\n", encoding="utf-8"
+    )
+    assert main([]) == 0
+    capsys.readouterr()
+
+    # A new violation still fails even with the baseline in place.
+    bad.write_text(
+        "import time\nstamp = time.time()\nagain = time.time()\n",
+        encoding="utf-8",
+    )
+    code = main(["--format", "json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert len(report["findings"]) == 1
+    assert len(report["baselined"]) == 1
+
+
+def test_repo_cli_exposes_lint_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    code = repro_main(["lint", "--list-rules"])
+    assert code == 0
+    assert "D001" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Codec-drift detection against the real stream checkpoint codec.
+
+The point of C001 is to fail the build when someone adds state to
+``stream/state.py`` without teaching ``stream/checkpoint.py`` to carry
+it.  These tests prove that property on the real modules: the shipped
+pair is clean, and a synthetic field injected into a *copy* of the
+``OnlineTimeline`` AST makes the rule fire by name.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.devtools.rules  # noqa: F401  (registry side effect)
+from repro.devtools.base import Project, REGISTRY, SourceModule
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+STATE_PATH = REPO_ROOT / "src" / "repro" / "stream" / "state.py"
+CHECKPOINT_PATH = REPO_ROOT / "src" / "repro" / "stream" / "checkpoint.py"
+
+
+def load_module(path: Path) -> SourceModule:
+    return SourceModule(str(path), path.read_text(encoding="utf-8"))
+
+
+def run_codec_rules(*modules: SourceModule):
+    project = Project(list(modules))
+    findings = []
+    for rule_id in ("C001", "C002"):
+        for module in modules:
+            findings.extend(REGISTRY[rule_id].check(module, project))
+    return findings
+
+
+def test_shipped_state_and_checkpoint_are_in_sync():
+    findings = run_codec_rules(
+        load_module(STATE_PATH), load_module(CHECKPOINT_PATH)
+    )
+    assert findings == [], [f.message for f in findings]
+
+
+def inject_field(source: str, class_name: str, field_name: str) -> str:
+    """Append ``self.<field_name> = 0`` to ``<class_name>.__init__``."""
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "__init__"
+                ):
+                    extra = ast.parse(f"self.{field_name} = 0").body[0]
+                    item.body.append(extra)
+                    ast.fix_missing_locations(tree)
+                    return ast.unparse(tree)
+    raise AssertionError(f"{class_name}.__init__ not found")
+
+
+def test_injected_field_in_online_timeline_trips_c001():
+    drifted = inject_field(
+        STATE_PATH.read_text(encoding="utf-8"),
+        "OnlineTimeline",
+        "injected_sentinel",
+    )
+    findings = run_codec_rules(
+        SourceModule(str(STATE_PATH), drifted), load_module(CHECKPOINT_PATH)
+    )
+    hits = [f for f in findings if f.rule == "C001"]
+    assert hits, "C001 should fire on the injected state field"
+    assert any("injected_sentinel" in f.message for f in hits)
+    assert any("OnlineTimeline" in f.message for f in hits)
+
+
+def test_injected_field_in_run_merger_trips_c001():
+    drifted = inject_field(
+        STATE_PATH.read_text(encoding="utf-8"),
+        "OnlineRunMerger",
+        "injected_sentinel",
+    )
+    findings = run_codec_rules(
+        SourceModule(str(STATE_PATH), drifted), load_module(CHECKPOINT_PATH)
+    )
+    hits = [f for f in findings if f.rule == "C001"]
+    assert any("injected_sentinel" in f.message for f in hits)
