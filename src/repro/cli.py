@@ -25,6 +25,13 @@ Five subcommands — four mirror the paper's workflow, one guards it:
     determinism, mutable-default, checkpoint-codec-drift, and event-time
     rules over the source tree.  See ``docs/static-analysis.md``.
 
+``repro chaos``
+    Replay a seeded campaign under every fault injector
+    (:mod:`repro.faults`) and assert the robustness invariants: no
+    unhandled exception on damaged artifacts, every loss attributed in
+    the drop ledger, kill-at-any-boundary resume byte-identical.  See
+    ``docs/robustness.md``.
+
 Examples::
 
     repro simulate --seed 7 --days 60 --out campaign/
@@ -34,6 +41,7 @@ Examples::
         --checkpoint-every 50000
     repro stream campaign/ --seed 7 --checkpoint engine.ckpt --resume
     repro lint src --format json
+    repro chaos --quick
 """
 
 from __future__ import annotations
@@ -114,6 +122,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="run the reproducibility linter (docs/static-analysis.md)"
     )
     add_lint_arguments(lint)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-injection harness (docs/robustness.md)"
+    )
+    chaos.add_argument("--seed", type=int, default=2013)
+    chaos.add_argument(
+        "--days",
+        type=float,
+        default=10.0,
+        help="campaign length of the replayed scenario",
+    )
+    chaos.add_argument(
+        "--kill-samples",
+        type=int,
+        default=6,
+        help="event boundaries to kill and resume the stream at",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="small campaign (3 days, 4 kill points) for CI",
+    )
     return parser
 
 
@@ -437,6 +467,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.devtools.lint import run as run_lint
 
         return run_lint(args)
+    if args.command == "chaos":
+        from repro.faults.chaos import run_chaos
+
+        days = 3.0 if args.quick else args.days
+        kill_samples = 4 if args.quick else args.kill_samples
+        return run_chaos(args.seed, days, kill_samples=kill_samples)
     raise AssertionError("unreachable")
 
 

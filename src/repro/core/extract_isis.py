@@ -17,8 +17,11 @@ Link state and failures are derived from **IS reachability** (the paper's
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.ledger import CHANNEL_ISIS, IngestReport
 
 from repro.core.events import (
     SOURCE_ISIS_IP,
@@ -69,11 +72,33 @@ class IsisExtraction:
 
 def replay_lsp_records(
     records: Sequence[Tuple[float, bytes]],
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
 ) -> Tuple[IsisListener, List[ReachabilityChange]]:
-    """Feed an archive through a fresh listener; returns it and its changes."""
+    """Feed an archive through a fresh listener; returns it and its changes.
+
+    ``strict=True`` lets decode failures (bit-flipped payloads, checksum
+    mismatches) propagate as before.  ``strict=False`` quarantines the
+    undecodable record into ``report`` — reason, record index, and a
+    sample of the decoder's complaint — and continues with the next one,
+    the same behaviour :func:`repro.stream.sources.isis_events` applies
+    so batch and stream stay equivalent on damaged archives.
+    """
     listener = IsisListener()
-    for time, raw in records:
-        listener.observe_bytes(time, raw)
+    for index, (time, raw) in enumerate(records):
+        try:
+            listener.observe_bytes(time, raw)
+        except (ValueError, struct.error) as error:
+            if strict:
+                raise
+            if report is not None:
+                report.record(
+                    CHANNEL_ISIS,
+                    "lsp-decode",
+                    index=index,
+                    sample=str(error),
+                )
     return listener, list(listener.changes)
 
 
@@ -133,11 +158,16 @@ def extract_isis(
     horizon_start: float,
     horizon_end: float,
     config: Optional[IsisExtractionConfig] = None,
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
 ) -> IsisExtraction:
     """Run the full IS-IS reconstruction (see module docstring)."""
     if config is None:
         config = IsisExtractionConfig()
-    listener, changes = replay_lsp_records(lsp_records)
+    listener, changes = replay_lsp_records(
+        lsp_records, strict=strict, report=report
+    )
     result = IsisExtraction()
     result.rejected_lsps = listener.rejected_count
 

@@ -39,6 +39,7 @@ from repro.core.matching import (
     match_failures,
 )
 from repro.core.sanitize import SanitizationConfig, SanitizationReport, sanitize_failures
+from repro.faults.ledger import IngestReport
 from repro.intervals import IntervalSet
 from repro.simulation.dataset import Dataset
 from repro.syslog.collector import SyslogCollector
@@ -71,6 +72,9 @@ class AnalysisResult:
     horizon_start: float
     horizon_end: float
     options: AnalysisOptions
+    #: Drop ledger of a lenient (``strict=False``) run; ``None`` when the
+    #: caller did not ask for one.  Empty on clean inputs.
+    ingest: Optional[IngestReport] = None
 
     @property
     def syslog_failures(self) -> List[FailureEvent]:
@@ -90,20 +94,43 @@ class AnalysisResult:
 def run_analysis(
     dataset: Dataset,
     options: Optional[AnalysisOptions] = None,
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
 ) -> AnalysisResult:
-    """Run the complete methodology against one dataset."""
+    """Run the complete methodology against one dataset.
+
+    ``strict=True`` (the default) dies on the first malformed syslog line
+    or undecodable LSP record, as the original pipeline did.
+    ``strict=False`` is the hardened mode for artifacts left behind by a
+    crashed collector or listener: bad records are quarantined into
+    ``report`` (an :class:`~repro.faults.ledger.IngestReport`, created on
+    demand and attached to the result as ``result.ingest``) and the
+    analysis completes on everything salvageable.  On clean inputs both
+    modes produce byte-identical results.
+    """
     if options is None:
         options = AnalysisOptions()
+    if not strict and report is None:
+        report = IngestReport()
     resolver = LinkResolver(dataset.inventory)
     horizon_start = dataset.analysis_start
     horizon_end = dataset.horizon_end
 
-    entries = SyslogCollector.parse_log(dataset.syslog_text)
+    entries = SyslogCollector.parse_log(
+        dataset.syslog_text, strict=strict, report=report
+    )
     syslog = extract_syslog(
         entries, resolver, horizon_start, horizon_end, options.syslog
     )
     isis = extract_isis(
-        dataset.lsp_records, resolver, horizon_start, horizon_end, options.isis
+        dataset.lsp_records,
+        resolver,
+        horizon_start,
+        horizon_end,
+        options.isis,
+        strict=strict,
+        report=report,
     )
 
     syslog_sanitized = sanitize_failures(
@@ -142,4 +169,5 @@ def run_analysis(
         horizon_start=horizon_start,
         horizon_end=horizon_end,
         options=options,
+        ingest=report,
     )

@@ -146,7 +146,7 @@ def lint_project(
         if module.syntax_error is not None:
             raw.append(
                 Finding(
-                    rule="E001",
+                    rule="X001",
                     path=module.path,
                     line=module.syntax_error.lineno or 1,
                     column=(module.syntax_error.offset or 1) - 1,
@@ -251,7 +251,7 @@ def render_rules() -> str:
         "`-- <reason>`."
     )
     lines.append(
-        "E001  syntax-error  [everywhere]\n"
+        "X001  syntax-error  [everywhere]\n"
         "      A file that does not parse cannot be certified."
     )
     return "\n".join(lines)

@@ -1,3 +1,9 @@
 """Rule modules; importing this package populates the registry."""
 
-from repro.devtools.rules import codec, determinism, eventtime, mutability  # noqa: F401
+from repro.devtools.rules import (  # noqa: F401
+    codec,
+    determinism,
+    eventtime,
+    exceptions,
+    mutability,
+)

@@ -1,0 +1,140 @@
+"""Exception-swallowing rules (E001, E002) — the drop ledger's guard.
+
+Hardened ingestion promises that no record disappears silently: a bad
+line or LSP either raises (strict mode) or lands in the
+:class:`~repro.faults.ledger.IngestReport` with a reason (lenient mode).
+A ``try``/``except`` that catches and discards is the one construct that
+can break that promise without leaving a trace, so in the ingestion
+packages it is banned outright: E001 flags bare ``except:`` (which also
+eats ``KeyboardInterrupt`` and ``SystemExit``), E002 flags handlers
+whose body does nothing at all — ``pass``, ``...``, or a lone
+``continue``/``break`` that skips a record without recording why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.base import (
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    dotted_name,
+    register,
+)
+
+#: The packages whose except-handlers stand between raw artifacts and
+#: the paper's tables.  Files outside the ``repro`` package (fixtures)
+#: are always in scope, as for every rule.
+INGESTION_PACKAGES = ("core", "stream", "syslog", "isis")
+
+#: Exception names whose catch is "broad": everything a damaged artifact
+#: can raise, and then some.
+BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _is_silent(body: list) -> bool:
+    """True when a handler body does nothing: only ``pass``/``...``/
+    ``continue``/``break`` statements."""
+    for statement in body:
+        if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # a bare `...` or docstring-as-no-op
+        return False
+    return True
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list:
+    """The exception names a handler catches (empty for bare except)."""
+    if handler.type is None:
+        return []
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = []
+    for node in nodes:
+        dotted = dotted_name(node)
+        if dotted is not None:
+            names.append(dotted.rsplit(".", 1)[-1])
+    return names
+
+
+@register
+class BareExceptRule(Rule):
+    id = "E001"
+    name = "bare-except"
+    rationale = (
+        "A bare `except:` catches everything, including KeyboardInterrupt "
+        "and SystemExit; in the ingestion path it can hide corruption the "
+        "drop ledger exists to attribute.  Name the exceptions."
+    )
+    scope = INGESTION_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "bare `except:`; name the exception types this "
+                    "handler is prepared to survive",
+                )
+
+
+@register
+class SilentSwallowRule(Rule):
+    id = "E002"
+    name = "silent-swallow"
+    rationale = (
+        "An except handler whose body is only pass/`...`/continue discards "
+        "a failure without a trace; lenient ingestion must quarantine the "
+        "record into the IngestReport (or re-raise), never eat it."
+    )
+    scope = INGESTION_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is not None and not _is_silent(node.body):
+                continue
+            if node.type is None:
+                # Bare + silent is the worst case; E001 already anchors
+                # the bare-ness, E002 anchors the swallow.
+                if _is_silent(node.body):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        "bare `except:` with an empty body swallows every "
+                        "failure silently; record the drop in the ingest "
+                        "ledger or re-raise",
+                    )
+                continue
+            caught = ", ".join(_caught_names(node)) or "exception"
+            broad = bool(set(_caught_names(node)) & BROAD_EXCEPTIONS)
+            detail = (
+                "swallows every failure silently"
+                if broad
+                else "drops the record without attributing it"
+            )
+            yield module.finding(
+                self.id,
+                node,
+                f"`except {caught}:` with an empty body {detail}; record "
+                f"the drop in the ingest ledger or re-raise",
+            )

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import BinaryIO, Iterator, List, Tuple, Union
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
+
+from repro.faults.ledger import CHANNEL_ISIS, IngestReport
 
 MAGIC = b"RPRTDMP1"
 _RECORD_HEADER = struct.Struct(">dI")
@@ -66,32 +68,119 @@ class MrtDumpWriter:
 
 
 class MrtDumpReader:
-    """Iterates ``(time, payload)`` records out of a dump file."""
+    """Iterates ``(time, payload)`` records out of a dump file.
 
-    def __init__(self, stream: BinaryIO) -> None:
+    ``strict=True`` (the default) raises :class:`MrtFormatError` on any
+    corruption, with the record index and byte offset in the message —
+    and closes the underlying stream first, so a dump that fails halfway
+    through iteration never leaks its file handle.
+
+    ``strict=False`` is salvage mode, for the archive a crashed listener
+    leaves behind: the valid prefix is yielded, and the first structural
+    error (truncated header/payload, absurd length — the file cannot be
+    re-synchronised past any of these) ends iteration cleanly after
+    recording the cut into ``report`` (an
+    :class:`~repro.faults.ledger.IngestReport`) with its reason, record
+    index, and byte offset.
+    """
+
+    def __init__(
+        self,
+        stream: BinaryIO,
+        *,
+        strict: bool = True,
+        report: Optional[IngestReport] = None,
+    ) -> None:
         self._stream = stream
+        self._strict = strict
+        self._report = report
+        self._bad_magic = False
         magic = stream.read(len(MAGIC))
         if magic != MAGIC:
-            raise MrtFormatError("not a repro LSP dump file")
+            if strict:
+                stream.close()
+                raise MrtFormatError(
+                    f"not a repro LSP dump file (bad magic at byte offset 0: "
+                    f"{magic[:8]!r})"
+                )
+            self._bad_magic = True
+            if report is not None:
+                report.record(
+                    CHANNEL_ISIS,
+                    "bad-magic",
+                    offset=0,
+                    index=0,
+                    sample=magic[:8],
+                )
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "MrtDumpReader":
-        return cls(open(path, "rb"))
+    def open(
+        cls,
+        path: Union[str, Path],
+        *,
+        strict: bool = True,
+        report: Optional[IngestReport] = None,
+    ) -> "MrtDumpReader":
+        return cls(open(path, "rb"), strict=strict, report=report)
+
+    def _fail(
+        self, reason: str, detail: str, index: int, offset: int, sample: bytes
+    ) -> None:
+        """Strict: close and raise with context.  Lenient: record the cut."""
+        if self._strict:
+            self._stream.close()
+            raise MrtFormatError(
+                f"record {index} at byte offset {offset}: {detail}"
+            )
+        if self._report is not None:
+            self._report.record(
+                CHANNEL_ISIS, reason, offset=offset, index=index, sample=sample
+            )
 
     def __iter__(self) -> Iterator[Tuple[float, bytes]]:
+        if self._bad_magic:
+            return
+        index = 0
+        offset = len(MAGIC)
         while True:
             header = self._stream.read(_RECORD_HEADER.size)
             if not header:
                 return
             if len(header) < _RECORD_HEADER.size:
-                raise MrtFormatError("truncated record header")
+                self._fail(
+                    "truncated-header",
+                    f"truncated record header ({len(header)} of "
+                    f"{_RECORD_HEADER.size} bytes)",
+                    index,
+                    offset,
+                    header,
+                )
+                return
             time, length = _RECORD_HEADER.unpack(header)
             if length > _MAX_RECORD:
-                raise MrtFormatError("record exceeds maximum payload size")
+                self._fail(
+                    "oversize-record",
+                    f"record length {length} exceeds maximum payload size "
+                    f"{_MAX_RECORD} (corrupt length field)",
+                    index,
+                    offset,
+                    header,
+                )
+                return
             payload = self._stream.read(length)
             if len(payload) < length:
-                raise MrtFormatError("truncated record payload")
+                self._fail(
+                    "truncated-payload",
+                    f"truncated record payload ({len(payload)} of "
+                    f"{length} bytes)",
+                    index,
+                    offset,
+                    payload[:16],
+                )
+                return
             yield time, payload
+            index += 1
+            offset += _RECORD_HEADER.size + length
 
     def read_all(self) -> List[Tuple[float, bytes]]:
         return list(self)

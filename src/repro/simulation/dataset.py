@@ -16,8 +16,9 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.faults.ledger import IngestReport
 from repro.intervals import Interval, IntervalSet
 from repro.isis.mrt import MrtDumpReader, MrtDumpWriter
 from repro.simulation.failures import (
@@ -66,20 +67,30 @@ class Dataset:
     horizon_start: float
     horizon_end: float
     analysis_start: float
-    summary: DatasetSummary = None  # filled by the scenario runner
+    summary: Optional[DatasetSummary] = None  # filled by the scenario runner
 
     # ------------------------------------------------------------- stream
-    def iter_syslog_entries(self) -> Iterator["CollectedEntry"]:
+    def iter_syslog_entries(
+        self,
+        *,
+        strict: bool = True,
+        report: Optional[IngestReport] = None,
+    ) -> Iterator["CollectedEntry"]:
         """Parsed central-log entries in arrival order (streaming feed).
 
         Arrival order is what the collector's file preserves; generation
         timestamps inside the entries may be mildly out of order because of
         delivery delays — streaming consumers re-order them in event time
-        (see :mod:`repro.stream.sources`).
+        (see :mod:`repro.stream.sources`).  ``strict=False`` quarantines
+        malformed lines into ``report`` instead of raising.
         """
         from repro.syslog.collector import SyslogCollector
 
-        return iter(SyslogCollector.parse_log(self.syslog_text))
+        return iter(
+            SyslogCollector.parse_log(
+                self.syslog_text, strict=strict, report=report
+            )
+        )
 
     def iter_lsp_records(self) -> Iterator[Tuple[float, bytes]]:
         """Timestamped raw LSPs in capture order (streaming feed)."""
@@ -128,13 +139,28 @@ class Dataset:
         (root / "meta.json").write_text(json.dumps(meta), encoding="utf-8")
 
     @classmethod
-    def load(cls, directory: Union[str, Path], network: Network) -> "Dataset":
+    def load(
+        cls,
+        directory: Union[str, Path],
+        network: Network,
+        *,
+        strict: bool = True,
+        report: Optional[IngestReport] = None,
+    ) -> "Dataset":
         """Load a saved dataset.
 
         The :class:`Network` object is not serialised (it is fully
         determined by the scenario's topology parameters); pass the
         regenerated network.  The mined inventory is re-derived from the
         saved config archive, exactly as a fresh analysis would.
+
+        ``strict=False`` is the hardened load for artifacts a crashed
+        collector or listener left behind: broken UTF-8 in the syslog
+        file decodes with replacement characters (the affected lines
+        surface later as parse drops), and a truncated or corrupt LSP
+        archive is salvaged — the valid prefix is kept and the cut is
+        recorded in ``report``.  On clean artifacts both modes load
+        identical datasets.
         """
         root = Path(directory)
 
@@ -146,9 +172,14 @@ class Dataset:
             archive.add(path.stem, text)
         inventory = mine_configs(archive)
 
-        syslog_text = (root / "syslog.log").read_text(encoding="utf-8")
+        syslog_raw = (root / "syslog.log").read_bytes()
+        syslog_text = syslog_raw.decode(
+            "utf-8", errors="strict" if strict else "replace"
+        )
 
-        with MrtDumpReader.open(root / "isis.dump") as reader:
+        with MrtDumpReader.open(
+            root / "isis.dump", strict=strict, report=report
+        ) as reader:
             lsp_records = reader.read_all()
 
         ground_truth = json.loads(

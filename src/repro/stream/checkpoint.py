@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from collections import deque
 from typing import Any, Dict, List, Optional
 
@@ -263,37 +264,54 @@ def decode_engine(
     from repro.stream.engine import MERGER_KEYS, StreamEngine
     from repro.stream.sources import ISIS_CHANNEL, SYSLOG_CHANNEL
 
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"checkpoint document is {type(state).__name__}, not an object"
+        )
     version = state.get("version")
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"checkpoint version {version!r} is not supported "
             f"(expected {CHECKPOINT_VERSION})"
         )
-    engine = StreamEngine(
-        resolver,
-        state["horizon_start"],
-        state["horizon_end"],
-        listener_outages,
-        tickets,
-        decode_options(state["options"]),
-    )
-    engine.watermark = _decode_watermark(state["watermark"])
-    engine.events_consumed = state["events_consumed"]
-    engine.counters = dict(state["counters"])
-    for key in MERGER_KEYS:
-        _decode_merger(engine.mergers[key], state["mergers"][key])
-    for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL):
-        for link, raw_timeline in state["timelines"][channel].items():
-            engine.timelines[channel][link] = _decode_timeline(
-                engine, channel, link, raw_timeline
+    # A version-tagged document can still be structurally mangled (a torn
+    # write, a bit flip that survived JSON) — decoding it must fail as a
+    # typed CheckpointError the caller can fall back from, never as a
+    # bare KeyError/TypeError deep inside a codec.
+    try:
+        engine = StreamEngine(
+            resolver,
+            state["horizon_start"],
+            state["horizon_end"],
+            listener_outages,
+            tickets,
+            decode_options(state["options"]),
+        )
+        engine.watermark = _decode_watermark(state["watermark"])
+        engine.events_consumed = state["events_consumed"]
+        engine.counters = dict(state["counters"])
+        for key in MERGER_KEYS:
+            _decode_merger(engine.mergers[key], state["mergers"][key])
+        for channel in (SYSLOG_CHANNEL, ISIS_CHANNEL):
+            for link, raw_timeline in state["timelines"][channel].items():
+                engine.timelines[channel][link] = _decode_timeline(
+                    engine, channel, link, raw_timeline
+                )
+            _decode_sanitizer(
+                engine.sanitizers[channel], state["sanitizers"][channel]
             )
-        _decode_sanitizer(engine.sanitizers[channel], state["sanitizers"][channel])
-        engine.raw_failures[channel] = [
-            decode_failure(f) for f in state["raw_failures"][channel]
-        ]
-    _decode_matcher(engine.matcher, state["matcher"])
-    _decode_coverage(engine.coverage, state["coverage"])
-    _decode_flaps(engine.flaps, state["flaps"])
+            engine.raw_failures[channel] = [
+                decode_failure(f) for f in state["raw_failures"][channel]
+            ]
+        _decode_matcher(engine.matcher, state["matcher"])
+        _decode_coverage(engine.coverage, state["coverage"])
+        _decode_flaps(engine.flaps, state["flaps"])
+    except CheckpointError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as error:
+        raise CheckpointError(
+            f"checkpoint structure invalid at {type(error).__name__}: {error}"
+        ) from error
     return engine
 
 
@@ -494,25 +512,49 @@ def _decode_flaps(
 
 # -------------------------------------------------------------- file I/O
 def save_checkpoint(path: str, engine: "StreamEngine") -> None:  # noqa: F821
-    """Write the engine's full state to ``path`` as JSON."""
+    """Write the engine's full state to ``path`` as JSON, atomically.
+
+    The document is written to a sibling temp file and renamed into
+    place, so a crash mid-write (the exact scenario checkpoints exist
+    for) leaves the previous checkpoint intact rather than a torn file.
+    """
     document = engine.checkpoint_state()
-    with open(path, "w", encoding="utf-8") as handle:
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
 
 
 def load_checkpoint(path: str) -> Dict[str, Any]:
-    """Read a checkpoint document; raises :class:`CheckpointError` if bad."""
+    """Read a checkpoint document; raises :class:`CheckpointError` if bad.
+
+    Every corruption mode a crashed or interrupted writer can produce —
+    unreadable file, truncated or garbled JSON, a document of the wrong
+    shape, an unknown version — surfaces as a :class:`CheckpointError`
+    whose message names the file and what is wrong with it, so ``repro
+    stream --resume`` can report it and the caller can fall back to a
+    fresh run.
+    """
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-    except (OSError, ValueError) as error:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as error:
         raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON ({error}); the file is "
+            f"corrupt or was truncated mid-write"
+        ) from error
     if not isinstance(document, dict) or "version" not in document:
         raise CheckpointError(f"{path} is not a checkpoint document")
     version = document["version"]
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
-            f"checkpoint version {version!r} is not supported "
-            f"(expected {CHECKPOINT_VERSION})"
+            f"checkpoint {path} has version {version!r}, which is not "
+            f"supported (expected {CHECKPOINT_VERSION})"
         )
     return document

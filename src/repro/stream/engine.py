@@ -42,6 +42,7 @@ from repro.core.matching import FailureMatchResult, TransitionCoverage
 from repro.core.links import LinkResolver
 from repro.core.pipeline import AnalysisOptions
 from repro.core.sanitize import SanitizationReport
+from repro.faults.ledger import IngestReport
 from repro.intervals import AmbiguityStrategy, IntervalSet
 from repro.simulation.dataset import Dataset
 from repro.stream import checkpoint as checkpoint_codec
@@ -416,6 +417,8 @@ def stream_dataset(
     checkpoint_at: Iterable[int] = (),
     checkpoint_every: int = 0,
     on_checkpoint: Optional[Callable[[StreamEngine], None]] = None,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
 ) -> StreamResult:
     """Tail a dataset through a streaming engine and return the result.
 
@@ -424,6 +427,13 @@ def stream_dataset(
     from its exact state.  ``on_checkpoint`` fires at the absolute event
     counts in ``checkpoint_at`` (the tests' arbitrary cut points) and
     every ``checkpoint_every`` events (the CLI's periodic saves).
+
+    ``strict=False`` runs the hardened sources: malformed syslog lines
+    and undecodable LSP records are quarantined into ``report`` instead
+    of raising.  Dropped records yield no events, so resume arithmetic
+    (skip ``events_consumed`` delivered events) is unchanged, and a
+    resumed lenient run re-reads the artifacts from byte zero and
+    therefore rebuilds the full ledger.
     """
     resolver = LinkResolver(dataset.inventory)
     if resume_state is not None:
@@ -440,7 +450,7 @@ def stream_dataset(
             options,
         )
 
-    events = dataset_event_stream(dataset, resolver)
+    events = dataset_event_stream(dataset, resolver, strict=strict, report=report)
     for _ in range(engine.events_consumed):
         next(events)
 

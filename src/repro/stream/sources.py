@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import struct
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -33,6 +34,7 @@ from repro.core.extract_isis import classify_change
 from repro.core.extract_syslog import classify_entry
 from repro.core.events import LinkMessage
 from repro.core.links import LinkResolver
+from repro.faults.ledger import CHANNEL_ISIS, IngestReport
 from repro.isis.listener import IsisListener
 from repro.simulation.dataset import Dataset
 
@@ -118,7 +120,11 @@ class ReorderBuffer:
 
 
 def syslog_events(
-    dataset: Dataset, resolver: LinkResolver
+    dataset: Dataset,
+    resolver: LinkResolver,
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
 ) -> Iterator[StreamEvent]:
     """The central log file as an event-time-ordered event stream.
 
@@ -126,9 +132,13 @@ def syslog_events(
     ``(time, link, reporter)`` — byte-for-byte the order the batch
     extractor's sorts produce.  (A live adapter would substitute a
     :class:`ReorderBuffer` bounded by the transport's maximum delay.)
+
+    ``strict=False`` quarantines malformed log lines into ``report``
+    instead of raising — the same lenient parse the batch pipeline
+    applies, so both modes see the same entries.
     """
     events: List[StreamEvent] = []
-    for entry in dataset.iter_syslog_entries():
+    for entry in dataset.iter_syslog_entries(strict=strict, report=report):
         kind, message = classify_entry(entry, resolver)
         time = message.time if message is not None else entry.generated_time
         events.append(StreamEvent(time, SYSLOG_CHANNEL, kind, message))
@@ -137,7 +147,11 @@ def syslog_events(
 
 
 def isis_events(
-    dataset: Dataset, resolver: LinkResolver
+    dataset: Dataset,
+    resolver: LinkResolver,
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
 ) -> Iterator[StreamEvent]:
     """The LSP archive replayed through a fresh listener, incrementally.
 
@@ -146,16 +160,45 @@ def isis_events(
     sharing one timestamp are released together, sorted by
     ``(link, reporter)`` so ties resolve exactly as the batch
     extractor's stable sort does.
+
+    ``strict=False`` quarantines records the listener cannot decode
+    (bit-flipped payloads, checksum failures) and records whose capture
+    timestamp regresses — both artifacts of a damaged archive — into
+    ``report`` and continues, mirroring
+    :func:`repro.core.extract_isis.replay_lsp_records` so batch and
+    stream remain equivalent on damaged archives.  A dropped record
+    yields no event, not even a tick: the batch extractor never saw it
+    either.
     """
     listener = IsisListener()
     pending: List[StreamEvent] = []
     pending_time: Optional[float] = None
-    for time, raw in dataset.iter_lsp_records():
+    for index, (time, raw) in enumerate(dataset.iter_lsp_records()):
         if pending_time is not None and time < pending_time:
-            raise ValueError(
-                f"LSP archive regressed from {pending_time} to {time}; "
-                "the capture is not replayable as a stream"
-            )
+            if strict:
+                raise ValueError(
+                    f"LSP archive regressed from {pending_time} to {time}; "
+                    "the capture is not replayable as a stream"
+                )
+            if report is not None:
+                report.record(
+                    CHANNEL_ISIS,
+                    "time-regression",
+                    index=index,
+                    sample=f"{pending_time} -> {time}",
+                )
+            continue
+        rejected_before = listener.rejected_count
+        try:
+            changes = listener.observe_bytes(time, raw)
+        except (ValueError, struct.error) as error:
+            if strict:
+                raise
+            if report is not None:
+                report.record(
+                    CHANNEL_ISIS, "lsp-decode", index=index, sample=str(error)
+                )
+            continue
         if pending_time is not None and time > pending_time:
             pending.sort(key=_event_key)
             for event in pending:
@@ -163,8 +206,6 @@ def isis_events(
             pending = []
         pending_time = time
 
-        rejected_before = listener.rejected_count
-        changes = listener.observe_bytes(time, raw)
         if listener.rejected_count > rejected_before:
             pending.append(StreamEvent(time, ISIS_CHANNEL, KIND_REJECTED))
         elif not changes:
@@ -202,9 +243,16 @@ def merge_events(
 
 
 def dataset_event_stream(
-    dataset: Dataset, resolver: LinkResolver
+    dataset: Dataset,
+    resolver: LinkResolver,
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
 ) -> Iterator[StreamEvent]:
     """The canonical merged event stream of a saved campaign."""
     return merge_events(
-        [syslog_events(dataset, resolver), isis_events(dataset, resolver)]
+        [
+            syslog_events(dataset, resolver, strict=strict, report=report),
+            isis_events(dataset, resolver, strict=strict, report=report),
+        ]
     )

@@ -15,8 +15,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
+from repro.faults.ledger import CHANNEL_SYSLOG, IngestReport
 from repro.syslog.cisco import CiscoLogEntry, parse_cisco_body
-from repro.syslog.message import SyslogMessage, parse_syslog_line
+from repro.syslog.message import (
+    SyslogMessage,
+    parse_syslog_line,
+    try_parse_syslog_line,
+)
 from repro.syslog.transport import DeliveryRecord
 
 
@@ -66,20 +71,51 @@ class SyslogCollector:
         Path(path).write_text(self.render_log(), encoding="utf-8")
 
     @staticmethod
-    def parse_log(text: str) -> List[CollectedEntry]:
+    def parse_log(
+        text: str,
+        *,
+        strict: bool = True,
+        report: Optional[IngestReport] = None,
+    ) -> List[CollectedEntry]:
         """Parse log text into typed entries (unparseable bodies kept raw).
 
         Log lines are in arrival order, which is what resolves the RFC 3164
         year ambiguity: timestamps never carry a year, and a 13-month study
         revisits the same calendar dates, so each line's year is chosen as
         the earliest candidate consistent with the log's progress so far.
+
+        ``strict=True`` (the default) raises
+        :class:`~repro.syslog.message.SyslogParseError` on the first
+        malformed line, exactly as before.  ``strict=False`` is the
+        hardened path for the artifacts a crashed collector leaves
+        behind: malformed lines — garbage, binary junk, mid-line
+        truncations — are quarantined into ``report`` (an
+        :class:`~repro.faults.ledger.IngestReport`) with their reason,
+        line number, and byte offset, and parsing continues.  On a clean
+        log both modes return identical entries.
         """
         entries: List[CollectedEntry] = []
         latest = 0.0
-        for line in text.splitlines():
+        offset = 0
+        for line_number, line in enumerate(text.split("\n"), start=1):
+            line_offset = offset
+            offset += len(line.encode("utf-8", errors="surrogatepass")) + 1
             if not line.strip():
                 continue
-            message = parse_syslog_line(line, after=latest)
+            if strict:
+                message = parse_syslog_line(line, after=latest)
+            else:
+                message, reason = try_parse_syslog_line(line, after=latest)
+                if message is None:
+                    if report is not None:
+                        report.record(
+                            CHANNEL_SYSLOG,
+                            reason or "malformed-line",
+                            offset=line_offset,
+                            index=line_number,
+                            sample=line,
+                        )
+                    continue
             latest = max(latest, message.timestamp)
             entries.append(
                 CollectedEntry(
@@ -92,5 +128,20 @@ class SyslogCollector:
         return entries
 
     @classmethod
-    def read_log(cls, path: Union[str, Path]) -> List[CollectedEntry]:
-        return cls.parse_log(Path(path).read_text(encoding="utf-8"))
+    def read_log(
+        cls,
+        path: Union[str, Path],
+        *,
+        strict: bool = True,
+        report: Optional[IngestReport] = None,
+    ) -> List[CollectedEntry]:
+        """Read and parse a log file; lenient mode survives broken UTF-8.
+
+        In strict mode undecodable bytes raise ``UnicodeDecodeError`` as
+        before; in lenient mode they decode with replacement characters,
+        which makes the affected lines unparseable and therefore visible
+        in the ledger rather than fatal.
+        """
+        data = Path(path).read_bytes()
+        text = data.decode("utf-8", errors="strict" if strict else "replace")
+        return cls.parse_log(text, strict=strict, report=report)

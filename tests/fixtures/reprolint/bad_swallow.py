@@ -1,0 +1,56 @@
+"""Fixture: every way an except handler can swallow a record silently."""
+
+
+def bare_except(records):
+    parsed = []
+    for raw in records:
+        try:
+            parsed.append(int(raw))
+        except:  # E001 and E002: bare and silent
+            pass
+    return parsed
+
+
+def broad_silent(records):
+    parsed = []
+    for raw in records:
+        try:
+            parsed.append(int(raw))
+        except Exception:  # E002: swallows everything
+            pass
+    return parsed
+
+
+def narrow_silent_continue(records):
+    parsed = []
+    for raw in records:
+        try:
+            parsed.append(int(raw))
+        except ValueError:  # E002: drop without attribution
+            continue
+    return parsed
+
+
+def ellipsis_body(raw):
+    try:
+        return int(raw)
+    except (TypeError, ValueError):  # E002: `...` is still a swallow
+        ...
+    return None
+
+
+def handled_properly(records, report):
+    parsed = []
+    for raw in records:
+        try:
+            parsed.append(int(raw))
+        except ValueError as error:  # ok: the drop is attributed
+            report.append(("bad-int", raw, str(error)))
+    return parsed
+
+
+def reraise_is_fine(raw):
+    try:
+        return int(raw)
+    except ValueError:  # ok: not swallowed
+        raise TypeError(f"not a count: {raw!r}")

@@ -93,7 +93,8 @@ def test_list_rules_catalogue(capsys):
     for rule_id in (
         "D001", "D002", "D003", "D004", "D005",
         "M001", "M002", "C001", "C002",
-        "T001", "T002", "T003", "S001", "E001",
+        "E001", "E002",
+        "T001", "T002", "T003", "S001", "X001",
     ):
         assert rule_id in out
 

@@ -1,0 +1,55 @@
+"""End-to-end test of the chaos harness (`repro chaos`).
+
+One real (small) campaign is simulated, damaged by every injector, and
+re-analysed; the harness's own invariants — no unhandled exception,
+bounded and attributed degradation, byte-identical checkpoint/resume —
+are what `run_chaos` asserts internally, so the test here only needs to
+drive it and require a clean verdict.  The CI job runs the same harness
+at `--quick` scale against the acceptance seed.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.cli import _build_parser
+from repro.faults.chaos import _kill_points, run_chaos
+from repro.faults.injectors import INJECTOR_NAMES
+
+SCENARIO_NAMES = ("clean-identity",) + INJECTOR_NAMES
+
+
+class TestKillPoints:
+    def test_small_totals_kill_at_every_boundary(self):
+        assert _kill_points(3, 8) == [1, 2, 3]
+
+    def test_large_totals_bracket_the_stream(self):
+        points = _kill_points(1000, 4)
+        assert points[0] == 1 and points[-1] == 1000
+        assert points == sorted(set(points))
+        assert len(points) <= 5
+
+
+class TestRunChaos:
+    def test_tiny_campaign_passes_every_scenario(self, tmp_path):
+        out = io.StringIO()
+        code = run_chaos(11, 2.0, kill_samples=2, out=out, work_dir=tmp_path)
+        text = out.getvalue()
+        assert code == 0, text
+        for name in SCENARIO_NAMES:
+            assert f"chaos: {name}: ok" in text, text
+        assert "FAIL" not in text
+        # The summary table attributes the induced damage.
+        assert "Chaos scenarios" in text
+
+
+class TestCliWiring:
+    def test_chaos_subcommand_parses_its_flags(self):
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["chaos", "--seed", "5", "--days", "4", "--kill-samples", "3"]
+        )
+        assert args.command == "chaos"
+        assert (args.seed, args.days, args.kill_samples) == (5, 4.0, 3)
+        assert not args.quick
+        assert parser.parse_args(["chaos", "--quick"]).quick

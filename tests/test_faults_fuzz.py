@@ -1,0 +1,173 @@
+"""Property-based fuzz of the hardened parsing edge.
+
+The lenient ingestion contract (docs/robustness.md) is a pair of
+universally-quantified claims, which is exactly what Hypothesis is for:
+
+* `try_parse_syslog_line` **never raises** — for any input string it
+  returns either a message or a machine-readable drop reason, never
+  both, never neither;
+* `parse_syslog_line` (strict) either succeeds or raises
+  `SyslogParseError` carrying one of the documented reasons — no other
+  exception type ever escapes;
+* `parse_cisco_body` never raises: unknown chatter is `None`, not a
+  crash.
+
+Inputs are arbitrary text *and* well-formed lines put through a
+mutation step (truncate / delete a span / insert / replace a
+character), which is how real corruption looks: almost-valid.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.syslog.cisco import (
+    AdjacencyChangeMessage,
+    LineProtoUpDownMessage,
+    LinkUpDownMessage,
+    parse_cisco_body,
+)
+from repro.syslog.message import (
+    Facility,
+    Severity,
+    SyslogMessage,
+    SyslogParseError,
+    parse_syslog_line,
+    try_parse_syslog_line,
+)
+
+#: The complete drop-reason vocabulary of the syslog channel.
+REASONS = {"malformed-line", "pri-out-of-range", "bad-timestamp"}
+
+_HOSTS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.", min_size=1, max_size=12
+)
+_BODIES = st.text(
+    alphabet=st.characters(blacklist_characters="\n", blacklist_categories=("Cs",)),
+    max_size=72,
+)
+#: Whole simulation seconds (within the 13-month study horizon), so the
+#: millisecond-precision timestamp rendering round-trips exactly.
+_TIMES = st.integers(min_value=0, max_value=300 * 86400).map(float)
+
+
+@st.composite
+def _valid_messages(draw):
+    return SyslogMessage(
+        timestamp=draw(_TIMES),
+        hostname=draw(_HOSTS),
+        body=draw(_BODIES),
+        facility=Facility(draw(st.integers(0, 23))),
+        severity=Severity(draw(st.integers(0, 7))),
+    )
+
+
+@st.composite
+def _mutated_lines(draw):
+    """A rendered syslog line with one random mutation applied."""
+    line = draw(_valid_messages()).render()
+    operation = draw(st.sampled_from(["truncate", "delete", "insert", "replace"]))
+    position = draw(st.integers(0, max(0, len(line) - 1)))
+    if operation == "truncate":
+        return line[:position]
+    if operation == "delete":
+        end = draw(st.integers(position, len(line)))
+        return line[:position] + line[end:]
+    char = draw(
+        st.characters(blacklist_characters="\n", blacklist_categories=("Cs",))
+    )
+    if operation == "insert":
+        return line[:position] + char + line[position:]
+    return line[:position] + char + line[position + 1 :]
+
+
+def _assert_hardened(line: str) -> None:
+    """The invariant pair both parse entry points must satisfy."""
+    message, reason = try_parse_syslog_line(line)
+    assert (message is None) != (reason is None)
+    if reason is not None:
+        assert reason in REASONS
+    try:
+        strict = parse_syslog_line(line)
+    except SyslogParseError as error:
+        assert error.reason == reason
+    else:
+        assert strict == message
+
+
+class TestSyslogLineFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(_valid_messages())
+    def test_well_formed_lines_round_trip(self, message):
+        assert parse_syslog_line(message.render()) == message
+
+    @settings(max_examples=400, deadline=None)
+    @given(_mutated_lines())
+    def test_mutated_lines_never_escape_the_typed_contract(self, line):
+        _assert_hardened(line)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=200))
+    def test_arbitrary_text_never_escapes_the_typed_contract(self, line):
+        _assert_hardened(line)
+
+    def test_each_drop_reason_is_reachable(self):
+        cases = {
+            "garbage with no structure at all": "malformed-line",
+            "<189>Oct 20 00:00:00.000 host": "malformed-line",  # no body field
+            "<192>Oct 20 00:00:00.000 host body": "pri-out-of-range",
+            "<189>Feb 30 12:00:00.000 host body": "bad-timestamp",
+        }
+        for line, expected in cases.items():
+            message, reason = try_parse_syslog_line(line)
+            assert message is None and reason == expected, line
+
+
+#: Realistic Cisco bodies rebuilt from the four message classes, so the
+#: mutation step starts from text the regexes nearly match.
+_CISCO_TEMPLATES = (
+    AdjacencyChangeMessage(
+        "lax-core-01", "Serial1/0", "svl-cpe-03", "up", reason="new adjacency"
+    ).render_body(),
+    AdjacencyChangeMessage(
+        "lax-core-01",
+        "TenGigE0/1/0/2",
+        "svl-core-02",
+        "down",
+        reason="interface state down",
+    ).render_body(),
+    LinkUpDownMessage("lax-core-01", "Serial1/0", "down").render_body(),
+    LineProtoUpDownMessage("lax-core-01", "Serial1/0", "up").render_body(),
+)
+
+
+@st.composite
+def _mutated_cisco_bodies(draw):
+    body = draw(st.sampled_from(_CISCO_TEMPLATES))
+    position = draw(st.integers(0, max(0, len(body) - 1)))
+    operation = draw(st.sampled_from(["truncate", "insert", "replace"]))
+    if operation == "truncate":
+        return body[:position]
+    char = draw(st.characters(blacklist_categories=("Cs",)))
+    if operation == "insert":
+        return body[:position] + char + body[position:]
+    return body[:position] + char + body[position + 1 :]
+
+
+class TestCiscoBodyFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(_HOSTS, st.text(max_size=200))
+    def test_arbitrary_bodies_never_raise(self, router, body):
+        entry = parse_cisco_body(router, body)
+        assert entry is None or entry.router == router
+
+    @settings(max_examples=300, deadline=None)
+    @given(_HOSTS, _mutated_cisco_bodies())
+    def test_mutated_real_bodies_never_raise(self, router, body):
+        entry = parse_cisco_body(router, body)
+        assert entry is None or entry.router == router
+
+    def test_templates_themselves_still_parse(self):
+        for body in _CISCO_TEMPLATES:
+            assert parse_cisco_body("lax-core-01", body) is not None

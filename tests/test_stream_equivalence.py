@@ -140,6 +140,33 @@ class TestBatchEquivalence:
         assert result.isis_failures == small_analysis.isis_failures
 
 
+class TestLenientCleanPathIdentity:
+    """Hardened ingestion's acceptance bar: with no injected faults,
+    ``strict=False`` must be byte-identical to strict mode — the
+    quarantine machinery may cost nothing on clean input — and the
+    ledger must stay empty (seeds 7 and 2013 via the fixture)."""
+
+    def test_batch_lenient_is_identical_on_clean_input(self, seeded_pair):
+        from repro.faults.chaos import analysis_signature
+        from repro.faults.ledger import IngestReport
+
+        dataset, batch = seeded_pair
+        report = IngestReport()
+        lenient = run_analysis(dataset, strict=False, report=report)
+        assert not report
+        assert lenient.ingest is report
+        assert analysis_signature(lenient) == analysis_signature(batch)
+
+    def test_stream_lenient_is_identical_on_clean_input(self, seeded_pair):
+        from repro.faults.ledger import IngestReport
+
+        dataset, batch = seeded_pair
+        report = IngestReport()
+        stream = stream_dataset(dataset, strict=False, report=report)
+        assert not report
+        assert_equivalent(batch, stream)
+
+
 class TestCheckpointResume:
     def _total_events(self, dataset: Dataset) -> int:
         return stream_dataset(dataset).counters["events"]
