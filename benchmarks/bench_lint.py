@@ -1,0 +1,110 @@
+"""Lint driver — wall time over ``src/`` sequential vs parallel vs cached.
+
+Not a paper table: this bench tracks ``repro lint`` itself, so the
+pre-commit loop (``repro lint --changed``) and the CI job stay fast as
+the rule set and the tree grow.  Three configurations over the same
+files:
+
+* **sequential, no cache** — the baseline: every per-module rule runs
+  in-process, project-wide rules included;
+* **parallel, cold cache** — per-module rules fan out over worker
+  processes and populate the on-disk result cache as they go;
+* **parallel, warm cache** — the pre-commit steady state: per-module
+  results come from the cache keyed on (file bytes, rule-set version),
+  so only the project-wide rules actually run.
+
+The acceptance bar is the steady state: a warm-cache run must beat the
+uncached sequential run, and all three must agree finding-for-finding.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _bench_utils import emit
+from repro.core.report import render_table
+from repro.devtools.cache import LintCache
+from repro.devtools.lint import (
+    collect_files,
+    default_jobs,
+    lint_project,
+    load_project,
+)
+
+LINT_PATHS = ["src"]
+
+
+@pytest.fixture(scope="module")
+def lint_files():
+    files = collect_files(LINT_PATHS)
+    assert len(files) > 50, "bench must see the real tree"
+    return files
+
+
+def _timed_run(files, *, jobs, cache):
+    project = load_project(files)  # re-parse each round: a real run
+    start = time.perf_counter()
+    active, suppressed = lint_project(
+        project, jobs=jobs, cache=cache
+    )
+    elapsed = time.perf_counter() - start
+    return active, suppressed, elapsed
+
+
+def build_table(files, cache_dir) -> str:
+    jobs = default_jobs()
+    sequential = _timed_run(files, jobs=1, cache=None)
+    cache = LintCache(str(cache_dir))
+    cold = _timed_run(files, jobs=jobs, cache=cache)
+    assert cache.hits == 0, "first cached run must be all misses"
+    warm = _timed_run(files, jobs=jobs, cache=cache)
+    assert cache.hits >= len(files), "second run must hit the cache"
+
+    # All three configurations must agree finding-for-finding.
+    assert sequential[0] == cold[0] == warm[0]
+    assert sequential[1] == cold[1] == warm[1]
+    # The steady state must beat the uncached sequential run.
+    assert warm[2] < sequential[2], (
+        f"warm cache ({warm[2]:.2f}s) must beat sequential "
+        f"({sequential[2]:.2f}s)"
+    )
+
+    def row(label, run, note):
+        active, _suppressed, elapsed = run
+        return [
+            label,
+            f"{elapsed:.2f}s",
+            f"{len(files) / elapsed:,.0f} files/s",
+            note,
+        ]
+
+    rows = [
+        row("sequential, no cache", sequential, "baseline"),
+        row("parallel, cold cache", cold, f"jobs={jobs}, all misses"),
+        row(
+            "parallel, warm cache",
+            warm,
+            "steady state: only project-wide rules run",
+        ),
+        [
+            "findings",
+            f"{len(sequential[0])} active",
+            f"{len(sequential[1])} suppressed",
+            "identical across all three",
+        ],
+    ]
+    return render_table(
+        ["Configuration", "Wall time", "Rate", "Note"],
+        rows,
+        title=f"repro lint over src/ ({len(files)} files)",
+    )
+
+
+def test_lint_wall_time(benchmark, lint_files, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("lint-cache")
+    table = benchmark.pedantic(
+        build_table, args=(lint_files, cache_dir), rounds=1, iterations=1
+    )
+    emit("lint", table)

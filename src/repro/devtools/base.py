@@ -120,6 +120,9 @@ class Project:
 
     def __init__(self, modules: Sequence[SourceModule]) -> None:
         self.modules = list(modules)
+        #: Scratch space for expensive project-wide artefacts (the call
+        #: graph) so several rules share one build per lint run.
+        self.cache: Dict[str, object] = {}
         self._classes: Dict[str, Tuple[SourceModule, ast.ClassDef]] = {}
         for module in self.modules:
             if module.tree is None:
@@ -148,6 +151,11 @@ class Rule:
     name: str = ""
     rationale: str = ""
     scope: Optional[Tuple[str, ...]] = None
+    #: Rules whose findings depend on *other* modules (class lookups,
+    #: the call graph) must run in the main process over the full
+    #: :class:`Project`; per-module rules can be parallelised and their
+    #: results cached per file.
+    project_wide: bool = False
 
     def applies_to(self, module: SourceModule) -> bool:
         if self.scope is None:

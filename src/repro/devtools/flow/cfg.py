@@ -1,0 +1,224 @@
+"""Per-scope control-flow graphs for the flow-sensitive lint rules.
+
+One :class:`CFG` covers one *scope*: a function body or a module's
+top-level statements.  Nodes are individual statements — simple
+statements and the headers of compound ones (``if``/``while``/``for``/
+``try``/``with``); the bodies of compound statements contribute their
+own nodes.  Nested function and class definitions are opaque single
+nodes (each nested function gets its own CFG when analysed).
+
+Edges model what the dataflow solver needs, conservatively:
+
+* ``if``/``else`` fork at the header and rejoin after both arms;
+* loops have the back edge, the fall-through exit, and ``break``/
+  ``continue`` edges (``orelse`` runs on normal exit);
+* ``try`` is handled pessimistically — every statement in the ``try``
+  body may raise, so each one gets an edge into every handler (plus an
+  edge from the header itself, for an exception before the first
+  statement); ``finally`` joins all paths;
+* ``return``/``raise`` end the path (edge to the virtual exit).
+
+The builder never executes anything and never fails on odd shapes: a
+construct it does not model precisely just gets extra edges, which only
+makes the downstream analyses more conservative, never unsound in the
+may-analysis direction the rules rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Virtual node ids: the edge sources/sinks that bracket every scope.
+ENTRY = -1
+EXIT = -2
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one scope."""
+
+    #: The scope's statements in source order; indexes are node ids.
+    statements: List[ast.stmt] = field(default_factory=list)
+    succ: Dict[int, List[int]] = field(default_factory=dict)
+    pred: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add_node(self, statement: ast.stmt) -> int:
+        node = len(self.statements)
+        self.statements.append(statement)
+        self.succ.setdefault(node, [])
+        self.pred.setdefault(node, [])
+        return node
+
+    def add_edge(self, source: int, target: int) -> None:
+        if target not in self.succ.setdefault(source, []):
+            self.succ[source].append(target)
+        if source not in self.pred.setdefault(target, []):
+            self.pred[target].append(source)
+
+    def nodes(self) -> Iterator[Tuple[int, ast.stmt]]:
+        return enumerate(self.statements)
+
+
+@dataclass
+class _LoopContext:
+    """Where ``continue`` and ``break`` jump inside the innermost loop."""
+
+    header: int
+    breaks: List[int] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.succ[ENTRY] = []
+        self.cfg.pred[ENTRY] = []
+        self.cfg.succ[EXIT] = []
+        self.cfg.pred[EXIT] = []
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        frontier = self._wire(body, [ENTRY], [])
+        for node in frontier:
+            self.cfg.add_edge(node, EXIT)
+        return self.cfg
+
+    def _wire(
+        self,
+        statements: List[ast.stmt],
+        frontier: List[int],
+        loops: List[_LoopContext],
+    ) -> List[int]:
+        """Wire a statement list; returns the nodes that fall out of it."""
+        for statement in statements:
+            node = self.cfg.add_node(statement)
+            for source in frontier:
+                self.cfg.add_edge(source, node)
+            frontier = self._wire_statement(statement, node, loops)
+        return frontier
+
+    def _wire_statement(
+        self, statement: ast.stmt, node: int, loops: List[_LoopContext]
+    ) -> List[int]:
+        if isinstance(statement, ast.If):
+            then_exit = self._wire(statement.body, [node], loops)
+            if statement.orelse:
+                else_exit = self._wire(statement.orelse, [node], loops)
+            else:
+                else_exit = [node]
+            return then_exit + else_exit
+
+        if isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+            context = _LoopContext(header=node)
+            body_exit = self._wire(statement.body, [node], loops + [context])
+            for source in body_exit:
+                self.cfg.add_edge(source, node)  # back edge
+            if statement.orelse:
+                normal_exit = self._wire(statement.orelse, [node], loops)
+            else:
+                normal_exit = [node]
+            return normal_exit + context.breaks
+
+        if isinstance(statement, ast.Try):
+            first = len(self.cfg.statements)
+            body_exit = self._wire(statement.body, [node], loops)
+            body_nodes = [node] + list(range(first, len(self.cfg.statements)))
+            handler_exits: List[int] = []
+            for handler in statement.handlers:
+                handler_exits.extend(
+                    self._wire(handler.body, list(body_nodes), loops)
+                )
+            if statement.orelse:
+                body_exit = self._wire(statement.orelse, body_exit, loops)
+            merged = body_exit + handler_exits
+            if statement.finalbody:
+                return self._wire(statement.finalbody, merged, loops)
+            return merged
+
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            return self._wire(statement.body, [node], loops)
+
+        if isinstance(statement, ast.Match):
+            exits: List[int] = [node]  # no case may match
+            for case in statement.cases:
+                exits.extend(self._wire(case.body, [node], loops))
+            return exits
+
+        if isinstance(statement, (ast.Return, ast.Raise)):
+            self.cfg.add_edge(node, EXIT)
+            return []
+
+        if isinstance(statement, ast.Break):
+            if loops:
+                loops[-1].breaks.append(node)
+            return []
+
+        if isinstance(statement, ast.Continue):
+            if loops:
+                self.cfg.add_edge(node, loops[-1].header)
+            return []
+
+        # Simple statements (and opaque nested defs) fall through.
+        return [node]
+
+
+def build_cfg(scope: ast.AST) -> CFG:
+    """The CFG of one scope: a (async) function, or a whole module."""
+    body = getattr(scope, "body", None)
+    if not isinstance(body, list):
+        raise TypeError(f"cannot build a CFG for {type(scope).__name__}")
+    return _Builder().build(body)
+
+
+def owned_expressions(statement: ast.stmt) -> List[ast.expr]:
+    """The expressions evaluated *by this node itself*.
+
+    For compound statements that is the header expression only (the
+    ``if`` test, the ``for`` iterable, …) — the bodies belong to their
+    own CFG nodes.  For simple statements it is every child expression.
+    Nested function/class definitions own nothing (their bodies are
+    separate scopes; their decorators and defaults are evaluated here
+    but are rarely interesting and never rebind locals).
+    """
+    if isinstance(statement, ast.If) or isinstance(statement, ast.While):
+        return [statement.test]
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return [statement.iter]
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in statement.items]
+    if isinstance(statement, ast.Match):
+        return [statement.subject]
+    if isinstance(statement, ast.Try):
+        return []
+    if isinstance(
+        statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [
+        child
+        for child in ast.iter_child_nodes(statement)
+        if isinstance(child, ast.expr)
+    ]
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every analysable scope of a module: the module, then each
+    function/method at any nesting depth, outermost first."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_parameters(scope: ast.AST) -> List[ast.arg]:
+    """The parameter list of a function scope (empty for a module)."""
+    arguments: Optional[ast.arguments] = getattr(scope, "args", None)
+    if arguments is None:
+        return []
+    params = list(arguments.posonlyargs) + list(arguments.args)
+    if arguments.vararg is not None:
+        params.append(arguments.vararg)
+    params.extend(arguments.kwonlyargs)
+    if arguments.kwarg is not None:
+        params.append(arguments.kwarg)
+    return params

@@ -5,31 +5,50 @@ comments and the committed baseline, and reports the remainder in human
 or ``--format json`` form.  Exit status: 0 clean, 1 findings, 2 usage or
 configuration error — CI treats any non-zero as a failed build.
 
+Per-module rules run in parallel across files (``--jobs``) and their
+results are cached on disk keyed by *(file bytes, rule set)*
+(:mod:`repro.devtools.cache`); project-wide rules — codec drift,
+mutable-singleton classification, the interprocedural R-rules — always
+run in the main process over the full :class:`Project`.  ``--changed
+[REF]`` restricts per-module linting to files differing from a git ref
+for fast pre-commit runs, while the project-wide rules still see every
+file so interprocedural findings stay sound.
+
 Configuration lives in ``[tool.reprolint]`` in ``pyproject.toml``::
 
     [tool.reprolint]
     paths = ["src"]
     exclude = ["tests/fixtures"]
     baseline = "reprolint-baseline.json"
+    cache_dir = ".reprolint-cache"
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
+import subprocess
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.devtools import rules as _rules  # noqa: F401  (registry side effect)
-from repro.devtools.base import REGISTRY, Finding, Project, SourceModule
+from repro.devtools.base import (
+    REGISTRY,
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+)
 from repro.devtools.baseline import (
     BaselineError,
     load_baseline,
     save_baseline,
     split_baselined,
 )
+from repro.devtools.cache import LintCache
 
 #: Directory names never descended into during file collection.
 SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "venv", "node_modules"}
@@ -42,6 +61,7 @@ class LintConfig:
     paths: List[str] = field(default_factory=lambda: ["src"])
     exclude: List[str] = field(default_factory=lambda: ["tests/fixtures"])
     baseline: Optional[str] = None
+    cache_dir: str = ".reprolint-cache"
     root: str = "."
 
 
@@ -81,6 +101,8 @@ def load_config(start: str = ".") -> LintConfig:
         config.exclude = [str(p) for p in section["exclude"]]
     if isinstance(section.get("baseline"), str):
         config.baseline = section["baseline"]
+    if isinstance(section.get("cache_dir"), str):
+        config.cache_dir = section["cache_dir"]
     return config
 
 
@@ -125,55 +147,165 @@ def load_project(files: Sequence[str]) -> Project:
     return Project(modules)
 
 
+def split_rules(
+    selected: Dict[str, Rule]
+) -> Tuple[Dict[str, Rule], Dict[str, Rule]]:
+    """(per-module, project-wide) partition of the selected rules."""
+    local = {
+        rule_id: rule
+        for rule_id, rule in selected.items()
+        if not rule.project_wide
+    }
+    wide = {
+        rule_id: rule
+        for rule_id, rule in selected.items()
+        if rule.project_wide
+    }
+    return local, wide
+
+
+def check_module_local(
+    module: SourceModule, rule_ids: Sequence[str]
+) -> List[Finding]:
+    """Raw per-module findings: the selected per-module rules plus the
+    X001/S001 pseudo-rules.  Pure in *(module text, rule ids)* — this is
+    the unit the cache stores and the worker processes compute."""
+    findings: List[Finding] = []
+    if module.syntax_error is not None:
+        findings.append(
+            Finding(
+                rule="X001",
+                path=module.path,
+                line=module.syntax_error.lineno or 1,
+                column=(module.syntax_error.offset or 1) - 1,
+                message=f"syntax error: {module.syntax_error.msg}",
+                snippet=module.snippet(module.syntax_error.lineno or 1),
+            )
+        )
+        return findings
+    # Per-module rules by construction never look past `module`, so a
+    # single-module project is sufficient (and picklable-free) here.
+    local_project = Project([module])
+    for rule_id in rule_ids:
+        rule = REGISTRY[rule_id]
+        if rule.applies_to(module):
+            findings.extend(rule.check(module, local_project))
+    # Suppressions without a justification are findings themselves.
+    for suppression in module.suppressions.missing_reasons():
+        findings.append(
+            Finding(
+                rule="S001",
+                path=module.path,
+                line=suppression.line,
+                column=0,
+                message=(
+                    "suppression without a reason; append "
+                    "`-- <why this is safe>`"
+                ),
+                snippet=module.snippet(suppression.line),
+            )
+        )
+    return findings
+
+
+def _lint_file_worker(
+    job: Tuple[str, str, Tuple[str, ...]]
+) -> Tuple[str, List[Dict[str, object]]]:
+    """Pool worker: re-parse one file and run the per-module rules."""
+    path, text, rule_ids = job
+    module = SourceModule(path, text)
+    return path, [f.to_json() for f in check_module_local(module, rule_ids)]
+
+
+def _finding_from_json(entry: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(entry["rule"]),
+        path=str(entry["path"]),
+        line=int(entry["line"]),  # type: ignore[arg-type]
+        column=int(entry["column"]),  # type: ignore[arg-type]
+        message=str(entry["message"]),
+        snippet=str(entry.get("snippet", "")),
+    )
+
+
+def default_jobs() -> int:
+    try:
+        return max(1, min(os.cpu_count() or 1, 8))
+    except (ValueError, OSError):  # pragma: no cover - defensive
+        return 1
+
+
 def lint_project(
-    project: Project, rule_ids: Optional[Iterable[str]] = None
+    project: Project,
+    rule_ids: Optional[Iterable[str]] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[LintCache] = None,
+    targets: Optional[Set[str]] = None,
 ) -> Tuple[List[Finding], List[Finding]]:
     """Run the registry over a project.
 
-    Returns ``(active, suppressed)``: findings that count against the
-    exit status, and findings silenced by suppression comments.
+    Per-module rules run only over ``targets`` (default: every module),
+    parallelised across ``jobs`` processes with optional caching;
+    project-wide rules always see the whole project.  Returns
+    ``(active, suppressed)``: findings that count against the exit
+    status, and findings silenced by suppression comments.
     """
     selected = (
         {rule_id: REGISTRY[rule_id] for rule_id in rule_ids}
         if rule_ids is not None
-        else REGISTRY
+        else dict(REGISTRY)
     )
+    local_rules, wide_rules = split_rules(selected)
+    local_ids = tuple(local_rules.keys())
+
+    target_modules = [
+        module
+        for module in project.modules
+        if targets is None or module.path in targets
+    ]
+
     raw: List[Finding] = []
+    pending: List[SourceModule] = []
+    keys: Dict[str, str] = {}
+    for module in target_modules:
+        if cache is not None:
+            key = cache.key(module.path, module.text, local_ids)
+            keys[module.path] = key
+            cached = cache.get(key)
+            if cached is not None:
+                raw.extend(cached)
+                continue
+        pending.append(module)
+
+    fresh: Dict[str, List[Finding]] = {}
+    if jobs > 1 and len(pending) > 1:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for path, entries in pool.imap_unordered(
+                _lint_file_worker,
+                [(m.path, m.text, local_ids) for m in pending],
+            ):
+                fresh[path] = [_finding_from_json(e) for e in entries]
+    else:
+        for module in pending:
+            fresh[module.path] = check_module_local(module, local_ids)
+    for module in pending:
+        findings = fresh[module.path]
+        raw.extend(findings)
+        if cache is not None:
+            cache.put(keys[module.path], findings)
+
+    # Project-wide rules: full project, main process, never cached.
+    for module in project.modules:
+        if module.tree is None:
+            continue
+        for rule in wide_rules.values():
+            if rule.applies_to(module):
+                raw.extend(rule.check(module, project))
+
     modules_by_path: Dict[str, SourceModule] = {
         module.path: module for module in project.modules
     }
-    for module in project.modules:
-        if module.syntax_error is not None:
-            raw.append(
-                Finding(
-                    rule="X001",
-                    path=module.path,
-                    line=module.syntax_error.lineno or 1,
-                    column=(module.syntax_error.offset or 1) - 1,
-                    message=f"syntax error: {module.syntax_error.msg}",
-                    snippet=module.snippet(module.syntax_error.lineno or 1),
-                )
-            )
-            continue
-        for rule in selected.values():
-            if not rule.applies_to(module):
-                continue
-            raw.extend(rule.check(module, project))
-        # Suppressions without a justification are findings themselves.
-        for suppression in module.suppressions.missing_reasons():
-            raw.append(
-                Finding(
-                    rule="S001",
-                    path=module.path,
-                    line=suppression.line,
-                    column=0,
-                    message=(
-                        "suppression without a reason; append "
-                        "`-- <why this is safe>`"
-                    ),
-                    snippet=module.snippet(suppression.line),
-                )
-            )
     active: List[Finding] = []
     suppressed: List[Finding] = []
     for finding in raw:
@@ -189,6 +321,39 @@ def lint_project(
     active.sort(key=Finding.sort_key)
     suppressed.sort(key=Finding.sort_key)
     return active, suppressed
+
+
+def git_changed_files(root: str, ref: str = "HEAD") -> Optional[Set[str]]:
+    """Absolute paths of files differing from ``ref`` (tracked changes
+    plus untracked files), or ``None`` when git cannot answer."""
+    changed: Set[str] = set()
+    commands = [
+        ["git", "-C", root, "diff", "--name-only", "-z", ref, "--"],
+        [
+            "git",
+            "-C",
+            root,
+            "ls-files",
+            "--others",
+            "--exclude-standard",
+            "-z",
+        ],
+    ]
+    for command in commands:
+        try:
+            result = subprocess.run(
+                command,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=True,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        for name in result.stdout.split("\0"):
+            if name:
+                changed.add(os.path.abspath(os.path.join(root, name)))
+    return changed
 
 
 def lint_paths(
@@ -294,6 +459,32 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for per-module rules "
+        "(default: min(cpu count, 8))",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="lint only files differing from the git ref (default REF: "
+        "HEAD); project-wide rules still see every file",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk per-file result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="cache directory (default: [tool.reprolint] cache_dir)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -335,7 +526,36 @@ def run(args: argparse.Namespace) -> int:
 
     files = collect_files(paths, exclude)
     project = load_project(files)
-    active, suppressed = lint_project(project, rule_ids)
+
+    targets: Optional[Set[str]] = None
+    if args.changed is not None:
+        changed = git_changed_files(config.root, args.changed)
+        if changed is None:
+            print(
+                f"--changed: git could not diff against {args.changed!r}",
+                file=sys.stderr,
+            )
+            return 2
+        targets = {
+            path for path in files if os.path.abspath(path) in changed
+        }
+
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or (
+            config.cache_dir
+            if os.path.isabs(config.cache_dir)
+            else os.path.join(config.root, config.cache_dir)
+        )
+        cache = LintCache(cache_dir)
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    active, suppressed = lint_project(
+        project, rule_ids, jobs=jobs, cache=cache, targets=targets
+    )
 
     if args.update_baseline:
         if baseline_path is None:
@@ -358,7 +578,8 @@ def run(args: argparse.Namespace) -> int:
         active, baselined = split_baselined(active, baseline)
 
     renderer = render_json if args.format == "json" else render_human
-    print(renderer(active, baselined, suppressed, len(files)))
+    files_checked = len(targets) if targets is not None else len(files)
+    print(renderer(active, baselined, suppressed, files_checked))
     return 1 if active else 0
 
 

@@ -2,8 +2,16 @@
 
 from repro.devtools.rules import (  # noqa: F401
     codec,
+    contract,
     determinism,
     eventtime,
     exceptions,
+    flowrules,
     mutability,
+    timeaxis,
 )
+
+#: Bump whenever rule semantics change in a way that invalidates cached
+#: per-file results (the on-disk lint cache keys on this + the rule ids
+#: + the file bytes).
+RULESET_VERSION = "2026.08-flow1"

@@ -198,6 +198,11 @@ class CodecFunction:
 
 
 def find_codec_functions(project: Project) -> List[CodecFunction]:
+    # The driver calls this once per module visited; memoise the
+    # project-wide scan so the run stays O(modules), not O(modules²).
+    cached = project.cache.get("codec_functions")
+    if isinstance(cached, list):
+        return cached
     found: List[CodecFunction] = []
     for module in project.modules:
         if module.tree is None:
@@ -216,10 +221,13 @@ def find_codec_functions(project: Project) -> List[CodecFunction]:
                     suffix=match.group(2),
                 )
             )
+    project.cache["codec_functions"] = found
     return found
 
 
 class _CodecRuleBase(Rule):
+    #: Encoder/decoder/state-class triples span modules.
+    project_wide = True
     """Shared driver: run once per project, anchored to the encode module."""
 
     def check(

@@ -1,0 +1,279 @@
+"""Flow-sensitive determinism rules (F001–F002).
+
+D004/D005 match the hazardous expression *syntactically*: ``for x in
+set(...)``, ``for v in d.values()``.  The same bug one assignment away
+— ``s = set(links)`` … ``for x in s`` through a tuple unpacking, a
+conditional rebind, or an alias chain — slips straight past them.
+These rules run the :mod:`repro.devtools.flow` dataflow solver with a
+tiny lattice (``{"set"}``/``{"dictview"}`` tags) so the *value* is
+tracked instead of the spelling.  The syntactic rules stay on as the
+fast path; any anchor they already report is excluded here, so every
+hazard is reported exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.devtools.base import (
+    OUTPUT_PACKAGES,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    SourceModule,
+    call_name,
+    register,
+)
+from repro.devtools.flow.cfg import iter_scopes, owned_expressions
+from repro.devtools.flow.dataflow import (
+    EMPTY,
+    Env,
+    ForwardDataflow,
+    TagEvaluator,
+    Tags,
+    analyze_scope,
+)
+from repro.devtools.rules.determinism import (
+    DictOrderRule,
+    SetIterationRule,
+    _body_is_order_sensitive,
+)
+
+SET = frozenset({"set"})
+DICTVIEW = frozenset({"dictview"})
+
+#: Set methods whose result is again a set.
+_SET_PRODUCING_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+#: Calls that launder a set into a defined order (the sanctioned fixes).
+_ORDERING_CALLS = {"sorted", "len", "sum", "min", "max", "any", "all"}
+
+
+class SetFlowEvaluator(TagEvaluator):
+    """Tags values that are sets or dict views, through local flow."""
+
+    def __init__(self, imports: ImportMap, module_env: Env) -> None:
+        super().__init__(imports)
+        self.module_env = module_env
+
+    def name_constant(self, dotted: str) -> Tags:
+        return self.module_env.get(dotted, EMPTY)
+
+    def evaluate(self, node: ast.AST, env: Env) -> Tags:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return SET
+        return super().evaluate(node, env)
+
+    def call(self, node: ast.Call, env: Env) -> Tags:
+        dotted = call_name(node, self.imports)
+        if dotted in ("set", "frozenset"):
+            return SET
+        if dotted in _ORDERING_CALLS or dotted in ("list", "tuple"):
+            # The result is ordered (or scalar); the set taint ends here.
+            return EMPTY
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.evaluate(node.func.value, env)
+            attr = node.func.attr
+            if (
+                attr in ("keys", "values", "items")
+                and not node.args
+                and not node.keywords
+            ):
+                return DICTVIEW
+            if attr in _SET_PRODUCING_METHODS and "set" in receiver:
+                return SET
+        return EMPTY
+
+    def binop(self, node: ast.BinOp, left: Tags, right: Tags) -> Tags:
+        if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            if "set" in left or "set" in right:
+                return SET
+        return EMPTY
+
+    def annotation(self, node) -> Tags:
+        if node is None:
+            return EMPTY
+        for child in ast.walk(node):
+            name = None
+            if isinstance(child, ast.Name):
+                name = child.id
+            elif isinstance(child, ast.Attribute):
+                name = child.attr
+            elif isinstance(child, ast.Constant) and isinstance(
+                child.value, str
+            ):
+                name = child.value.rsplit(".", 1)[-1].split("[", 1)[0]
+            if name and name.lower() in (
+                "set",
+                "frozenset",
+                "abstractset",
+                "mutableset",
+            ):
+                return SET
+        return EMPTY
+
+
+def module_constant_env(
+    module: SourceModule, evaluator_cls, imports: ImportMap
+) -> Env:
+    """Tags of module-level straight-line constants, for use as the
+    fallback environment inside function scopes."""
+    assert module.tree is not None
+    evaluator = evaluator_cls(imports, {})
+    solver = ForwardDataflow(evaluator)
+    env: Env = {}
+    for statement in module.tree.body:
+        env = solver.transfer(statement, env)
+    return {name: tags for name, tags in env.items() if tags}
+
+
+def _anchor_positions(
+    rule: Rule, module: SourceModule, project: Project
+) -> Set[Tuple[int, int]]:
+    """(line, column) anchors another rule already reports — the flow
+    rules skip these so each hazard is reported exactly once."""
+    return {
+        (finding.line, finding.column)
+        for finding in rule.check(module, project)
+    }
+
+
+@register
+class SetFlowIterationRule(Rule):
+    id = "F001"
+    name = "set-iteration-flow"
+    rationale = (
+        "D004 catches `for x in set(...)` spelled out; this rule tracks "
+        "the set *value* through assignments, tuple unpacking and "
+        "aliases, so the same hazard one rebind away still fails the "
+        "build.  Set order depends on PYTHONHASHSEED; wrap in "
+        "`sorted(...)`."
+    )
+    scope = OUTPUT_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        module_env = module_constant_env(module, SetFlowEvaluator, imports)
+        fast_path = _anchor_positions(SetIterationRule(), module, project)
+        message = (
+            "iteration over a value that flows from a set construction; "
+            "set order is undefined — wrap the set in `sorted(...)` "
+            "before iterating"
+        )
+        for scope in iter_scopes(module.tree):
+            evaluator = SetFlowEvaluator(imports, module_env)
+            cfg, in_envs = analyze_scope(scope, evaluator)
+            for node_id, statement in cfg.nodes():
+                env = in_envs.get(node_id, {})
+                for anchor, iterated in _iteration_sites(statement):
+                    if "set" not in evaluator.evaluate(iterated, env):
+                        continue
+                    position = (
+                        getattr(anchor, "lineno", 0),
+                        getattr(anchor, "col_offset", 0),
+                    )
+                    if position in fast_path:
+                        continue
+                    yield module.finding(self.id, anchor, message)
+
+
+def _iteration_sites(
+    statement: ast.stmt,
+) -> List[Tuple[ast.AST, ast.AST]]:
+    """(anchor, iterated expression) pairs consumed in defined order by
+    this statement: for-loops, non-set comprehensions, `list`/`tuple`
+    conversions and `.join`."""
+    sites: List[Tuple[ast.AST, ast.AST]] = []
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        sites.append((statement, statement.iter))
+    for expression in owned_expressions(statement):
+        for node in ast.walk(expression):
+            if isinstance(
+                node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                # A SetComp over a set stays unordered — no hazard.
+                for generator in node.generators:
+                    sites.append((generator.iter, generator.iter))
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple")
+                    and len(node.args) == 1
+                ):
+                    sites.append((node, node.args[0]))
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and len(node.args) == 1
+                ):
+                    sites.append((node, node.args[0]))
+    return sites
+
+
+@register
+class DictViewFlowRule(Rule):
+    id = "F002"
+    name = "dict-order-flow"
+    rationale = (
+        "D005 catches an order-sensitive loop directly over "
+        "`.values()`/`.items()`; this rule tracks the dict view through "
+        "local assignments, so `view = d.items()` consumed ten lines "
+        "later is still caught.  Sort the items or justify the order."
+    )
+    scope = OUTPUT_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap.from_tree(module.tree)
+        module_env = module_constant_env(module, SetFlowEvaluator, imports)
+        fast_path = _anchor_positions(DictOrderRule(), module, project)
+        for scope in iter_scopes(module.tree):
+            evaluator = SetFlowEvaluator(imports, module_env)
+            cfg, in_envs = analyze_scope(scope, evaluator)
+            for node_id, statement in cfg.nodes():
+                if not isinstance(statement, (ast.For, ast.AsyncFor)):
+                    continue
+                if _is_view_call(statement.iter):
+                    continue  # D005's territory (the fast path).
+                env = in_envs.get(node_id, {})
+                tags = evaluator.evaluate(statement.iter, env)
+                if "dictview" not in tags:
+                    continue
+                if not _body_is_order_sensitive(statement.body):
+                    continue
+                position = (statement.lineno, statement.col_offset)
+                if position in fast_path:
+                    continue
+                yield module.finding(
+                    self.id,
+                    statement,
+                    "order-sensitive loop over a value that flows from "
+                    "`.keys()`/`.values()`/`.items()`; the output order "
+                    "is dict insertion order — iterate `sorted(...)` or "
+                    "justify with a suppression",
+                )
+
+
+def _is_view_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )

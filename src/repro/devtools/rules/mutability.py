@@ -159,6 +159,8 @@ class MutableDefaultRule(Rule):
         "A mutable default argument is built once at def time and shared "
         "by every call; mutation leaks across calls and runs."
     )
+    #: The frozen-dataclass exemption resolves classes project-wide.
+    project_wide = True
 
     def check(
         self, module: SourceModule, project: Project
@@ -186,6 +188,8 @@ class SharedSingletonDefaultRule(Rule):
         "one instance across every call site, exactly like a literal "
         "mutable default but hidden behind a constant's name."
     )
+    #: Singleton classification resolves classes project-wide.
+    project_wide = True
 
     def check(
         self, module: SourceModule, project: Project

@@ -1,0 +1,321 @@
+"""Flow-sensitive time-axis rules (U001–U002).
+
+The project keeps two time representations deliberately apart: *event
+time* is float seconds since the study epoch, and ``datetime`` objects
+exist only at the parsing/rendering edge (``repro.util.timefmt``).
+T001–T003 police the mix syntactically — both operands must be visibly
+a datetime call and a literal.  These rules instead *infer the axis of
+each local* (``dt`` / ``num`` / ``td`` tags) from literals, annotations
+and the ``timefmt`` signatures, propagate the tags along the dataflow,
+and flag cross-axis arithmetic/comparison wherever the operands meet —
+even when both are plain names by the time they collide.
+
+A finding requires each operand to be *unambiguously* on one axis (its
+tag set is exactly ``{"dt"}`` vs exactly ``{"num"}``): the may-analysis
+union means a value seen as both is simply not reported, trading recall
+for zero false positives from joined branches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.base import (
+    EVENT_TIME_PACKAGES,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    SourceModule,
+    call_name,
+    dotted_name,
+    register,
+)
+from repro.devtools.flow.cfg import iter_scopes, owned_expressions
+from repro.devtools.flow.dataflow import (
+    EMPTY,
+    Env,
+    Tags,
+    TagEvaluator,
+    analyze_scope,
+)
+from repro.devtools.rules.eventtime import (
+    DatetimeArithmeticRule,
+    DatetimeComparisonRule,
+    _is_datetime_call,
+)
+from repro.devtools.rules.flowrules import (
+    _anchor_positions,
+    module_constant_env,
+)
+
+DT = frozenset({"dt"})
+NUM = frozenset({"num"})
+TD = frozenset({"td"})
+
+#: Module-level constants with a known axis.
+_CONSTANT_AXES = {
+    "repro.util.timefmt.STUDY_EPOCH": DT,
+    "repro.util.timefmt.SECONDS_PER_HOUR": NUM,
+    "repro.util.timefmt.SECONDS_PER_DAY": NUM,
+    "repro.util.timefmt.SECONDS_PER_YEAR": NUM,
+    "datetime.datetime.min": DT,
+    "datetime.datetime.max": DT,
+    "math.inf": NUM,
+    "math.nan": NUM,
+}
+
+#: ``repro.util.timefmt`` signatures: what each call returns.
+_CALL_AXES = {
+    "repro.util.timefmt.parse_timestamp": NUM,
+    "repro.util.timefmt.format_timestamp": EMPTY,
+    "repro.util.timefmt.format_duration": EMPTY,
+    "datetime.timedelta": TD,
+    "float": NUM,
+    "int": NUM,
+    "round": NUM,
+    "divmod": NUM,
+}
+
+#: Datetime/timedelta methods returning a value on a known axis.
+_METHOD_AXES = {
+    "total_seconds": NUM,
+    "timestamp": NUM,
+    "toordinal": NUM,
+}
+
+#: Methods that return the receiver's own kind of value.
+_RECEIVER_PRESERVING = {"replace", "astimezone"}
+
+
+class TimeAxisEvaluator(TagEvaluator):
+    """Classifies locals as datetime / float-seconds / timedelta."""
+
+    def __init__(self, imports: ImportMap, module_env: Env) -> None:
+        super().__init__(imports)
+        self.module_env = module_env
+
+    def name_constant(self, dotted: str) -> Tags:
+        known = _CONSTANT_AXES.get(dotted)
+        if known is not None:
+            return known
+        return self.module_env.get(dotted, EMPTY)
+
+    def constant(self, node: ast.Constant) -> Tags:
+        if isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        ):
+            return NUM
+        return EMPTY
+
+    def call(self, node: ast.Call, env: Env) -> Tags:
+        if _is_datetime_call(node, self.imports):
+            return DT
+        dotted = call_name(node, self.imports)
+        if dotted is not None:
+            known = _CALL_AXES.get(dotted)
+            if known is not None:
+                return known
+            if dotted in ("abs", "min", "max", "sum"):
+                tags: Tags = EMPTY
+                for arg in node.args:
+                    tags |= self.evaluate(arg, env)
+                return tags
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            known = _METHOD_AXES.get(attr)
+            if known is not None:
+                return known
+            if attr in _RECEIVER_PRESERVING:
+                return self.evaluate(node.func.value, env)
+        return EMPTY
+
+    def binop(self, node: ast.BinOp, left: Tags, right: Tags) -> Tags:
+        if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)):
+            if ("td" in left and "num" in right) or (
+                "num" in left and "td" in right
+            ):
+                return TD
+            if "num" in left and "num" in right:
+                return NUM
+            return EMPTY
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if "dt" in left and "dt" in right:
+                return TD if isinstance(node.op, ast.Sub) else EMPTY
+            if "dt" in left or "dt" in right:
+                return DT
+            if "td" in left or "td" in right:
+                return TD
+            if "num" in left and "num" in right:
+                return NUM
+        return EMPTY
+
+    def annotation(self, node: Optional[ast.AST]) -> Tags:
+        if node is None:
+            return EMPTY
+        tags: Tags = EMPTY
+        for name, resolved in _annotation_names(node, self.imports):
+            if resolved in ("datetime.datetime", "datetime.date") or name in (
+                "datetime",
+                "date",
+            ):
+                tags |= DT
+            elif resolved == "datetime.timedelta" or name == "timedelta":
+                tags |= TD
+            elif name in ("int", "float"):
+                tags |= NUM
+        return tags
+
+
+def _annotation_names(
+    node: ast.AST, imports: ImportMap
+) -> List[Tuple[str, str]]:
+    """(last-part, import-resolved) name pairs an annotation mentions,
+    seeing through ``Optional[...]`` and string annotations."""
+    pairs: List[Tuple[str, str]] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Constant) and isinstance(
+            current.value, str
+        ):
+            try:
+                stack.append(ast.parse(current.value, mode="eval").body)
+            except SyntaxError:
+                pass
+            continue
+        for child in ast.walk(current):
+            dotted = None
+            if isinstance(child, ast.Name):
+                dotted = child.id
+            elif isinstance(child, ast.Attribute):
+                dotted = dotted_name(child)
+            if dotted is not None:
+                pairs.append(
+                    (dotted.rsplit(".", 1)[-1], imports.resolve(dotted))
+                )
+    return pairs
+
+
+def _pure(tags: Tags, axis: str) -> bool:
+    """The value is unambiguously on one axis."""
+    return axis in tags and len(tags) == 1
+
+
+def _cross_axis(left: Tags, right: Tags) -> Optional[str]:
+    """Which forbidden pairing two operand tag sets form, if any."""
+    for a, b in ((left, right), (right, left)):
+        if _pure(a, "dt") and _pure(b, "num"):
+            return "datetime and float-seconds"
+        if _pure(a, "td") and _pure(b, "num"):
+            return "timedelta and float-seconds"
+    return None
+
+
+class _TimeAxisRuleBase(Rule):
+    scope = EVENT_TIME_PACKAGES
+
+    def _walk(
+        self, module: SourceModule
+    ) -> Iterator[Tuple[TimeAxisEvaluator, Env, ast.AST]]:
+        """(evaluator, env, expression) triples for every expression the
+        module evaluates, with the env entering its statement."""
+        assert module.tree is not None
+        imports = ImportMap.from_tree(module.tree)
+        module_env = module_constant_env(module, TimeAxisEvaluator, imports)
+        for scope in iter_scopes(module.tree):
+            evaluator = TimeAxisEvaluator(imports, module_env)
+            cfg, in_envs = analyze_scope(scope, evaluator)
+            for node_id, statement in cfg.nodes():
+                env = in_envs.get(node_id, {})
+                for expression in owned_expressions(statement):
+                    for sub in ast.walk(expression):
+                        yield evaluator, env, sub
+
+
+@register
+class TimeAxisArithmeticRule(_TimeAxisRuleBase):
+    id = "U001"
+    name = "time-axis-arithmetic-flow"
+    rationale = (
+        "T001 needs the datetime and the number to be syntactically "
+        "visible at the operator; this rule infers the axis of every "
+        "local (datetime / float-seconds / timedelta) and propagates it "
+        "along the dataflow, so `anchor + offset` fails when the axes "
+        "cross no matter how far back they were established."
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        fast_path = _anchor_positions(
+            DatetimeArithmeticRule(), module, project
+        )
+        for evaluator, env, node in self._walk(module):
+            if not isinstance(node, ast.BinOp) or not isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                continue
+            pairing = _cross_axis(
+                evaluator.evaluate(node.left, env),
+                evaluator.evaluate(node.right, env),
+            )
+            if pairing is None:
+                continue
+            if (node.lineno, node.col_offset) in fast_path:
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                f"arithmetic mixes the {pairing} time axes (inferred "
+                f"from the operands' dataflow); convert through the "
+                f"study epoch or use `datetime.timedelta`",
+            )
+
+
+@register
+class TimeAxisComparisonRule(_TimeAxisRuleBase):
+    id = "U002"
+    name = "time-axis-comparison-flow"
+    rationale = (
+        "T002 catches `dt < 5` written out; this rule catches the same "
+        "comparison after the datetime and the float have travelled "
+        "through assignments — the silent off-by-an-axis bug class of "
+        "log pipelines."
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        fast_path = _anchor_positions(
+            DatetimeComparisonRule(), module, project
+        )
+        for evaluator, env, node in self._walk(module):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            tag_sets = [evaluator.evaluate(op, env) for op in operands]
+            pairing = None
+            for i, left in enumerate(tag_sets):
+                for right in tag_sets[i + 1 :]:
+                    pairing = _cross_axis(left, right)
+                    if pairing is not None:
+                        break
+                if pairing is not None:
+                    break
+            if pairing is None:
+                continue
+            if (node.lineno, node.col_offset) in fast_path:
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                f"comparison mixes the {pairing} time axes (inferred "
+                f"from the operands' dataflow); convert through the "
+                f"study epoch first",
+            )

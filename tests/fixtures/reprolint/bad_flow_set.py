@@ -1,0 +1,23 @@
+"""Deliberately bad: unordered values consumed through aliases.
+
+The set and the dict view are constructed one binding away from where
+they are iterated, so the syntactic D004/D005 rules miss both; the
+flow-sensitive F001/F002 must catch them.
+"""
+
+
+def ordered_members(links):
+    pool, count = set(links), 0
+    collected = []
+    for link in pool:  # F001: `pool` flows from `set(links)`
+        collected.append(link)
+        count += 1
+    return collected, count
+
+
+def render_rows(table):
+    view = table.items()
+    rows = []
+    for key, value in view:  # F002: `view` flows from `.items()`
+        rows.append(f"{key}={value}")
+    return rows

@@ -1,0 +1,20 @@
+"""Deliberately bad: datetime/float-seconds axes crossed through locals.
+
+Both collisions happen between plain names whose axes were established
+lines earlier, so the syntactic T001/T002 rules miss them; the
+flow-sensitive U001/U002 must catch them.
+"""
+
+import datetime
+
+
+def shifted_deadline(offset_seconds: float):
+    anchor = datetime.datetime(2010, 10, 20)
+    moved = anchor
+    return moved + offset_seconds  # U001: datetime + float seconds
+
+
+def is_past_cut(cut_seconds: float):
+    moment = datetime.datetime(2011, 11, 11)
+    probe = moment
+    return probe > cut_seconds  # U002: datetime vs float seconds

@@ -27,6 +27,9 @@ EXPECTED_RULES = {
     "bad_shared_default.py": {"M002"},
     "bad_event_time.py": {"T001", "T002"},
     "bad_naive_aware.py": {"T003"},
+    "bad_flow_set.py": {"F001", "F002"},
+    "bad_flow_time.py": {"U001", "U002"},
+    "bad_contract.py": {"R001", "R002"},
 }
 
 
@@ -69,6 +72,46 @@ def test_json_finding_shape(capsys):
     assert finding["snippet"]
 
 
+def test_json_report_matches_golden(capsys, monkeypatch):
+    """The full JSON report for one fixture, field for field.
+
+    Run from the repo root on a relative path so every field —
+    including the path-derived qualnames in R001 messages — is
+    machine-independent.  Any change to the report schema or to the
+    fixture's findings must update ``golden_bad_contract.json``
+    deliberately.
+    """
+    monkeypatch.chdir(REPO_ROOT)
+    _, report = lint_json(
+        capsys, "tests/fixtures/reprolint/bad_contract.py", "--no-cache"
+    )
+    golden = json.loads(
+        (FIXTURES / "golden_bad_contract.json").read_text(encoding="utf-8")
+    )
+    assert report == golden
+
+
+def test_jobs_zero_is_usage_error(capsys):
+    code = main([str(FIXTURES / "bad_wallclock.py"), "--jobs", "0"])
+    assert code == 2
+
+
+def test_parallel_and_cache_flags_do_not_change_output(capsys, tmp_path):
+    baseline_report = None
+    for argv in (
+        ["--no-cache"],
+        ["--no-cache", "--jobs", "2"],
+        ["--cache-dir", str(tmp_path / "cache")],
+        ["--cache-dir", str(tmp_path / "cache")],  # warm pass
+    ):
+        code, report = lint_json(capsys, str(FIXTURES), *argv)
+        assert code == 1
+        if baseline_report is None:
+            baseline_report = report
+        else:
+            assert report == baseline_report
+
+
 def test_unknown_rule_id_is_usage_error(capsys):
     code = main([str(FIXTURES / "bad_wallclock.py"), "--select", "Z999"])
     assert code == 2
@@ -95,6 +138,7 @@ def test_list_rules_catalogue(capsys):
         "M001", "M002", "C001", "C002",
         "E001", "E002",
         "T001", "T002", "T003", "S001", "X001",
+        "F001", "F002", "U001", "U002", "R001", "R002",
     ):
         assert rule_id in out
 

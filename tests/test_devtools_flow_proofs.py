@@ -1,0 +1,169 @@
+"""AST-injection proofs for the flow rule families, on the real code.
+
+Style of ``tests/test_devtools_codec_drift.py``: each test takes the
+*shipped* source of a real module, injects the bug class its rule
+exists for into a copy of the AST, and shows the rule fires — and,
+where a syntactic fast-path rule exists (D004, T001), that the
+injection is invisible to it, proving the flow analysis is what caught
+it.
+
+* F001 — an aliased set iteration injected into ``core/matching.py``;
+* U001 — a float+datetime mix injected into ``stream/engine.py``;
+* R001 — the ``strict=`` forward severed in ``core/pipeline.py``;
+* R002 — the ``report=`` forward severed in ``syslog/collector.py``.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.devtools.rules  # noqa: F401  (registry side effect)
+from repro.devtools.base import Project, REGISTRY, SourceModule
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+MATCHING_PATH = SRC / "repro" / "core" / "matching.py"
+ENGINE_PATH = SRC / "repro" / "stream" / "engine.py"
+PIPELINE_PATH = SRC / "repro" / "core" / "pipeline.py"
+COLLECTOR_PATH = SRC / "repro" / "syslog" / "collector.py"
+
+
+def src_modules(replaced_path: Path, replaced_text: str):
+    """Every module under ``src/``, with one file's text replaced."""
+    modules = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = (
+            replaced_text
+            if path == replaced_path
+            else path.read_text(encoding="utf-8")
+        )
+        modules.append(SourceModule(str(path), text))
+    return modules
+
+
+def run_rule(rule_id: str, modules, only_path: Path):
+    project = Project(modules)
+    module = next(m for m in modules if m.path == str(only_path))
+    assert module.syntax_error is None
+    return list(REGISTRY[rule_id].check(module, project))
+
+
+def append_function(source: str, function_source: str) -> str:
+    tree = ast.parse(source)
+    tree.body.extend(ast.parse(function_source).body)
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)
+
+
+# ------------------------------------------------------------------ F001
+INJECTED_SET_ALIAS = '''
+def _injected_severity_order(failures):
+    pool, seen = set(failures), 0
+    names = []
+    for failure in pool:
+        names.append(failure)
+        seen += 1
+    return names, seen
+'''
+
+
+def test_aliased_set_iteration_in_matching_trips_f001():
+    drifted = append_function(
+        MATCHING_PATH.read_text(encoding="utf-8"), INJECTED_SET_ALIAS
+    )
+    modules = src_modules(MATCHING_PATH, drifted)
+    hits = run_rule("F001", modules, MATCHING_PATH)
+    assert hits, "F001 should fire on the aliased set iteration"
+    assert any("for failure in pool" in f.snippet for f in hits)
+    # The tuple-target binding makes the alias invisible to the
+    # syntactic fast path — this is exactly the flow rule's territory.
+    d004_lines = {f.line for f in run_rule("D004", modules, MATCHING_PATH)}
+    assert not {f.line for f in hits} & d004_lines
+
+
+def test_shipped_matching_is_clean_for_f001():
+    modules = src_modules(MATCHING_PATH, MATCHING_PATH.read_text("utf-8"))
+    assert run_rule("F001", modules, MATCHING_PATH) == []
+
+
+# ------------------------------------------------------------------ U001
+INJECTED_AXIS_MIX = '''
+def _injected_window_end(offset_seconds: float):
+    from repro.util.timefmt import STUDY_EPOCH
+    anchor = STUDY_EPOCH
+    return anchor + offset_seconds
+'''
+
+
+def test_float_datetime_mix_in_engine_trips_u001():
+    drifted = append_function(
+        ENGINE_PATH.read_text(encoding="utf-8"), INJECTED_AXIS_MIX
+    )
+    modules = src_modules(ENGINE_PATH, drifted)
+    hits = run_rule("U001", modules, ENGINE_PATH)
+    assert hits, "U001 should fire on the datetime + float mix"
+    assert any("anchor + offset_seconds" in f.snippet for f in hits)
+    # `anchor` is assigned from a *name*, not a datetime call, so the
+    # syntactic T001 cannot see it.
+    t001_lines = {f.line for f in run_rule("T001", modules, ENGINE_PATH)}
+    assert not {f.line for f in hits} & t001_lines
+
+
+def test_shipped_engine_is_clean_for_u_rules():
+    modules = src_modules(ENGINE_PATH, ENGINE_PATH.read_text("utf-8"))
+    assert run_rule("U001", modules, ENGINE_PATH) == []
+    assert run_rule("U002", modules, ENGINE_PATH) == []
+
+
+# ------------------------------------------------------------------ R001
+def drop_keyword(source: str, function_name: str, keyword: str) -> str:
+    """Remove ``keyword=...`` from every call inside ``function_name``."""
+    tree = ast.parse(source)
+    dropped = 0
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == function_name
+        ):
+            continue
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call):
+                before = len(call.keywords)
+                call.keywords = [
+                    k for k in call.keywords if k.arg != keyword
+                ]
+                dropped += before - len(call.keywords)
+    assert dropped, f"no `{keyword}=` keyword found in {function_name}"
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)
+
+
+def test_severed_strict_forward_in_pipeline_trips_r001():
+    drifted = drop_keyword(
+        PIPELINE_PATH.read_text(encoding="utf-8"), "run_analysis", "strict"
+    )
+    modules = src_modules(PIPELINE_PATH, drifted)
+    hits = run_rule("R001", modules, PIPELINE_PATH)
+    assert hits, "R001 should fire when run_analysis stops forwarding strict"
+    assert any("run_analysis" in f.message for f in hits)
+    assert any("strict" in f.message for f in hits)
+
+
+def test_shipped_pipeline_is_clean_for_r001():
+    modules = src_modules(PIPELINE_PATH, PIPELINE_PATH.read_text("utf-8"))
+    assert run_rule("R001", modules, PIPELINE_PATH) == []
+
+
+# ------------------------------------------------------------------ R002
+def test_severed_report_forward_in_collector_trips_r002():
+    drifted = drop_keyword(
+        COLLECTOR_PATH.read_text(encoding="utf-8"), "read_log", "report"
+    )
+    modules = src_modules(COLLECTOR_PATH, drifted)
+    hits = run_rule("R002", modules, COLLECTOR_PATH)
+    assert hits, "R002 should fire when read_log stops forwarding report"
+    assert any("read_log" in f.message for f in hits)
+
+
+def test_shipped_collector_is_clean_for_r002():
+    modules = src_modules(COLLECTOR_PATH, COLLECTOR_PATH.read_text("utf-8"))
+    assert run_rule("R002", modules, COLLECTOR_PATH) == []
