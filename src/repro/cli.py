@@ -36,6 +36,7 @@ Examples::
 
     repro simulate --seed 7 --days 60 --out campaign/
     repro analyze campaign/ --seed 7
+    repro analyze campaign/ --seed 7 --jobs 4
     repro report campaign/ --seed 7 --table table4
     repro stream campaign/ --seed 7 --checkpoint engine.ckpt \\
         --checkpoint-every 50000
@@ -72,6 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("dataset", nargs="?", help="saved dataset directory")
     analyze.add_argument("--seed", type=int, default=2013)
     analyze.add_argument("--days", type=float, default=60.0)
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool width; >1 shards the pipeline "
+        "(results are byte-identical to --jobs 1)",
+    )
 
     report = sub.add_parser("report", help="print one of the paper's tables")
     report.add_argument("dataset", nargs="?", help="saved dataset directory")
@@ -454,7 +462,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
     if args.command == "analyze":
-        result = run_analysis(_load_or_run(args))
+        result = run_analysis(_load_or_run(args), jobs=args.jobs)
         _print_analysis(result)
         return 0
     if args.command == "report":

@@ -70,7 +70,13 @@ class Transition:
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """A reconstructed failure: DOWN at ``start``, UP at ``end``."""
+    """A reconstructed failure: DOWN at ``start``, UP at ``end``.
+
+    Zero-duration failures (``end == start``) are legal: sanitising a
+    double-down/double-up message sequence can collapse a failure to an
+    instant, and §4.1's flap detection must still count it.  Only a
+    failure that ends before it starts is an error.
+    """
 
     link: str
     start: float
@@ -80,8 +86,8 @@ class FailureEvent:
     end_transition: Optional[Transition] = None
 
     def __post_init__(self) -> None:
-        if self.end <= self.start:
-            raise ValueError("failure must have positive duration")
+        if self.end < self.start:
+            raise ValueError("failure end precedes its start")
 
     @property
     def duration(self) -> float:

@@ -152,35 +152,59 @@ def classify_change(
     )
 
 
-def extract_isis(
-    lsp_records: Sequence[Tuple[float, bytes]],
+def classify_changes(
+    changes: Sequence[ReachabilityChange],
+    resolver: LinkResolver,
+) -> Tuple[List[LinkMessage], List[LinkMessage], int, int]:
+    """The classification stage of the extraction, as a separable unit.
+
+    Returns ``(is_messages, ip_messages, multilink_skipped,
+    unresolved_count)`` in change order.  Classification is per-change and
+    context-free, so the parallel pipeline can fan it over change ranges
+    and concatenate the results.
+    """
+    is_messages: List[LinkMessage] = []
+    ip_messages: List[LinkMessage] = []
+    multilink = 0
+    unresolved = 0
+    for change in changes:
+        kind, message = classify_change(change, resolver)
+        if kind == CHANGE_IS:
+            is_messages.append(message)
+        elif kind == CHANGE_IP:
+            ip_messages.append(message)
+        elif kind == CHANGE_MULTILINK:
+            multilink += 1
+        else:
+            unresolved += 1
+    return is_messages, ip_messages, multilink, unresolved
+
+
+def extract_isis_from_changes(
+    changes: Sequence[ReachabilityChange],
+    rejected_lsps: int,
     resolver: LinkResolver,
     horizon_start: float,
     horizon_end: float,
     config: Optional[IsisExtractionConfig] = None,
-    *,
-    strict: bool = True,
-    report: Optional[IngestReport] = None,
 ) -> IsisExtraction:
-    """Run the full IS-IS reconstruction (see module docstring)."""
+    """The analysis half of the extraction, once a replay produced changes.
+
+    :func:`extract_isis` is ``replay_lsp_records`` followed by this; the
+    parallel pipeline instead produces the change stream via sharded
+    decoding plus a compact replay and joins back here.
+    """
     if config is None:
         config = IsisExtractionConfig()
-    listener, changes = replay_lsp_records(
-        lsp_records, strict=strict, report=report
-    )
     result = IsisExtraction()
-    result.rejected_lsps = listener.rejected_count
+    result.rejected_lsps = rejected_lsps
 
-    for change in changes:
-        kind, message = classify_change(change, resolver)
-        if kind == CHANGE_IS:
-            result.is_messages.append(message)
-        elif kind == CHANGE_IP:
-            result.ip_messages.append(message)
-        elif kind == CHANGE_MULTILINK:
-            result.multilink_skipped += 1
-        else:
-            result.unresolved_count += 1
+    (
+        result.is_messages,
+        result.ip_messages,
+        result.multilink_skipped,
+        result.unresolved_count,
+    ) = classify_changes(changes, resolver)
 
     result.is_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
     result.ip_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
@@ -202,3 +226,27 @@ def extract_isis(
         result.timelines, result.is_transitions, SOURCE_ISIS_IS
     )
     return result
+
+
+def extract_isis(
+    lsp_records: Sequence[Tuple[float, bytes]],
+    resolver: LinkResolver,
+    horizon_start: float,
+    horizon_end: float,
+    config: Optional[IsisExtractionConfig] = None,
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
+) -> IsisExtraction:
+    """Run the full IS-IS reconstruction (see module docstring)."""
+    listener, changes = replay_lsp_records(
+        lsp_records, strict=strict, report=report
+    )
+    return extract_isis_from_changes(
+        changes,
+        listener.rejected_count,
+        resolver,
+        horizon_start,
+        horizon_end,
+        config,
+    )

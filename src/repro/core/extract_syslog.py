@@ -125,6 +125,35 @@ def classify_entry(
     return ENTRY_OTHER, None
 
 
+def classify_entries(
+    entries: Sequence[CollectedEntry],
+    resolver: LinkResolver,
+) -> Tuple[List[LinkMessage], List[LinkMessage], int, int]:
+    """The classification stage of the extraction, as a separable unit.
+
+    Returns ``(isis_messages, physical_messages, unparsed_count,
+    unresolved_count)`` in entry order.  Classification is per-entry and
+    context-free, which is what lets the parallel pipeline fan it over
+    entry ranges and concatenate: the concatenation of classified ranges
+    equals the classification of the concatenation.
+    """
+    isis_messages: List[LinkMessage] = []
+    physical_messages: List[LinkMessage] = []
+    unparsed = 0
+    unresolved = 0
+    for entry in entries:
+        kind, message = classify_entry(entry, resolver)
+        if kind == ENTRY_ISIS:
+            isis_messages.append(message)
+        elif kind == ENTRY_PHYSICAL:
+            physical_messages.append(message)
+        elif kind == ENTRY_UNPARSED:
+            unparsed += 1
+        elif kind == ENTRY_UNRESOLVED:
+            unresolved += 1
+    return isis_messages, physical_messages, unparsed, unresolved
+
+
 def extract_syslog(
     entries: Sequence[CollectedEntry],
     resolver: LinkResolver,
@@ -137,16 +166,12 @@ def extract_syslog(
         config = SyslogExtractionConfig()
     result = SyslogExtraction()
 
-    for entry in entries:
-        kind, message = classify_entry(entry, resolver)
-        if kind == ENTRY_ISIS:
-            result.isis_messages.append(message)
-        elif kind == ENTRY_PHYSICAL:
-            result.physical_messages.append(message)
-        elif kind == ENTRY_UNPARSED:
-            result.unparsed_count += 1
-        elif kind == ENTRY_UNRESOLVED:
-            result.unresolved_count += 1
+    (
+        result.isis_messages,
+        result.physical_messages,
+        result.unparsed_count,
+        result.unresolved_count,
+    ) = classify_entries(entries, resolver)
 
     result.isis_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
     result.physical_messages.sort(key=lambda m: (m.time, m.link, m.reporter))

@@ -21,7 +21,13 @@ DEFAULT_FLAP_GAP = 600.0
 
 @dataclass(frozen=True)
 class FlapEpisode:
-    """A run of rapid consecutive failures on one link."""
+    """A run of rapid consecutive failures on one link.
+
+    An episode may have zero duration: two or more zero-duration failures
+    at the same instant (a sanitised double-down/double-up burst) are
+    still a flap under the ten-minute rule.  Only ``end < start`` is an
+    error.
+    """
 
     link: str
     start: float
@@ -31,8 +37,8 @@ class FlapEpisode:
     def __post_init__(self) -> None:
         if self.failure_count < 2:
             raise ValueError("a flap episode needs at least two failures")
-        if self.end <= self.start:
-            raise ValueError("flap episode must have positive duration")
+        if self.end < self.start:
+            raise ValueError("flap episode end precedes its start")
 
     @property
     def span(self) -> Interval:

@@ -135,6 +135,32 @@ def count_matching_reporters(
     return coverage
 
 
+class _OverlapIndex:
+    """O(log n) positive-measure overlap queries over one link's failures.
+
+    Failures are kept sorted by start alongside a running maximum of their
+    ends; ``[start, end)`` overlaps some failure exactly when, among the
+    failures starting before ``end``, the furthest-reaching one extends
+    past ``start``.
+    """
+
+    __slots__ = ("_starts", "_max_end")
+
+    def __init__(self, failures: Sequence[FailureEvent]) -> None:
+        ordered = sorted(failures, key=lambda f: f.start)
+        self._starts = [f.start for f in ordered]
+        self._max_end: List[float] = []
+        running = float("-inf")
+        for failure in ordered:
+            running = max(running, failure.end)
+            self._max_end.append(running)
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """True when some indexed failure overlaps ``[start, end)``."""
+        before = bisect.bisect_left(self._starts, end)
+        return before > 0 and self._max_end[before - 1] > start
+
+
 @dataclass
 class FailureMatchResult:
     """Greedy one-to-one failure matching between two channels."""
@@ -174,12 +200,27 @@ def match_failures(
     consumed: Dict[str, List[bool]] = {
         link: [False] * len(items) for link, items in by_link_b.items()
     }
+    # Per-link advancing lower bound over the scan: everything below it is
+    # either consumed or starts more than a window before the current
+    # ``a``-failure.  Since ``a``-failures are processed in ascending start
+    # order, neither kind can ever match again, so each candidate is passed
+    # over at most once — O(n + window occupancy) per link instead of the
+    # O(n²) rescan that blows up on a single flapping link (§4.1).
+    scan_floor: Dict[str, int] = {}
 
     for failure in sorted(failures_a, key=lambda f: (f.start, f.link)):
         candidates = by_link_b.get(failure.link, [])
         used = consumed.get(failure.link, [])
+        floor = scan_floor.get(failure.link, 0)
+        while floor < len(candidates) and (
+            used[floor]
+            or candidates[floor].start < failure.start - config.window
+        ):
+            floor += 1
+        scan_floor[failure.link] = floor
         match_index: Optional[int] = None
-        for i, candidate in enumerate(candidates):
+        for i in range(floor, len(candidates)):
+            candidate = candidates[i]
             if used[i]:
                 continue
             if candidate.start > failure.start + config.window:
@@ -202,19 +243,26 @@ def match_failures(
                 result.only_b.append(candidate)
     result.only_b.sort(key=lambda f: (f.start, f.link))
 
-    # Partial-overlap accounting for the unmatched remainder.
+    # Partial-overlap accounting for the unmatched remainder.  An overlap
+    # index answers "does anything on this link overlap [start, end)?" in
+    # O(log n) — the linear scan it replaces is the other O(n²) blow-up on
+    # a flapping link.
     a_by_link: Dict[str, List[FailureEvent]] = {}
     for failure in failures_a:
         a_by_link.setdefault(failure.link, []).append(failure)
+    b_overlap = {link: _OverlapIndex(items) for link, items in by_link_b.items()}
+    a_overlap = {link: _OverlapIndex(items) for link, items in a_by_link.items()}
     result.partial_a = [
         failure
         for failure in result.only_a
-        if any(failure.overlaps(other) for other in by_link_b.get(failure.link, []))
+        if failure.link in b_overlap
+        and b_overlap[failure.link].overlaps(failure.start, failure.end)
     ]
     result.partial_b = [
         failure
         for failure in result.only_b
-        if any(failure.overlaps(other) for other in a_by_link.get(failure.link, []))
+        if failure.link in a_overlap
+        and a_overlap[failure.link].overlaps(failure.start, failure.end)
     ]
     return result
 

@@ -97,6 +97,7 @@ def run_analysis(
     *,
     strict: bool = True,
     report: Optional[IngestReport] = None,
+    jobs: int = 1,
 ) -> AnalysisResult:
     """Run the complete methodology against one dataset.
 
@@ -108,7 +109,20 @@ def run_analysis(
     demand and attached to the result as ``result.ingest``) and the
     analysis completes on everything salvageable.  On clean inputs both
     modes produce byte-identical results.
+
+    ``jobs`` selects the execution engine: ``1`` (the default) runs this
+    sequential code path; ``jobs > 1`` dispatches to
+    :func:`repro.parallel.pipeline.run_parallel_analysis`, which shards
+    the work across a process pool and merges back results byte-identical
+    to the sequential run (the contract ``tests/test_parallel_pipeline.py``
+    enforces).  ``jobs`` never changes results, only wall-clock.
     """
+    if jobs > 1:
+        from repro.parallel.pipeline import run_parallel_analysis
+
+        return run_parallel_analysis(
+            dataset, options, strict=strict, report=report, jobs=jobs
+        )
     if options is None:
         options = AnalysisOptions()
     if not strict and report is None:

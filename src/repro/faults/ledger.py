@@ -86,6 +86,23 @@ class ChannelLedger:
             self.first = record
         self.last = record
 
+    def merge_from(self, other: "ChannelLedger") -> None:
+        """Fold another ledger in, as if its drops were recorded here next.
+
+        Order matters for ``first``/``last``: callers merging sharded
+        ledgers must merge in source order (shard 0 first), which makes
+        the combined boundary samples identical to a sequential run's.
+        """
+        self.dropped += other.dropped
+        for reason in sorted(other.reasons):
+            self.reasons[reason] = (
+                self.reasons.get(reason, 0) + other.reasons[reason]
+            )
+        if self.first is None:
+            self.first = other.first
+        if other.last is not None:
+            self.last = other.last
+
     def to_json(self) -> Dict[str, object]:
         return {
             "dropped": self.dropped,
@@ -131,6 +148,17 @@ class IngestReport:
         if ledger is None:
             ledger = self.channels[name] = ChannelLedger()
         return ledger
+
+    def merge_from(self, other: "IngestReport") -> None:
+        """Fold another report in (see :meth:`ChannelLedger.merge_from`).
+
+        This is how the sharded ingestion path keeps one ledger: each
+        shard records into its own report, and the merge step folds them
+        back in shard order so counts, reasons, and the first/last
+        boundary samples all match what a sequential run records.
+        """
+        for name in sorted(other.channels):
+            self.channel(name).merge_from(other.channels[name])
 
     def dropped(self, channel: Optional[str] = None) -> int:
         """Total drops, overall or for one channel."""

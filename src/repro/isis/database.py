@@ -24,10 +24,17 @@ class StoredLsp:
 
 
 class LinkStateDatabase:
-    """Newest-LSP-wins store keyed by LSP ID."""
+    """Newest-LSP-wins store keyed by LSP ID.
+
+    Besides the flat store, a per-origin index maps each system ID to its
+    stored fragments: :meth:`lsps_of` runs once per *accepted* LSP on the
+    listener's hot path (11 million updates in the paper's archive), so it
+    must not touch — let alone sort — the other origins' entries.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[LspId, StoredLsp] = {}
+        self._by_origin: Dict[str, Dict[LspId, StoredLsp]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -53,7 +60,9 @@ class LinkStateDatabase:
                 is_fresher_purge = lsp.is_purge() and not stored.lsp.is_purge()
                 if not is_fresher_purge:
                     return False
-        self._entries[lsp.lsp_id] = StoredLsp(lsp=lsp, arrival_time=arrival_time)
+        entry = StoredLsp(lsp=lsp, arrival_time=arrival_time)
+        self._entries[lsp.lsp_id] = entry
+        self._by_origin.setdefault(lsp.lsp_id.system_id, {})[lsp.lsp_id] = entry
         return True
 
     def expire(self, now: float) -> List[LspId]:
@@ -69,11 +78,16 @@ class LinkStateDatabase:
             and now - stored.arrival_time >= stored.lsp.remaining_lifetime
         ]
         for lsp_id in expired:
-            del self._entries[lsp_id]
+            self.remove(lsp_id)
         return expired
 
     def remove(self, lsp_id: LspId) -> None:
         self._entries.pop(lsp_id, None)
+        fragments = self._by_origin.get(lsp_id.system_id)
+        if fragments is not None:
+            fragments.pop(lsp_id, None)
+            if not fragments:
+                del self._by_origin[lsp_id.system_id]
 
     def origins(self) -> List[str]:
         """System IDs with at least one stored non-purge LSP."""
@@ -87,11 +101,10 @@ class LinkStateDatabase:
 
     def lsps_of(self, system_id: str) -> List[LinkStatePacket]:
         """All stored fragments originated by ``system_id``, fragment order."""
-        return [
-            stored.lsp
-            for lsp_id, stored in sorted(self._entries.items())
-            if lsp_id.system_id == system_id
-        ]
+        fragments = self._by_origin.get(system_id)
+        if not fragments:
+            return []
+        return [fragments[lsp_id].lsp for lsp_id in sorted(fragments)]
 
     def __iter__(self) -> Iterator[StoredLsp]:
         return iter(self._entries.values())

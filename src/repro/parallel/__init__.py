@@ -1,0 +1,41 @@
+"""Process-pool execution of the batch analysis pipeline.
+
+The paper's pipeline is embarrassingly parallel in three places, and this
+package exploits exactly those and nothing else:
+
+1. **Syslog parsing** shards the log file into contiguous, line-aligned
+   segments (:mod:`repro.parallel.sharding`).  The RFC 3164 year
+   ambiguity makes each line's parse depend on the latest timestamp seen
+   *before* it, so segments are parsed context-free in workers and the
+   merge step (:mod:`repro.parallel.merge`) proves, per segment, that the
+   missing context could not have changed the outcome — re-parsing the
+   rare segment where it could have.
+2. **LSP decoding** shards the archive by record ranges.  Decoding is
+   context-free; only the listener replay is stateful, so workers return
+   compact per-record tuples and the parent replays them through a
+   listener-equivalent state machine.
+3. **Per-link reconstruction** (merge → timeline → failures → sanitise →
+   match → coverage → flaps) fans over a pool keyed by link and merges in
+   sorted-link order.
+
+The contract is byte-identity: ``run_analysis(dataset, jobs=N)`` returns
+results indistinguishable from ``jobs=1`` — same lists in the same order,
+same dict key order, same drop ledger, same floating-point sums (floats
+are summed in the sequential order during the merge, never per-shard).
+``docs/performance.md`` walks through the sharding model and the proof
+obligations; ``tests/test_parallel_pipeline.py`` enforces them.
+"""
+
+from repro.parallel.pipeline import run_parallel_analysis
+from repro.parallel.sharding import (
+    chunk_links,
+    index_ranges,
+    segment_log_text,
+)
+
+__all__ = [
+    "run_parallel_analysis",
+    "segment_log_text",
+    "index_ranges",
+    "chunk_links",
+]

@@ -1,0 +1,328 @@
+"""Parent-side merging that makes sharded results byte-identical.
+
+Each function here reassembles worker output into exactly what the
+sequential pipeline would have produced, and documents why the
+reassembly is exact.  Three kinds of argument recur:
+
+* **Context re-parse** (syslog): a segment parsed without its
+  predecessors' year-resolution context is accepted only when that
+  context provably could not have changed a single line's outcome;
+  otherwise the segment is re-parsed sequentially (rare — it requires
+  the log to jump back in time across a shard boundary by more than the
+  transport-skew slack, or a drop whose reason is context-dependent).
+* **State replay** (IS-IS): decoding is context-free and sharded; the
+  stateful part — LSDB acceptance and reachability diffing — is replayed
+  in the parent over the workers' compact records, through a state
+  machine equivalent to :class:`repro.isis.listener.IsisListener`.
+* **Canonical-key stable sorts** (per-link results): every global list
+  the sequential pipeline produces is ordered by a canonical key —
+  ``(time, link)`` for transitions, ``(start, link)`` for failures and
+  episodes — with ties only between items of the *same* link, in
+  per-link processing order.  Concatenating per-link worker lists in any
+  link order and stable-sorting by the canonical key therefore
+  reproduces the sequential list exactly.  Float aggregates
+  (:class:`~repro.core.sanitize.SanitizationReport` downtime sums) are
+  properties computed over those lists, so merging the lists merges the
+  sums with zero floating-point reassociation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.events import FailureEvent, Transition
+from repro.core.matching import FailureMatchResult, TransitionCoverage
+from repro.core.sanitize import SanitizationReport
+from repro.faults.ledger import CHANNEL_ISIS, CHANNEL_SYSLOG, IngestReport
+from repro.intervals.timeline import LinkStateTimeline
+from repro.isis.listener import ReachabilityChange, ReachabilityKind
+from repro.isis.lsp import LinkStatePacket
+from repro.parallel.sharding import LogSegment
+from repro.parallel.workers import CompactLsp, LinkResult
+from repro.syslog.collector import CollectedEntry, ParsedSegment, SyslogCollector
+from repro.util.timefmt import _YEAR_RESOLUTION_SLACK
+
+#: The one lenient drop reason whose verdict depends on parse context
+#: (how far the log has progressed): everything else — malformed lines,
+#: PRI range, impossible dates — is decided by the line alone.
+_CONTEXT_DEPENDENT_REASON = "timestamp-out-of-range"
+
+
+def segment_needs_reparse(
+    latest: float,
+    parsed: ParsedSegment,
+    shard_report: IngestReport,
+    *,
+    strict: bool,
+) -> bool:
+    """Decide whether a context-free segment parse can be trusted.
+
+    ``latest`` is the running maximum timestamp over everything before
+    the segment (what a sequential parse would pass as ``after``).  The
+    worker parsed with ``after=0.0``, so acceptance requires proving the
+    missing context changes nothing:
+
+    * Every timestamp the worker parsed must sit at or above
+      ``latest - slack``.  Then (a) no line the worker parsed would have
+      been rejected as out-of-range sequentially, and (b) the worker's
+      chosen candidate year for each line lies in the sequential
+      eligible set, whose minimum it therefore still is — the candidate
+      sets only shrink from below as ``after`` grows.
+    * In strict mode, any worker drop at all forces a sequential
+      re-parse: the sequential run would have *raised* at that line, and
+      the re-parse reproduces the exact exception.
+    * In lenient mode, an out-of-range drop forces a re-parse: with the
+      real (larger) ``after`` the candidate-year window extends further,
+      so the line might parse sequentially.  All other drop reasons are
+      line-local and keep their verdicts.
+    """
+    if parsed.min_parsed is not None and (
+        latest > parsed.min_parsed + _YEAR_RESOLUTION_SLACK
+    ):
+        return True
+    if strict:
+        return shard_report.dropped() > 0
+    return _CONTEXT_DEPENDENT_REASON in shard_report.reasons(CHANNEL_SYSLOG)
+
+
+def merge_parsed_segments(
+    shards: Sequence[Tuple[LogSegment, ParsedSegment, IngestReport]],
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
+) -> List[CollectedEntry]:
+    """Fold context-free segment parses into one sequential-order parse.
+
+    ``shards`` must be in file order.  Accepted segments contribute their
+    entries verbatim and their drop records in order; rejected ones are
+    re-parsed with the true context (in strict mode this re-raises the
+    sequential run's first error at its original line).
+    """
+    entries: List[CollectedEntry] = []
+    latest = 0.0
+    for segment, parsed, shard_report in shards:
+        if segment_needs_reparse(latest, parsed, shard_report, strict=strict):
+            parsed = SyslogCollector.parse_log_segment(
+                segment.text,
+                strict=strict,
+                report=report,
+                after=latest,
+                line_base=segment.line_base,
+                offset_base=segment.offset_base,
+            )
+        elif report is not None:
+            report.merge_from(shard_report)
+        entries.extend(parsed.entries)
+        latest = max(latest, parsed.latest)
+    return entries
+
+
+def replay_compact_records(
+    compact: Sequence[CompactLsp],
+    errors: Sequence[Tuple[int, str]],
+    raw_records: Sequence[Tuple[float, bytes]],
+    *,
+    strict: bool = True,
+    report: Optional[IngestReport] = None,
+) -> Tuple[List[ReachabilityChange], int]:
+    """Replay sharded decode output through a listener-equivalent machine.
+
+    Returns ``(changes, rejected_count)`` exactly as
+    :func:`repro.core.extract_isis.replay_lsp_records` would.  In strict
+    mode the first undecodable record is re-decoded here so the original
+    exception (type, message, traceback origin) is raised, not a
+    description of it.
+    """
+    ordered_errors = sorted(errors)
+    if ordered_errors:
+        first_index, first_message = ordered_errors[0]
+        if strict:
+            LinkStatePacket.unpack(raw_records[first_index][1])
+            raise ValueError(first_message)
+        if report is not None:
+            for index, message in ordered_errors:
+                report.record(
+                    CHANNEL_ISIS, "lsp-decode", index=index, sample=message
+                )
+
+    # Listener-equivalent state: per origin, the stored fragments keyed
+    # by (pseudonode, fragment) — the tail of the LspId sort key, since
+    # all of one origin's fragments share its system ID — and the
+    # last-diffed aggregate reachability.
+    fragments_by_origin: Dict[
+        str, Dict[Tuple[int, int], CompactLsp]
+    ] = {}
+    origin_state: Dict[
+        str, Tuple[FrozenSet[str], FrozenSet[Tuple[int, int]]]
+    ] = {}
+    changes: List[ReachabilityChange] = []
+    rejected = 0
+
+    for record in compact:
+        (time, origin, pseudonode, fragment, sequence, purge, _, _) = record
+        fragments = fragments_by_origin.setdefault(origin, {})
+        stored = fragments.get((pseudonode, fragment))
+        if stored is not None:
+            stored_sequence, stored_purge = stored[4], stored[5]
+            if sequence < stored_sequence:
+                rejected += 1
+                continue
+            if sequence == stored_sequence and not (
+                purge and not stored_purge
+            ):
+                rejected += 1
+                continue
+        fragments[(pseudonode, fragment)] = record
+
+        if purge:
+            new_is: FrozenSet[str] = frozenset()
+            new_ip: FrozenSet[Tuple[int, int]] = frozenset()
+        else:
+            neighbors: Set[str] = set()
+            prefixes: Set[Tuple[int, int]] = set()
+            for key in sorted(fragments):
+                stored_record = fragments[key]
+                neighbors.update(stored_record[6])
+                prefixes.update(stored_record[7])
+            new_is = frozenset(neighbors)
+            new_ip = frozenset(prefixes)
+
+        previous = origin_state.get(origin)
+        origin_state[origin] = (new_is, new_ip)
+        if previous is None:
+            # First contact seeds the view silently, as the listener does.
+            continue
+        previous_is, previous_ip = previous
+        for neighbor_id in sorted(previous_is - new_is):
+            changes.append(
+                ReachabilityChange(
+                    time, origin, ReachabilityKind.IS, "down", neighbor_id
+                )
+            )
+        for neighbor_id in sorted(new_is - previous_is):
+            changes.append(
+                ReachabilityChange(
+                    time, origin, ReachabilityKind.IS, "up", neighbor_id
+                )
+            )
+        for prefix in sorted(previous_ip - new_ip):
+            changes.append(
+                ReachabilityChange(
+                    time, origin, ReachabilityKind.IP, "down", prefix
+                )
+            )
+        for prefix in sorted(new_ip - previous_ip):
+            changes.append(
+                ReachabilityChange(
+                    time, origin, ReachabilityKind.IP, "up", prefix
+                )
+            )
+    return changes, rejected
+
+
+def merge_transitions(
+    per_link: Sequence[List[Transition]],
+) -> List[Transition]:
+    """Concatenate per-link transition lists into global transition order."""
+    merged = [transition for items in per_link for transition in items]
+    merged.sort(key=lambda t: (t.time, t.link))
+    return merged
+
+
+def merge_failures(
+    per_link: Sequence[List[FailureEvent]],
+) -> List[FailureEvent]:
+    """Concatenate per-link failure lists into global failure order."""
+    merged = [failure for items in per_link for failure in items]
+    merged.sort(key=lambda f: (f.start, f.link))
+    return merged
+
+
+def merge_sanitization(
+    reports: Sequence[SanitizationReport],
+) -> SanitizationReport:
+    """Fold per-link sanitisation reports into the global report.
+
+    The sequential pass appends each failure to its disposition list in
+    ``(start, link)`` input order, so every list merges by canonical-key
+    stable sort; the downtime-hour sums are properties over the lists.
+    """
+    merged = SanitizationReport()
+    merged.kept = merge_failures([r.kept for r in reports])
+    merged.removed_listener_overlap = merge_failures(
+        [r.removed_listener_overlap for r in reports]
+    )
+    merged.removed_unverified_long = merge_failures(
+        [r.removed_unverified_long for r in reports]
+    )
+    merged.verified_long = merge_failures([r.verified_long for r in reports])
+    return merged
+
+
+def merge_match_results(
+    results: Sequence[FailureMatchResult],
+) -> FailureMatchResult:
+    """Fold per-link match results into the global result.
+
+    Matching never crosses links, so the global greedy pass decomposes
+    exactly into the per-link passes; all five lists come back in the
+    sequential pass's ``(start, link)`` orders.
+    """
+    merged = FailureMatchResult()
+    merged.pairs = [pair for r in results for pair in r.pairs]
+    merged.pairs.sort(key=lambda pair: (pair[0].start, pair[0].link))
+    merged.only_a = merge_failures([r.only_a for r in results])
+    merged.only_b = merge_failures([r.only_b for r in results])
+    merged.partial_a = merge_failures([r.partial_a for r in results])
+    merged.partial_b = merge_failures([r.partial_b for r in results])
+    return merged
+
+
+def merge_coverage(
+    coverages: Sequence[TransitionCoverage],
+) -> TransitionCoverage:
+    """Fold per-link Table-3 coverage into the global tally."""
+    merged = TransitionCoverage()
+    for coverage in coverages:
+        for direction in ("down", "up"):
+            for bucket in (0, 1, 2):
+                merged.counts[direction][bucket] += coverage.counts[
+                    direction
+                ][bucket]
+        merged.unmatched.extend(coverage.unmatched)
+    merged.unmatched.sort(key=lambda t: (t.time, t.link))
+    return merged
+
+
+def ordered_timelines(
+    transitions: Sequence[Transition],
+    timelines: Dict[str, LinkStateTimeline],
+    trailing_links: Sequence[str],
+) -> Dict[str, LinkStateTimeline]:
+    """Rebuild a timelines dict in the sequential insertion order.
+
+    :func:`repro.core.reconstruct.build_timelines` inserts links in
+    first-appearance order over the transition stream, then appends the
+    ``links`` parameter's leftovers; dict iteration order is observable
+    downstream, so the merge replicates it exactly.
+    """
+    ordered: Dict[str, LinkStateTimeline] = {}
+    for transition in transitions:
+        if transition.link not in ordered:
+            ordered[transition.link] = timelines[transition.link]
+    for link in trailing_links:
+        if link not in ordered:
+            ordered[link] = timelines[link]
+    return ordered
+
+
+def collect_link_results(
+    chunk_results: Sequence[List[LinkResult]],
+) -> List[LinkResult]:
+    """Flatten chunked worker output back into sorted-link order.
+
+    Chunks are contiguous slices of the sorted link list, gathered in
+    submission order, so plain concatenation is already link-sorted.
+    """
+    return [result for chunk in chunk_results for result in chunk]

@@ -39,6 +39,17 @@ def format_timestamp(sim_time: float) -> str:
 _YEAR_RESOLUTION_SLACK = 2 * 86400.0
 
 
+class TimestampRangeError(ValueError):
+    """A parseable timestamp with no candidate year consistent with ``after``.
+
+    Raised when the log's progress (``after``) has advanced so far past
+    every occurrence of the named calendar moment that no year assignment
+    is plausible — previously this case silently resolved to the most
+    recent *past* occurrence, producing timestamps that jumped backwards
+    by roughly a year.
+    """
+
+
 def parse_timestamp(
     text: str, year_hint: int = 2010, after: Optional[float] = None
 ) -> float:
@@ -52,6 +63,13 @@ def parse_timestamp(
     two days before ``after`` is chosen, which resolves "Oct 25" to 2011
     once the log has progressed that far.
 
+    Candidate years extend from ``year_hint`` through the year ``after``
+    has reached plus one, so a log spanning arbitrarily far keeps
+    resolving forward.  When ``after`` has nevertheless advanced past
+    every candidate (e.g. a "Feb 29" seen years after the last leap
+    occurrence), :class:`TimestampRangeError` is raised rather than
+    silently rolling back in time.
+
     >>> parse_timestamp('Oct 20 00:00:00.000')
     0.0
     >>> parse_timestamp('Jan  1 00:00:00.500')  # rolls into 2011
@@ -62,8 +80,13 @@ def parse_timestamp(
     body, _, millis_text = text.partition(".")
     millis = int(millis_text) / 1000.0 if millis_text else 0.0
 
+    last_year = year_hint + 2
+    if after is not None:
+        reached = (STUDY_EPOCH + datetime.timedelta(seconds=after)).year
+        last_year = max(last_year, reached + 1)
+
     candidates = []
-    for year in range(year_hint, year_hint + 3):
+    for year in range(year_hint, last_year + 1):
         try:
             moment = datetime.datetime.strptime(
                 f"{year} {body}", "%Y %b %d %H:%M:%S"
@@ -78,7 +101,12 @@ def parse_timestamp(
 
     floor = (after - _YEAR_RESOLUTION_SLACK) if after is not None else 0.0
     eligible = [c for c in candidates if c >= floor]
-    return min(eligible) if eligible else max(candidates)
+    if not eligible:
+        raise TimestampRangeError(
+            f"timestamp {text!r} has no candidate year consistent with the "
+            f"log's progress (latest parsed time {after!r})"
+        )
+    return min(eligible)
 
 
 def format_duration(seconds: float) -> str:

@@ -27,9 +27,12 @@ class TestEventModel:
         with pytest.raises(ValueError):
             Transition(1.0, "l", "down", "syslog", frozenset())
 
-    def test_failure_duration_positive(self):
+    def test_failure_duration_never_negative(self):
+        # Zero duration is legal (a sanitised double-down/up pair can
+        # collapse a failure to an instant); only end < start is an error.
+        assert FailureEvent("l", 5.0, 5.0, "syslog").duration == 0.0
         with pytest.raises(ValueError):
-            FailureEvent("l", 5.0, 5.0, "syslog")
+            FailureEvent("l", 5.0, 4.0, "syslog")
 
     def test_failure_overlap(self):
         a = FailureEvent("l", 0.0, 10.0, "syslog")

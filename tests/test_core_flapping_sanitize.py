@@ -4,11 +4,13 @@ import pytest
 
 from repro.core.events import FailureEvent
 from repro.core.flapping import (
+    FlapEpisode,
     detect_flap_episodes,
     flap_intervals,
     in_flap,
     transitions_in_flap,
 )
+from repro.core.matching import match_failures
 from repro.core.events import Transition
 from repro.core.sanitize import SanitizationConfig, sanitize_failures
 from repro.intervals import Interval, IntervalSet
@@ -76,6 +78,67 @@ class TestFlapDetection:
         ]
         inside, outside = transitions_in_flap(ts, intervals)
         assert inside == [ts[0]] and outside == [ts[1]]
+
+
+class TestZeroDurationFailures:
+    """Regression: zero-duration failures must flow through every stage.
+
+    A sanitised double-down/double-up burst collapses a failure to an
+    instant (``end == start``).  ``FlapEpisode.__post_init__`` used to
+    reject ``end <= start``, so a run of two-or-more zero-duration
+    failures at the same instant crashed ``detect_flap_episodes``.
+    """
+
+    def test_failure_event_accepts_zero_duration(self):
+        event = FailureEvent("l1", 100.0, 100.0, "syslog")
+        assert event.duration == 0.0
+
+    def test_failure_event_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            FailureEvent("l1", 100.0, 99.0, "syslog")
+
+    def test_flap_episode_accepts_zero_duration(self):
+        episode = FlapEpisode("l1", 100.0, 100.0, failure_count=2)
+        assert episode.span.duration == 0.0
+
+    def test_flap_episode_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            FlapEpisode("l1", 100.0, 99.0, failure_count=2)
+
+    def test_zero_duration_run_forms_episode(self):
+        # Two instantaneous failures at the same moment are still "two or
+        # more consecutive failures separated by less than 10 minutes".
+        failures = [failure(100.0, 100.0), failure(100.0, 100.0)]
+        episodes = detect_flap_episodes(failures)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert (episode.start, episode.end, episode.failure_count) == (
+            100.0,
+            100.0,
+            2,
+        )
+
+    def test_zero_duration_failures_survive_downstream_stages(self):
+        # The post-reconstruction pipeline: sanitise, match across
+        # channels, detect flaps, build flap intervals.  None of these may
+        # choke on instantaneous failures.
+        instants = [
+            failure(100.0, 100.0),
+            failure(100.0, 100.0),
+            failure(400.0, 410.0),
+        ]
+        report = sanitize_failures(instants, IntervalSet(), tickets=None)
+        assert report.kept == instants
+
+        other = [FailureEvent("l1", 101.0, 101.0, "isis")]
+        match = match_failures(report.kept, other)
+        assert match.matched_count == 1
+
+        episodes = detect_flap_episodes(report.kept)
+        assert len(episodes) == 1
+        assert episodes[0].failure_count == 3
+        intervals = flap_intervals(episodes, guard=30.0)
+        assert in_flap(intervals, "l1", 100.0)
 
 
 class TestSanitization:

@@ -1,9 +1,12 @@
 """Tests for transition and failure matching (§3.4)."""
 
+import random
+
 import pytest
 
 from repro.core.events import FailureEvent, LinkMessage, Transition
 from repro.core.matching import (
+    FailureMatchResult,
     MatchConfig,
     count_matching_reporters,
     downtime_overlap_seconds,
@@ -174,6 +177,130 @@ class TestMatchFailures:
         ]
         result = match_failures(a, b)
         assert result.matched_count == 50
+
+
+def _reference_match_failures(failures_a, failures_b, config=MatchConfig()):
+    """The pre-optimisation O(n²) algorithm, verbatim, as ground truth.
+
+    ``match_failures`` replaced its rescan-from-zero candidate walk with an
+    advancing per-link lower bound and its linear partial-overlap scans
+    with a sorted index; the results must stay exactly identical.
+    """
+    result = FailureMatchResult()
+    by_link_b = {}
+    for failure_event in failures_b:
+        by_link_b.setdefault(failure_event.link, []).append(failure_event)
+    for link in by_link_b:
+        by_link_b[link].sort(key=lambda f: f.start)
+
+    consumed = {link: [False] * len(items) for link, items in by_link_b.items()}
+
+    for failure_event in sorted(failures_a, key=lambda f: (f.start, f.link)):
+        candidates = by_link_b.get(failure_event.link, [])
+        used = consumed.get(failure_event.link, [])
+        match_index = None
+        for i, candidate in enumerate(candidates):
+            if used[i]:
+                continue
+            if candidate.start > failure_event.start + config.window:
+                break
+            if (
+                abs(candidate.start - failure_event.start) <= config.window
+                and abs(candidate.end - failure_event.end) <= config.window
+            ):
+                match_index = i
+                break
+        if match_index is None:
+            result.only_a.append(failure_event)
+        else:
+            used[match_index] = True
+            result.pairs.append((failure_event, candidates[match_index]))
+
+    for link, candidates in sorted(by_link_b.items()):
+        for i, candidate in enumerate(candidates):
+            if not consumed[link][i]:
+                result.only_b.append(candidate)
+    result.only_b.sort(key=lambda f: (f.start, f.link))
+
+    a_by_link = {}
+    for failure_event in failures_a:
+        a_by_link.setdefault(failure_event.link, []).append(failure_event)
+    result.partial_a = [
+        failure_event
+        for failure_event in result.only_a
+        if any(
+            failure_event.overlaps(other)
+            for other in by_link_b.get(failure_event.link, [])
+        )
+    ]
+    result.partial_b = [
+        failure_event
+        for failure_event in result.only_b
+        if any(
+            failure_event.overlaps(other)
+            for other in a_by_link.get(failure_event.link, [])
+        )
+    ]
+    return result
+
+
+def _assert_results_identical(actual, expected):
+    assert actual.pairs == expected.pairs
+    assert actual.only_a == expected.only_a
+    assert actual.only_b == expected.only_b
+    assert actual.partial_a == expected.partial_a
+    assert actual.partial_b == expected.partial_b
+
+
+class TestMatchFailuresEquivalence:
+    """Regression: the fast matcher must reproduce the O(n²) one exactly."""
+
+    def random_failures(self, rng, count, source, links, span):
+        events = []
+        for _ in range(count):
+            start = round(rng.uniform(0.0, span), 3)
+            duration = round(rng.uniform(0.0, 40.0), 3)
+            events.append(
+                FailureEvent(rng.choice(links), start, start + duration, source)
+            )
+        return events
+
+    def test_randomized_inputs_match_reference(self):
+        rng = random.Random(0xC1CADA)
+        links = ["l1", "l2", "l3", "only-a-link", "only-b-link"]
+        for trial in range(25):
+            a = self.random_failures(rng, 60, "syslog", links[:4], 2000.0)
+            b = self.random_failures(rng, 60, "isis-is", links[:3] + links[4:], 2000.0)
+            config = MatchConfig(window=rng.choice([0.0, 5.0, 10.0, 50.0]))
+            _assert_results_identical(
+                match_failures(a, b, config), _reference_match_failures(a, b, config)
+            )
+
+    def test_flap_storm_matches_reference(self):
+        # The shape that made the rescan quadratic: one link, hundreds of
+        # failures packed tightly enough that candidate windows overlap.
+        rng = random.Random(2013)
+        a = self.random_failures(rng, 400, "syslog", ["flappy"], 4000.0)
+        b = self.random_failures(rng, 400, "isis-is", ["flappy"], 4000.0)
+        _assert_results_identical(
+            match_failures(a, b), _reference_match_failures(a, b)
+        )
+
+    def test_duplicate_starts_match_reference(self):
+        # Tie-heavy input: identical starts exercise the floor-advance
+        # boundary (candidates below start - window are skipped forever).
+        a = [failure(100.0, 100.0 + i, source="syslog") for i in range(20)]
+        b = [failure(100.0, 100.0 + i, source="isis-is") for i in range(20)]
+        _assert_results_identical(
+            match_failures(a, b), _reference_match_failures(a, b)
+        )
+
+    def test_zero_duration_storm_matches_reference(self):
+        a = [failure(100.0, 100.0, source="syslog") for _ in range(10)]
+        b = [failure(105.0, 105.0, source="isis-is") for _ in range(10)]
+        _assert_results_identical(
+            match_failures(a, b), _reference_match_failures(a, b)
+        )
 
 
 class TestDowntimeOverlap:

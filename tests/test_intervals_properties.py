@@ -1,0 +1,130 @@
+"""Property-based tests for the IntervalSet algebra.
+
+Every downtime figure in the paper's tables is a sum of interval
+measures, so the algebra must satisfy measure theory exactly: subtract
+and intersection partition a set's measure, complement partitions the
+horizon, and clip is nothing but intersection with the horizon set.
+Integer-valued endpoints keep all float arithmetic exact, so the
+identities are asserted with ``==``, not tolerances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals.interval import Interval, IntervalSet
+
+#: Endpoint magnitude bound — integer-valued floats in this range add
+#: and subtract exactly (well below 2**53), so no identity needs an
+#: epsilon.
+_BOUND = 10_000
+
+
+@st.composite
+def interval_sets(draw, max_intervals=8):
+    """An arbitrary IntervalSet with exact (integer-valued) endpoints.
+
+    Pairs may be empty, duplicated, overlapping, or touching —
+    normalisation inside IntervalSet is part of what's under test.
+    """
+    count = draw(st.integers(min_value=0, max_value=max_intervals))
+    pairs = []
+    for _ in range(count):
+        a = draw(st.integers(min_value=0, max_value=_BOUND))
+        b = draw(st.integers(min_value=0, max_value=_BOUND))
+        lo, hi = sorted((a, b))
+        pairs.append((float(lo), float(hi)))
+    return IntervalSet.from_pairs(pairs)
+
+
+@st.composite
+def horizons(draw):
+    """A non-empty observation horizon ``(start, end)``."""
+    a = draw(st.integers(min_value=0, max_value=_BOUND))
+    b = draw(st.integers(min_value=0, max_value=_BOUND))
+    lo, hi = sorted((a, b))
+    return float(lo), float(hi + 1)
+
+
+class TestMeasureAdditivity:
+    @given(s=interval_sets(), t=interval_sets())
+    @settings(max_examples=250)
+    def test_subtract_and_intersection_partition_measure(self, s, t):
+        # |s| = |s \ t| + |s ∩ t|: the parts of s outside and inside t
+        # account for all of s, exactly once.
+        assert s.total_duration() == (
+            s.subtract(t).total_duration()
+            + s.intersection(t).total_duration()
+        )
+
+    @given(s=interval_sets(), t=interval_sets())
+    @settings(max_examples=250)
+    def test_inclusion_exclusion(self, s, t):
+        assert s.union(t).total_duration() == (
+            s.total_duration()
+            + t.total_duration()
+            - s.intersection(t).total_duration()
+        )
+
+    @given(s=interval_sets())
+    @settings(max_examples=250)
+    def test_self_subtraction_is_empty(self, s):
+        difference = s.subtract(s)
+        assert difference.total_duration() == 0.0
+        assert difference.intervals == ()
+
+
+class TestComplement:
+    @given(s=interval_sets(), h=horizons())
+    @settings(max_examples=250)
+    def test_complement_partitions_horizon(self, s, h):
+        start, end = h
+        inside = s.clip(start, end).total_duration()
+        outside = s.complement(start, end).total_duration()
+        assert inside + outside == end - start
+
+    @given(s=interval_sets(), h=horizons())
+    @settings(max_examples=250)
+    def test_complement_is_disjoint_and_covering(self, s, h):
+        start, end = h
+        clipped = s.clip(start, end)
+        complement = s.complement(start, end)
+        assert clipped.intersection(complement).intervals == ()
+        assert clipped.union(complement) == IntervalSet(
+            [Interval(start, end)]
+        )
+
+    @given(s=interval_sets(), h=horizons())
+    @settings(max_examples=250)
+    def test_double_complement_is_clip(self, s, h):
+        start, end = h
+        twice = s.complement(start, end).complement(start, end)
+        assert twice == s.clip(start, end)
+
+
+class TestClip:
+    @given(s=interval_sets(), h=horizons())
+    @settings(max_examples=250)
+    def test_clip_is_intersection_with_horizon_set(self, s, h):
+        start, end = h
+        horizon = IntervalSet([Interval(start, end)])
+        assert s.clip(start, end) == s.intersection(horizon)
+
+    @given(s=interval_sets(), h=horizons())
+    @settings(max_examples=250)
+    def test_clip_is_idempotent_and_bounded(self, s, h):
+        start, end = h
+        clipped = s.clip(start, end)
+        assert clipped.clip(start, end) == clipped
+        for interval in clipped.intervals:
+            assert start <= interval.start <= interval.end <= end
+
+    @given(s=interval_sets())
+    @settings(max_examples=250)
+    def test_normalisation_is_canonical(self, s):
+        # Whatever from_pairs was fed, the stored form is sorted,
+        # non-empty, and gap-separated — re-normalising is a no-op.
+        assert IntervalSet(s.intervals) == s
+        for interval in s.intervals:
+            assert interval.duration > 0
+        for left, right in zip(s.intervals, s.intervals[1:]):
+            assert left.end < right.start

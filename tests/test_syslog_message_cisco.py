@@ -42,6 +42,21 @@ class TestSyslogMessage:
         with pytest.raises(SyslogParseError):
             parse_syslog_line("<999>Oct 20 00:00:00.000 r1 body")
 
+    def test_bad_timestamp_reason(self):
+        with pytest.raises(SyslogParseError) as excinfo:
+            parse_syslog_line("<189>Feb 31 00:00:00.000 r1 body")
+        assert excinfo.value.reason == "bad-timestamp"
+
+    def test_timestamp_out_of_range_reason(self):
+        # A grammatical timestamp whose every candidate year lies behind
+        # the log's progress gets its own drop-ledger key, distinct from
+        # ungrammatical ones.
+        with pytest.raises(SyslogParseError) as excinfo:
+            parse_syslog_line(
+                "<189>Feb 29 00:00:00.000 r1 body", after=900 * 86400.0
+            )
+        assert excinfo.value.reason == "timestamp-out-of-range"
+
     @given(
         time=st.floats(min_value=0, max_value=300 * 86400.0),
         host=st.text(

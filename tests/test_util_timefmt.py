@@ -8,6 +8,7 @@ from repro.util.timefmt import (
     SECONDS_PER_DAY,
     SECONDS_PER_HOUR,
     SECONDS_PER_YEAR,
+    TimestampRangeError,
     format_duration,
     format_timestamp,
     parse_timestamp,
@@ -72,6 +73,45 @@ class TestParseTimestamp:
     def test_year_ambiguous_date_with_context_parses_to_second_year(self):
         late = 370 * SECONDS_PER_DAY
         assert parse_timestamp("Oct 25 00:00:00.000", after=late) == 370 * SECONDS_PER_DAY
+
+    def test_13_month_rollover(self):
+        # The study spans Oct 20, 2010 – Nov 11, 2011: thirteen months, so
+        # "Nov  5" occurs twice.  Log progress near the study's end must
+        # resolve it to 2011 (day 381), not 2010 (day 16).
+        assert (
+            parse_timestamp("Nov  5 00:00:00.000", after=380 * SECONDS_PER_DAY)
+            == 381 * SECONDS_PER_DAY
+        )
+
+    def test_long_log_resolves_past_hint_window(self):
+        # Regression: with ``after`` three years in, "Oct 25" exhausted the
+        # fixed year_hint..year_hint+2 candidate range and the parser
+        # silently fell back to max(candidates) — a jump ~1 year into the
+        # past.  Candidate years must extend with the log's progress.
+        # 1100 days after Oct 20, 2010 is Oct 24, 2013 (2012 is a leap
+        # year); the next "Oct 25" is day 1101.
+        after = 1100 * SECONDS_PER_DAY
+        recovered = parse_timestamp("Oct 25 00:00:00.000", after=after)
+        assert recovered == 1101 * SECONDS_PER_DAY
+        assert recovered >= after - 2 * SECONDS_PER_DAY  # never backwards
+
+    def test_out_of_range_raises_typed_error(self):
+        # "Feb 29" only exists in 2012 within reach of this log; once the
+        # log has progressed to 2013 no candidate year is consistent, and
+        # the old silent roll-back (to day 496, over a year in the past)
+        # must be a hard error instead.
+        with pytest.raises(TimestampRangeError):
+            parse_timestamp("Feb 29 00:00:00.000", after=900 * SECONDS_PER_DAY)
+
+    def test_out_of_range_error_is_a_value_error(self):
+        # Callers that caught ValueError keep working.
+        with pytest.raises(ValueError):
+            parse_timestamp("Feb 29 00:00:00.000", after=900 * SECONDS_PER_DAY)
+
+    def test_impossible_date_still_plain_value_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            parse_timestamp("Feb 31 00:00:00.000")
+        assert not isinstance(excinfo.value, TimestampRangeError)
 
 
 class TestFormatDuration:
