@@ -64,8 +64,23 @@ def results_identical(sequential, parallel) -> bool:
     )
 
 
-def run_bench(seed: int, days: float, jobs: int) -> dict:
-    dataset = run_scenario(ScenarioConfig(seed=seed, duration_days=days))
+def build_dataset(seed: int, days: float, fleet_preset):
+    """The workload: a scenario campaign, or a generated fleet corpus."""
+    if fleet_preset is None:
+        return run_scenario(ScenarioConfig(seed=seed, duration_days=days)), None
+    import tempfile
+
+    from repro import Dataset
+    from repro.fleet import build_network, preset, write_corpus
+
+    spec = preset(fleet_preset, seed=seed)
+    with tempfile.TemporaryDirectory(prefix="bench_pipeline_") as tmp:
+        write_corpus(spec, tmp, dataset=True)
+        return Dataset.load(tmp, build_network(spec)), spec
+
+
+def run_bench(seed: int, days: float, jobs: int, fleet_preset=None) -> dict:
+    dataset, fleet_spec = build_dataset(seed, days, fleet_preset)
 
     started = time.perf_counter()
     sequential = run_analysis(dataset)
@@ -80,6 +95,14 @@ def run_bench(seed: int, days: float, jobs: int) -> dict:
     return {
         "seed": seed,
         "days": days,
+        "corpus": (
+            "scenario"
+            if fleet_spec is None
+            else f"fleet preset {fleet_spec.preset}"
+        ),
+        "corpus_lines": dataset.syslog_text.count("\n"),
+        "corpus_lsp_records": len(dataset.lsp_records),
+        "corpus_routers": len(dataset.network.routers),
         "jobs": jobs,
         "cores": cores,
         "sequential_seconds": round(sequential_seconds, 3),
@@ -100,6 +123,10 @@ def render(result: dict) -> str:
         "bench_pipeline — parallel vs sequential run_analysis",
         f"  campaign        seed {result['seed']}, "
         f"{result['days']:g} days",
+        f"  corpus          {result['corpus']}: "
+        f"{result['corpus_lines']:,} syslog lines, "
+        f"{result['corpus_lsp_records']:,} LSP records, "
+        f"{result['corpus_routers']:,} routers",
         f"  host cores      {result['cores']}",
         f"  sequential      {result['sequential_seconds']:.3f} s",
         f"  jobs={result['jobs']:<11} {result['parallel_seconds']:.3f} s",
@@ -133,10 +160,16 @@ def main(argv=None) -> int:
         default=None,
         help="override campaign length (default: 180, or 21 with --quick)",
     )
+    parser.add_argument(
+        "--fleet-preset",
+        default=None,
+        help="benchmark against a generated fleet corpus (tiny/small/fleet) "
+        "instead of a scenario campaign; --days is ignored",
+    )
     args = parser.parse_args(argv)
     days = args.days if args.days is not None else (21.0 if args.quick else 180.0)
 
-    result = run_bench(args.seed, days, args.jobs)
+    result = run_bench(args.seed, days, args.jobs, args.fleet_preset)
     emit("bench_pipeline", render(result))
     (_ROOT / "BENCH_pipeline.json").write_text(
         json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"

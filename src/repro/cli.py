@@ -1,6 +1,7 @@
 """Command-line interface.
 
-Five subcommands — four mirror the paper's workflow, one guards it:
+Seven subcommands — four mirror the paper's workflow, the rest scale and
+guard it:
 
 ``repro simulate``
     Run a measurement campaign and save the dataset directory (configs/,
@@ -25,6 +26,12 @@ Five subcommands — four mirror the paper's workflow, one guards it:
     determinism, mutable-default, checkpoint-codec-drift, and event-time
     rules over the source tree.  See ``docs/static-analysis.md``.
 
+``repro fleetgen``
+    Stream a fleet-scale corpus (:mod:`repro.fleet`) to disk: 10k–100k
+    routers, months of simulated time, optionally gzipped, optionally a
+    full loadable dataset.  ``--shard LO:HI`` regenerates just one pod
+    range of the identical corpus.  See ``docs/scale.md``.
+
 ``repro chaos``
     Replay a seeded campaign under every fault injector
     (:mod:`repro.faults`) and assert the robustness invariants: no
@@ -48,7 +55,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import AnalysisResult, Dataset, ScenarioConfig, run_analysis, run_scenario
@@ -76,9 +85,17 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help="process-pool width; >1 shards the pipeline "
-        "(results are byte-identical to --jobs 1)",
+        default=0,
+        help="process-pool width; 0 (the default) uses one job per CPU "
+        "core, >1 shards the pipeline (results are byte-identical to "
+        "--jobs 1)",
+    )
+    analyze.add_argument(
+        "--ingest",
+        choices=["scalar", "columnar"],
+        default="scalar",
+        help="syslog parse engine; columnar is the vectorised fast path "
+        "(identical results, see docs/scale.md)",
     )
 
     report = sub.add_parser("report", help="print one of the paper's tables")
@@ -131,6 +148,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
 
+    fleetgen = sub.add_parser(
+        "fleetgen", help="generate a fleet-scale corpus (docs/scale.md)"
+    )
+    fleetgen.add_argument("--out", required=True, help="output directory")
+    fleetgen.add_argument(
+        "--preset",
+        default="tiny",
+        help="size preset: tiny, small, fleet, or paper",
+    )
+    fleetgen.add_argument(
+        "--seed", type=int, default=None, help="override the preset's seed"
+    )
+    fleetgen.add_argument(
+        "--days", type=float, default=None, help="override the horizon length"
+    )
+    fleetgen.add_argument(
+        "--pods", type=int, default=None, help="override the pod count"
+    )
+    fleetgen.add_argument(
+        "--shard",
+        default=None,
+        metavar="LO:HI",
+        help="emit only pods [LO, HI); shards of a partition concatenate "
+        "to the full corpus",
+    )
+    fleetgen.add_argument(
+        "--gzip", action="store_true", help="gzip the streamed artifacts"
+    )
+    fleetgen.add_argument(
+        "--dataset",
+        action="store_true",
+        help="also write configs and ground truth so the directory loads "
+        "as a full dataset",
+    )
+
     chaos = sub.add_parser(
         "chaos", help="run the fault-injection harness (docs/robustness.md)"
     )
@@ -157,6 +209,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _load_or_run(args: argparse.Namespace) -> Dataset:
     if args.dataset:
+        manifest_path = Path(args.dataset) / "manifest.json"
+        if manifest_path.exists():
+            # A fleet corpus carries its spec; the network is rebuilt
+            # arithmetically rather than from the scenario seed.
+            from repro.fleet import FleetSpec, build_network
+
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if not manifest.get("dataset"):
+                raise SystemExit(
+                    f"{args.dataset} is a stream-only fleet corpus; "
+                    "regenerate it with `repro fleetgen --dataset` to "
+                    "analyse it"
+                )
+            spec = FleetSpec(**manifest["spec"])
+            return Dataset.load(args.dataset, build_network(spec))
         # The network is regenerated from the scenario seed; topology
         # parameters are deterministic in it.
         network = build_cenic_like_network(CenicParameters(seed=args.seed))
@@ -447,6 +514,55 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleetgen(args: argparse.Namespace) -> int:
+    from repro.fleet import preset, write_corpus
+
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.days is not None:
+        overrides["duration_days"] = args.days
+    if args.pods is not None:
+        overrides["pods"] = args.pods
+    try:
+        spec = preset(args.preset, **overrides)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+    pods = None
+    if args.shard is not None:
+        try:
+            lo, hi = (int(part) for part in args.shard.split(":"))
+        except ValueError:
+            raise SystemExit(
+                f"bad --shard {args.shard!r}: expected LO:HI"
+            ) from None
+        if not 0 <= lo < hi <= spec.pods:
+            raise SystemExit(
+                f"--shard {args.shard} out of range for {spec.pods} pods"
+            )
+        pods = range(lo, hi)
+
+    try:
+        counters = write_corpus(
+            spec,
+            args.out,
+            gzip_artifacts=args.gzip,
+            dataset=args.dataset,
+            pods=pods,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"wrote {args.out}: {counters.syslog_lines:,} syslog lines "
+        f"({counters.failure_lines:,} failure, {counters.chatter_lines:,} "
+        f"chatter), {counters.lsp_records:,} LSP records, "
+        f"{counters.failures:,} failures across {counters.routers:,} "
+        f"routers / {counters.links:,} links"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
@@ -462,9 +578,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
     if args.command == "analyze":
-        result = run_analysis(_load_or_run(args), jobs=args.jobs)
+        result = run_analysis(
+            _load_or_run(args), jobs=args.jobs, ingest=args.ingest
+        )
         _print_analysis(result)
         return 0
+    if args.command == "fleetgen":
+        return _run_fleetgen(args)
     if args.command == "report":
         result = run_analysis(_load_or_run(args))
         _print_report(result, args.table)

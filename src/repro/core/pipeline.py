@@ -19,6 +19,7 @@ expensive steps.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -98,6 +99,7 @@ def run_analysis(
     strict: bool = True,
     report: Optional[IngestReport] = None,
     jobs: int = 1,
+    ingest: str = "scalar",
 ) -> AnalysisResult:
     """Run the complete methodology against one dataset.
 
@@ -115,13 +117,27 @@ def run_analysis(
     :func:`repro.parallel.pipeline.run_parallel_analysis`, which shards
     the work across a process pool and merges back results byte-identical
     to the sequential run (the contract ``tests/test_parallel_pipeline.py``
-    enforces).  ``jobs`` never changes results, only wall-clock.
+    enforces).  ``jobs=0`` resolves to the host's CPU count.  ``jobs``
+    never changes results, only wall-clock.
+
+    ``ingest`` selects the syslog parse engine: ``"scalar"`` is the
+    per-line reference parser, ``"columnar"`` the vectorised fast path of
+    :mod:`repro.columnar`, contractually identical on every input (and
+    silently equivalent to scalar when numpy is unavailable).  Like
+    ``jobs``, it never changes results.
     """
+    if ingest not in ("scalar", "columnar"):
+        raise ValueError(f"unknown ingest engine {ingest!r}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be non-negative")
     if jobs > 1:
         from repro.parallel.pipeline import run_parallel_analysis
 
         return run_parallel_analysis(
-            dataset, options, strict=strict, report=report, jobs=jobs
+            dataset, options, strict=strict, report=report, jobs=jobs,
+            ingest=ingest,
         )
     if options is None:
         options = AnalysisOptions()
@@ -131,9 +147,16 @@ def run_analysis(
     horizon_start = dataset.analysis_start
     horizon_end = dataset.horizon_end
 
-    entries = SyslogCollector.parse_log(
-        dataset.syslog_text, strict=strict, report=report
-    )
+    if ingest == "columnar":
+        from repro.columnar import parse_log_columnar
+
+        entries = parse_log_columnar(
+            dataset.syslog_text, strict=strict, report=report
+        )
+    else:
+        entries = SyslogCollector.parse_log(
+            dataset.syslog_text, strict=strict, report=report
+        )
     syslog = extract_syslog(
         entries, resolver, horizon_start, horizon_end, options.syslog
     )

@@ -35,7 +35,10 @@ from repro.devtools.flow.callgraph import CallGraph, get_callgraph
 
 #: Packages forming the ingestion surface (syslog/IS-IS readers, the
 #: stream sources, the batch pipeline, and the dataset loaders).
-CONTRACT_PACKAGES = ("core", "stream", "syslog", "isis", "simulation", "parallel")
+CONTRACT_PACKAGES = (
+    "core", "stream", "syslog", "isis", "simulation", "parallel",
+    "fleet", "columnar",
+)
 
 
 def _ingestion_roots(graph: CallGraph) -> List[str]:

@@ -1,0 +1,40 @@
+"""Fleet-scale streaming corpus generation.
+
+The :mod:`repro.simulation` scenario runner materialises an entire campaign
+in memory — router objects, an event queue, every syslog datagram — which
+tops out around the paper's own network size.  This package generates
+corpora for networks two to three orders of magnitude larger (10k–100k
+routers, months of simulated time) by streaming: syslog lines and LSP
+records are emitted slice by slice straight into (optionally gzipped)
+artifacts, and nothing proportional to the corpus ever lives in memory.
+
+Determinism is per-entity, not per-run: every random stream derives from
+``child_rng(seed, label)`` where the label names a link, a router, or a
+chatter window.  Because no stream depends on emission order, any pod range
+(``shard``) regenerates byte-for-byte the lines it would have contributed
+to the full corpus — the property ``tests/test_fleet_generator.py`` pins.
+
+See ``docs/scale.md`` for presets and the benchmark protocol.
+"""
+
+from repro.fleet.spec import PRESETS, FleetSpec, preset
+from repro.fleet.topology import build_network, fleet_links, pod_routers
+from repro.fleet.generate import (
+    FleetCounters,
+    iter_lsp_records,
+    iter_syslog_lines,
+    write_corpus,
+)
+
+__all__ = [
+    "PRESETS",
+    "FleetSpec",
+    "preset",
+    "build_network",
+    "fleet_links",
+    "pod_routers",
+    "FleetCounters",
+    "iter_lsp_records",
+    "iter_syslog_lines",
+    "write_corpus",
+]

@@ -1,0 +1,636 @@
+"""Streaming fleet corpus generation: the slice sweep.
+
+The generator never holds the corpus.  Time is swept in slices of
+``spec.slice_seconds``; each slice materialises only the lines generated in
+it (plus a carry buffer of at most one slice of in-flight syslog), sorts
+them by the global arrival key, and hands them to the writer.  Three
+properties make the output reproducible in pieces:
+
+* **Per-entity randomness.**  Every stream is ``child_rng(seed, label)``
+  where the label names a link (failure schedule), a router (LSP refresh
+  phase), or a router × hour window (chatter).  No draw depends on emission
+  order, so any pod range regenerates exactly its own lines.
+* **Slice invariance.**  Chatter is drawn per fixed ``CHATTER_WINDOW``, not
+  per slice, and slices are multiples of that window, so changing
+  ``slice_seconds`` cannot move a single byte.
+* **Bounded carry.**  Syslog delivery delay is capped below the slice
+  width, so a line generated in slice *s* arrives in *s* or *s + 1*; the
+  carry buffer is provably sufficient for a correct global arrival sort.
+
+Failure *schedules* (a handful of episodes per link) are precomputed and
+held in memory — they are O(links × failures), independent of the corpus
+volume, which is dominated by chatter and LSP refreshes; both of those
+stream.  Unlike the scenario runner, LSPs are flooded immediately on each
+state change (no 5-second generation batching) so floods stay
+slice-invariant.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import math
+from bisect import bisect_left
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.fleet.spec import CHATTER_WINDOW, FleetSpec
+from repro.fleet.topology import (
+    build_network,
+    cpe_name,
+    fleet_links,
+    hub_name,
+)
+from repro.isis.lsp import LinkStatePacket, LspId
+from repro.isis.mrt import MrtDumpWriter
+from repro.isis.tlv import (
+    AreaAddressesTlv,
+    DynamicHostnameTlv,
+    ExtendedIpReachabilityTlv,
+    ExtendedIsReachabilityTlv,
+    IpPrefix,
+    IsNeighbor,
+    ProtocolsSupportedTlv,
+    Tlv,
+)
+from repro.simulation.effects import (
+    REASON_HOLD_EXPIRED,
+    REASON_INTERFACE_DOWN,
+    REASON_NEW_ADJACENCY,
+)
+from repro.simulation.failures import FailureCause, GroundTruthFailure
+from repro.syslog.cisco import (
+    AdjacencyChangeMessage,
+    CiscoFlavor,
+    LineProtoUpDownMessage,
+    LinkUpDownMessage,
+)
+from repro.syslog.message import Facility, Severity, SyslogMessage
+from repro.topology.addressing import system_id_for_index
+from repro.topology.configgen import render_all_configs
+from repro.topology.model import Link
+from repro.util.rand import child_rng, pareto_bounded
+from repro.util.timefmt import SECONDS_PER_DAY
+
+#: Entries per TLV instance, mirroring ``SimulatedRouter.build_lsp``.
+_IS_ENTRIES_PER_TLV = 23
+_IP_ENTRIES_PER_TLV = 28
+
+#: Background (non-ISIS) messages routers emit between failures.  The
+#: analysis must ignore all of these; they exist to give the parser a
+#: realistic haystack.
+_CHATTER: Tuple[Tuple[str, Severity, Facility], ...] = (
+    (
+        "%SYS-5-CONFIG_I: Configured from console by admin on vty0 (10.0.0.1)",
+        Severity.NOTICE,
+        Facility.LOCAL7,
+    ),
+    (
+        "%SEC-6-IPACCESSLOGP: list 102 denied tcp 10.1.1.1(1025) -> "
+        "10.9.9.9(80), 1 packet",
+        Severity.INFORMATIONAL,
+        Facility.LOCAL4,
+    ),
+    (
+        "%SSH-5-SSH2_SESSION: SSH2 Session request from 10.0.0.5 (tty = 0) "
+        "using crypto cipher 'aes256-ctr' Succeeded",
+        Severity.NOTICE,
+        Facility.LOCAL7,
+    ),
+    (
+        "%ENVMON-4-FAN_SPEED_CHANGE: Fan tray 0 speed changed to 60 percent",
+        Severity.WARNING,
+        Facility.LOCAL7,
+    ),
+    (
+        "%BGP-5-ADJCHANGE: neighbor 10.255.0.1 Up",
+        Severity.NOTICE,
+        Facility.LOCAL7,
+    ),
+    (
+        "%PIM-6-INVALID_RP_JOIN: Received (*, 224.0.1.40) Join from "
+        "10.2.2.2 for invalid RP 10.3.3.3",
+        Severity.INFORMATIONAL,
+        Facility.LOCAL7,
+    ),
+)
+
+
+@dataclass
+class FleetCounters:
+    """What one generation pass emitted (carried into the manifest)."""
+
+    routers: int = 0
+    links: int = 0
+    failures: int = 0
+    syslog_lines: int = 0
+    chatter_lines: int = 0
+    failure_lines: int = 0
+    lsp_records: int = 0
+
+
+# --------------------------------------------------------------------------
+# Per-link failure schedules
+# --------------------------------------------------------------------------
+
+#: LSP event kinds, in application order for same-router same-time ties.
+_EV_DOWN, _EV_PREFIX_UP, _EV_ADJ_UP, _EV_REFRESH = 0, 1, 2, 3
+
+
+@dataclass
+class _LinkSchedule:
+    """Everything one link's failure stream produces."""
+
+    failures: List[GroundTruthFailure] = field(default_factory=list)
+    #: ``(generated, arrival, router, line)`` — syslog, unsorted.
+    messages: List[Tuple[float, float, str, str]] = field(default_factory=list)
+    #: ``(time, router, kind, link_id, physical)`` — LSP state changes.
+    lsp_events: List[Tuple[float, str, int, str, bool]] = field(
+        default_factory=list
+    )
+
+
+def _flavor(router: str) -> CiscoFlavor:
+    return CiscoFlavor.IOS_XR if "-core-" in router else CiscoFlavor.IOS
+
+
+def _link_serial(spec: FleetSpec, link: Link) -> int:
+    """A dense index over all links (episode-ID namespacing)."""
+    index = int(link.link_id[4:])
+    if link.link_id.startswith("fl-r"):
+        return spec.pods * spec.cpe_per_pod + index
+    return index
+
+
+def _link_schedule(spec: FleetSpec, link: Link) -> _LinkSchedule:
+    """All failures on one link, with their syslog and LSP consequences.
+
+    One ``child_rng`` stream per link with a fixed draw order makes the
+    schedule independent of which shard computes it: both pods touching a
+    ring link derive the identical schedule and each emits only its own
+    routers' messages.
+    """
+    rng = child_rng(spec.seed, f"fleet:failures:{link.link_id}")
+    rate = spec.failures_per_link_month / (30.0 * SECONDS_PER_DAY)
+    out = _LinkSchedule()
+    iface = {link.router_a: link.port_a, link.router_b: link.port_b}
+    serial = _link_serial(spec, link)
+
+    def say(router: str, gen: float, body_msg: object) -> None:
+        delay = rng.uniform(0.0, spec.delivery_delay_max)
+        line = body_msg.to_syslog(gen).render()  # type: ignore[attr-defined]
+        out.messages.append((gen, gen + delay, router, line))
+
+    def adj(router: str, gen: float, direction: str, reason: str) -> None:
+        other = link.other_end(router)
+        say(
+            router,
+            gen,
+            AdjacencyChangeMessage(
+                router=router,
+                interface=iface[router],
+                neighbor_hostname=other,
+                direction=direction,
+                reason=reason,
+                flavor=_flavor(router),
+            ),
+        )
+
+    def media(router: str, gen: float, direction: str) -> None:
+        say(router, gen, LinkUpDownMessage(router, iface[router], direction))
+        say(
+            router, gen, LineProtoUpDownMessage(router, iface[router], direction)
+        )
+
+    t = spec.warmup
+    episode = 0
+    while True:
+        t += rng.expovariate(rate)
+        duration = pareto_bounded(
+            rng, spec.repair_shape, spec.repair_min, spec.repair_max
+        )
+        physical = rng.random() < spec.physical_share
+        first = rng.choice([link.router_a, link.router_b])
+        skew = rng.uniform(0.05, 40.0)
+        handshake = rng.uniform(0.5, 3.0)
+        up_jitter = (rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0))
+        carrier_jitter = (rng.uniform(0.0, 0.3), rng.uniform(0.0, 0.3))
+        end = t + duration
+        if end > spec.horizon_end:
+            break
+        second = link.other_end(first)
+        noticed = t + skew < end
+        repair = max(t, end - handshake)
+        out.failures.append(
+            GroundTruthFailure(
+                link_id=link.link_id,
+                start=t,
+                end=end,
+                cause=FailureCause.PHYSICAL if physical else FailureCause.PROTOCOL,
+                episode_id=serial * 100_000 + episode,
+                flap_member=False,
+                first_detector=first,
+                second_skew=skew,
+                delayed_second=False,
+                repair_time=repair,
+            )
+        )
+
+        detections = [(first, t, 0)]
+        if noticed:
+            detections.append((second, t + skew, 1))
+        for router, when, side in detections:
+            if physical:
+                media(router, when, "down")
+                adj(router, when, "down", REASON_INTERFACE_DOWN)
+            else:
+                adj(router, when, "down", REASON_HOLD_EXPIRED)
+            out.lsp_events.append(
+                (when, router, _EV_DOWN, link.link_id, physical)
+            )
+        for router, _, side in detections:
+            if physical:
+                media(router, repair + carrier_jitter[side], "up")
+                out.lsp_events.append(
+                    (repair, router, _EV_PREFIX_UP, link.link_id, physical)
+                )
+            adj(router, end + up_jitter[side], "up", REASON_NEW_ADJACENCY)
+            out.lsp_events.append(
+                (end, router, _EV_ADJ_UP, link.link_id, physical)
+            )
+
+        t = end
+        episode += 1
+    return out
+
+
+# --------------------------------------------------------------------------
+# Syslog sweep
+# --------------------------------------------------------------------------
+
+
+def _pod_list(spec: FleetSpec, pods: Optional[Iterable[int]]) -> List[int]:
+    if pods is None:
+        return list(range(spec.pods))
+    out = sorted(set(pods))
+    for pod in out:
+        if not 0 <= pod < spec.pods:
+            raise ValueError(f"pod {pod} out of range")
+    return out
+
+
+def _router_names(spec: FleetSpec, pod_list: List[int]) -> List[str]:
+    names: List[str] = []
+    for pod in pod_list:
+        names.append(hub_name(pod))
+        names.extend(cpe_name(pod, c) for c in range(spec.cpe_per_pod))
+    return names
+
+
+def iter_syslog_lines(
+    spec: FleetSpec,
+    pods: Optional[Iterable[int]] = None,
+    *,
+    counters: Optional[FleetCounters] = None,
+) -> Iterator[Tuple[float, str]]:
+    """Yield ``(arrival_time, line)`` in listener arrival order.
+
+    ``pods`` restricts output to lines *emitted by* routers of those pods;
+    concatenating a partition's shards and re-sorting by ``(arrival, line)``
+    reproduces the unsharded corpus exactly.
+    """
+    pod_list = _pod_list(spec, pods)
+    routers = _router_names(spec, pod_list)
+    allowed: Optional[Set[str]] = set(routers) if pods is not None else None
+
+    # Failure traffic, bucketed by *generation* slice.
+    msgs_by_slice: Dict[int, List[Tuple[float, str]]] = {}
+    for link in fleet_links(spec, None if pods is None else pod_list):
+        sched = _link_schedule(spec, link)
+        if counters is not None:
+            counters.failures += len(sched.failures)
+        for gen, arrival, router, line in sched.messages:
+            if allowed is not None and router not in allowed:
+                continue
+            s = int(gen // spec.slice_seconds)
+            msgs_by_slice.setdefault(s, []).append((arrival, line))
+            if counters is not None:
+                counters.failure_lines += 1
+
+    lam = spec.chatter_per_router_day * CHATTER_WINDOW / SECONDS_PER_DAY
+    windows_per_slice = int(spec.slice_seconds // CHATTER_WINDOW)
+    n_slices = max(1, math.ceil(spec.horizon_end / spec.slice_seconds))
+
+    carry: List[Tuple[float, str]] = []
+    for s in range(n_slices):
+        hi = (s + 1) * spec.slice_seconds
+        pool = carry
+        pool.extend(msgs_by_slice.pop(s, ()))
+
+        for w in range(s * windows_per_slice, (s + 1) * windows_per_slice):
+            wstart = w * CHATTER_WINDOW
+            if wstart >= spec.horizon_end:
+                break
+            for router in routers:
+                rng = child_rng(spec.seed, f"fleet:chatter:{router}:{w}")
+                count = int(lam)
+                if rng.random() < lam - count:
+                    count += 1
+                for _ in range(count):
+                    gen = wstart + rng.uniform(0.0, CHATTER_WINDOW)
+                    body, severity, facility = rng.choice(_CHATTER)
+                    delay = rng.uniform(0.0, spec.delivery_delay_max)
+                    if gen >= spec.horizon_end:
+                        continue  # draws stay window-complete
+                    line = SyslogMessage(
+                        timestamp=gen,
+                        hostname=router,
+                        body=body,
+                        severity=severity,
+                        facility=facility,
+                    ).render()
+                    pool.append((gen + delay, line))
+                    if counters is not None:
+                        counters.chatter_lines += 1
+
+        pool.sort()
+        split = bisect_left(pool, (hi,))
+        for item in pool[:split]:
+            if counters is not None:
+                counters.syslog_lines += 1
+            yield item
+        carry = pool[split:]
+
+    carry.sort()
+    for item in carry:
+        if counters is not None:
+            counters.syslog_lines += 1
+        yield item
+
+
+# --------------------------------------------------------------------------
+# LSP sweep
+# --------------------------------------------------------------------------
+
+
+class _RouterLspState:
+    """One router's advertisement state, mirroring ``SimulatedRouter``."""
+
+    __slots__ = (
+        "name",
+        "system_id",
+        "seq",
+        "neighbor_by_link",
+        "metric_by_link",
+        "prefix_by_link",
+        "up_links_by_neighbor",
+        "adv_prefixes",
+    )
+
+    def __init__(self, name: str, system_id: str) -> None:
+        self.name = name
+        self.system_id = system_id
+        self.seq = 0
+        self.neighbor_by_link: Dict[str, str] = {}
+        self.metric_by_link: Dict[str, int] = {}
+        self.prefix_by_link: Dict[str, Tuple[int, int]] = {}
+        self.up_links_by_neighbor: Dict[str, Set[str]] = {}
+        self.adv_prefixes: Set[Tuple[int, int]] = set()
+
+    def attach(self, link_id: str, neighbor_id: str, metric: int,
+               prefix: Tuple[int, int]) -> None:
+        self.neighbor_by_link[link_id] = neighbor_id
+        self.metric_by_link[link_id] = metric
+        self.prefix_by_link[link_id] = prefix
+        self.up_links_by_neighbor.setdefault(neighbor_id, set()).add(link_id)
+        self.adv_prefixes.add(prefix)
+
+    def apply(self, kind: int, link_id: str, physical: bool) -> bool:
+        """Apply one event; return whether the advertisement changed."""
+        neighbor = self.neighbor_by_link[link_id]
+        up = self.up_links_by_neighbor[neighbor]
+        prefix = self.prefix_by_link[link_id]
+        changed = False
+        if kind == _EV_DOWN:
+            if link_id in up:
+                up.discard(link_id)
+                changed = True
+            if physical and prefix in self.adv_prefixes:
+                self.adv_prefixes.discard(prefix)
+                changed = True
+        elif kind == _EV_PREFIX_UP:
+            if prefix not in self.adv_prefixes:
+                self.adv_prefixes.add(prefix)
+                changed = True
+        elif kind == _EV_ADJ_UP:
+            if link_id not in up:
+                up.add(link_id)
+                changed = True
+        return changed
+
+    def build(self) -> LinkStatePacket:
+        neighbors: List[IsNeighbor] = []
+        for neighbor_id in sorted(self.up_links_by_neighbor):
+            up_links = self.up_links_by_neighbor[neighbor_id]
+            if not up_links:
+                continue
+            metric = min(self.metric_by_link[link_id] for link_id in up_links)
+            neighbors.append(IsNeighbor(system_id=neighbor_id, metric=metric))
+        prefixes = [
+            IpPrefix(prefix=prefix, prefix_length=length, metric=10)
+            for prefix, length in sorted(self.adv_prefixes)
+        ]
+        tlvs: List[Tlv] = [
+            AreaAddressesTlv(areas=(bytes.fromhex("490001"),)),
+            ProtocolsSupportedTlv(nlpids=(0xCC,)),
+            DynamicHostnameTlv(hostname=self.name),
+        ]
+        for i in range(0, len(neighbors), _IS_ENTRIES_PER_TLV):
+            tlvs.append(
+                ExtendedIsReachabilityTlv(
+                    neighbors=tuple(neighbors[i : i + _IS_ENTRIES_PER_TLV])
+                )
+            )
+        for i in range(0, len(prefixes), _IP_ENTRIES_PER_TLV):
+            tlvs.append(
+                ExtendedIpReachabilityTlv(
+                    prefixes=tuple(prefixes[i : i + _IP_ENTRIES_PER_TLV])
+                )
+            )
+        self.seq += 1
+        return LinkStatePacket(
+            lsp_id=LspId(self.system_id),
+            sequence_number=self.seq,
+            remaining_lifetime=1199,
+            tlvs=tuple(tlvs),
+        )
+
+
+def _system_id_of(spec: FleetSpec, name: str) -> str:
+    pod = int(name[1:5])
+    base = pod * (1 + spec.cpe_per_pod) + 1
+    if "-core-" in name:
+        return system_id_for_index(base)
+    return system_id_for_index(base + 1 + int(name[-2:]))
+
+
+def iter_lsp_records(
+    spec: FleetSpec,
+    pods: Optional[Iterable[int]] = None,
+    *,
+    counters: Optional[FleetCounters] = None,
+) -> Iterator[Tuple[float, bytes]]:
+    """Yield ``(capture_time, packed_lsp)`` in capture order.
+
+    Floods come from phase-staggered periodic refreshes plus immediate
+    refloods on adjacency/prefix state changes, per-router sequence numbers
+    advancing in global time order so shards agree with the full sweep.
+    """
+    pod_list = _pod_list(spec, pods)
+    states: Dict[str, _RouterLspState] = {}
+    for name in _router_names(spec, pod_list):
+        states[name] = _RouterLspState(name, _system_id_of(spec, name))
+
+    events_by_slice: Dict[int, List[Tuple[float, str, int, str, bool]]] = {}
+    for link in fleet_links(spec, None if pods is None else pod_list):
+        prefix = (link.subnet, 31)
+        for me, other in (
+            (link.router_a, link.router_b),
+            (link.router_b, link.router_a),
+        ):
+            if me in states:
+                states[me].attach(
+                    link.link_id, _system_id_of(spec, other), link.metric, prefix
+                )
+        for event in _link_schedule(spec, link).lsp_events:
+            if event[1] not in states:
+                continue
+            s = int(event[0] // spec.slice_seconds)
+            events_by_slice.setdefault(s, []).append(event)
+
+    # Refresh phase: the first (all-up) flood lands inside the warm-up so
+    # the listener seeds every origin before failures begin.
+    phase_bound = min(spec.warmup, spec.lsp_refresh_interval) or spec.lsp_refresh_interval
+    phases = {
+        name: child_rng(spec.seed, f"fleet:lsp0:{name}").uniform(0.0, phase_bound)
+        for name in states
+    }
+
+    n_slices = max(1, math.ceil(spec.horizon_end / spec.slice_seconds))
+    interval = spec.lsp_refresh_interval
+    for s in range(n_slices):
+        lo, hi = s * spec.slice_seconds, (s + 1) * spec.slice_seconds
+        slice_events = events_by_slice.pop(s, [])
+        for name, phase in phases.items():
+            k = max(0, math.ceil((lo - phase) / interval))
+            tick = phase + k * interval
+            while tick < hi and tick < spec.horizon_end:
+                slice_events.append((tick, name, _EV_REFRESH, "", False))
+                tick += interval
+        slice_events.sort(key=lambda e: (e[0], e[1], e[2]))
+        for when, router, kind, link_id, physical in slice_events:
+            state = states[router]
+            if kind != _EV_REFRESH and not state.apply(kind, link_id, physical):
+                continue
+            if counters is not None:
+                counters.lsp_records += 1
+            yield when, state.build().pack()
+
+
+# --------------------------------------------------------------------------
+# Artifact writer
+# --------------------------------------------------------------------------
+
+
+def write_corpus(
+    spec: FleetSpec,
+    out_dir: Union[str, Path],
+    *,
+    gzip_artifacts: bool = False,
+    dataset: bool = False,
+    pods: Optional[Iterable[int]] = None,
+) -> FleetCounters:
+    """Stream a corpus to ``out_dir`` and return what was written.
+
+    Always writes ``syslog.log[.gz]``, ``isis.dump[.gz]``, and a
+    ``manifest.json`` carrying the spec (enough to rebuild the network and
+    regenerate any byte).  With ``dataset=True`` the directory additionally
+    becomes a full :class:`~repro.simulation.dataset.Dataset` layout —
+    configs, ground truth, tickets, metadata — loadable by the analysis
+    pipeline; this mode requires the whole fleet uncompressed.
+    """
+    if dataset and gzip_artifacts:
+        raise ValueError("dataset mode requires uncompressed artifacts")
+    if dataset and pods is not None:
+        raise ValueError("dataset mode requires the full fleet (pods=None)")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    pod_list = _pod_list(spec, pods)
+    counters = FleetCounters(
+        routers=len(pod_list) * (1 + spec.cpe_per_pod),
+        links=sum(1 for _ in fleet_links(spec, None if pods is None else pod_list)),
+    )
+
+    syslog_name = "syslog.log.gz" if gzip_artifacts else "syslog.log"
+    dump_name = "isis.dump.gz" if gzip_artifacts else "isis.dump"
+
+    syslog_path = out / syslog_name
+    if gzip_artifacts:
+        stream = gzip.open(syslog_path, "wt", encoding="utf-8", newline="")
+    else:
+        stream = open(syslog_path, "w", encoding="utf-8", newline="")
+    with stream:
+        for _, line in iter_syslog_lines(spec, pods, counters=counters):
+            stream.write(line)
+            stream.write("\n")
+
+    dump_path = out / dump_name
+    raw = gzip.open(dump_path, "wb") if gzip_artifacts else open(dump_path, "wb")
+    with MrtDumpWriter(raw) as writer:
+        for when, payload in iter_lsp_records(spec, pods, counters=counters):
+            writer.write(when, payload)
+
+    if dataset:
+        network = build_network(spec)
+        config_dir = out / "configs"
+        config_dir.mkdir(exist_ok=True)
+        for hostname, text in render_all_configs(network).items():
+            (config_dir / f"{hostname}.cfg").write_text(text, encoding="utf-8")
+        failures: List[GroundTruthFailure] = []
+        for link in fleet_links(spec):
+            failures.extend(_link_schedule(spec, link).failures)
+        failures.sort(key=lambda f: (f.start, f.link_id))
+        ground_truth = {
+            "failures": [
+                {**asdict(f), "cause": f.cause.value} for f in failures
+            ],
+            "media_flaps": [],
+        }
+        (out / "ground_truth.json").write_text(
+            json.dumps(ground_truth), encoding="utf-8"
+        )
+        (out / "tickets.json").write_text("[]", encoding="utf-8")
+        meta = {
+            "horizon_start": 0.0,
+            "horizon_end": spec.horizon_end,
+            "analysis_start": 0.0,
+            "listener_outages": [],
+            "summary": None,
+        }
+        (out / "meta.json").write_text(json.dumps(meta), encoding="utf-8")
+
+    manifest = {
+        "format": "fleet-corpus-v1",
+        "spec": asdict(spec),
+        "pods": pod_list if pods is not None else None,
+        "dataset": dataset,
+        "gzip": gzip_artifacts,
+        "artifacts": {"syslog": syslog_name, "isis": dump_name},
+        "counters": asdict(counters),
+    }
+    (out / "manifest.json").write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return counters

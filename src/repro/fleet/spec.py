@@ -1,0 +1,129 @@
+"""Fleet workload specification and size presets.
+
+A :class:`FleetSpec` fixes everything about a generated corpus — topology
+shape, horizon, failure and chatter rates, and the seed — so that the same
+spec always regenerates the same bytes, in whole or per pod shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.util.timefmt import SECONDS_PER_DAY
+
+#: Chatter randomness is drawn per router per fixed-width window, *not* per
+#: sweep slice, so the emitted corpus is invariant to ``slice_seconds``.
+CHATTER_WINDOW = 3600.0
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """All knobs of one fleet corpus; the seed fixes every byte."""
+
+    #: Preset name this spec came from (informational; carried into the
+    #: manifest so a reader knows how the corpus was sized).
+    preset: str
+    seed: int = 7
+    #: Pods: one core hub plus ``cpe_per_pod`` customer routers each, hubs
+    #: joined in a ring.  Routers = pods * (1 + cpe_per_pod).
+    pods: int = 3
+    cpe_per_pod: int = 2
+    duration_days: float = 1.0
+    #: Failures start only after the warm-up (all-up initial floods land
+    #: first, as in the scenario runner).
+    warmup: float = 3600.0
+    #: Per-link failure intensity; inter-failure gaps are exponential.
+    failures_per_link_month: float = 3.0
+    #: Bounded-Pareto repair durations (heavy tail, capped below the 24 h
+    #: ticket-verification threshold so sanitisation needs no NOC archive).
+    repair_shape: float = 0.9
+    repair_min: float = 30.0
+    repair_max: float = 6 * 3600.0
+    #: Share of failures that are physical (media messages + /31
+    #: withdrawal) rather than protocol-only.
+    physical_share: float = 0.6
+    #: Background syslog unrelated to ISIS, per router per day.
+    chatter_per_router_day: float = 6.0
+    #: Periodic LSP refresh per router (phase-staggered).
+    lsp_refresh_interval: float = 12 * 3600.0
+    #: Syslog transport delay bound; must stay below ``slice_seconds`` so
+    #: the sweep's carry buffer spans at most one slice.
+    delivery_delay_max: float = 5.0
+    #: Sweep granularity.  A pure memory/latency knob: the corpus is
+    #: byte-identical for any valid value (multiple of CHATTER_WINDOW).
+    slice_seconds: float = 6 * CHATTER_WINDOW
+
+    def __post_init__(self) -> None:
+        if self.pods < 1:
+            raise ValueError("pods must be positive")
+        if self.cpe_per_pod < 1:
+            raise ValueError("cpe_per_pod must be positive")
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.slice_seconds % CHATTER_WINDOW:
+            raise ValueError(
+                f"slice_seconds must be a multiple of {CHATTER_WINDOW:g}"
+            )
+        if self.delivery_delay_max > self.slice_seconds:
+            raise ValueError("delivery_delay_max must not exceed slice_seconds")
+        if not 0.0 <= self.physical_share <= 1.0:
+            raise ValueError("physical_share must be a fraction")
+
+    # ------------------------------------------------------------- derived
+    @property
+    def router_count(self) -> int:
+        return self.pods * (1 + self.cpe_per_pod)
+
+    @property
+    def link_count(self) -> int:
+        ring = 0 if self.pods < 2 else (1 if self.pods == 2 else self.pods)
+        return self.pods * self.cpe_per_pod + ring
+
+    @property
+    def horizon_end(self) -> float:
+        return self.duration_days * SECONDS_PER_DAY
+
+    def with_overrides(self, **kwargs: object) -> "FleetSpec":
+        """A copy with fields replaced (CLI flag plumbing)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Size presets.  ``tiny`` is the CI smoke corpus (seconds to generate),
+#: ``small`` a laptop-friendly dataset-mode corpus, ``fleet`` the 10k-router
+#: benchmark workload behind BENCH_fleet.json, ``paper`` the 100k-router
+#: months-long configuration the subsystem is sized for.
+PRESETS: Dict[str, FleetSpec] = {
+    "tiny": FleetSpec(
+        preset="tiny", pods=3, cpe_per_pod=2, duration_days=1.0,
+        chatter_per_router_day=30.0, lsp_refresh_interval=4 * 3600.0,
+        failures_per_link_month=90.0, repair_max=1800.0,
+    ),
+    "small": FleetSpec(
+        preset="small", pods=25, cpe_per_pod=3, duration_days=7.0,
+        chatter_per_router_day=12.0, lsp_refresh_interval=6 * 3600.0,
+    ),
+    "fleet": FleetSpec(
+        preset="fleet", pods=2500, cpe_per_pod=3, duration_days=30.0,
+    ),
+    "paper": FleetSpec(
+        preset="paper", pods=25000, cpe_per_pod=3, duration_days=90.0,
+    ),
+}
+
+
+def preset(name: str, **overrides: object) -> FleetSpec:
+    """Look up a preset by name, optionally overriding fields.
+
+    >>> preset("tiny").router_count
+    9
+    >>> preset("tiny", seed=11).seed
+    11
+    """
+    try:
+        base = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r} (choose from {sorted(PRESETS)})"
+        ) from None
+    return base.with_overrides(**overrides) if overrides else base

@@ -1,0 +1,156 @@
+"""Arithmetic pod topology for fleet corpora.
+
+The scenario generator builds its network through
+:class:`~repro.topology.builder.NetworkBuilder`, whose port and subnet
+counters are global mutable state — fine for one in-memory network, useless
+for shard-independent regeneration.  Here every identifier is *computed*
+from ``(spec, pod)``: system IDs, port names, /31 subnets, and link IDs are
+closed-form functions, so a worker holding only the spec can reconstruct
+exactly the routers and links of its pod range without touching the rest of
+the fleet.
+
+Shape: each pod is a star — one core hub (``p0007-core-01``) with
+``cpe_per_pod`` customer routers — and hubs are joined in a ring for
+backbone connectivity (a single hub–hub link for two pods, nothing for
+one).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.fleet.spec import FleetSpec
+from repro.topology.addressing import parse_ipv4, system_id_for_index
+from repro.topology.model import Link, LinkClass, Network, Router, RouterClass
+
+#: Fleet /31s come from their own block so they can never collide with the
+#: CENIC-like scenario's 137.164.0.0 numbering.
+_BASE_ADDRESS = parse_ipv4("10.64.0.0")
+
+_HUB_PORT_STEM = "TenGigE0/0/"
+_CPE_PORT = "GigabitEthernet0/0"
+
+
+def hub_name(pod: int) -> str:
+    return f"p{pod:04d}-core-01"
+
+
+def cpe_name(pod: int, cpe: int) -> str:
+    return f"p{pod:04d}-cpe-{cpe:02d}"
+
+
+def _ring_count(spec: FleetSpec) -> int:
+    if spec.pods < 2:
+        return 0
+    return 1 if spec.pods == 2 else spec.pods
+
+
+def pod_routers(spec: FleetSpec, pod: int) -> List[Router]:
+    """The routers of one pod, hub first, with their global system IDs."""
+    if not 0 <= pod < spec.pods:
+        raise ValueError(f"pod {pod} out of range")
+    base_index = pod * (1 + spec.cpe_per_pod) + 1
+    routers = [
+        Router(
+            name=hub_name(pod),
+            router_class=RouterClass.CORE,
+            system_id=system_id_for_index(base_index),
+        )
+    ]
+    for cpe in range(spec.cpe_per_pod):
+        routers.append(
+            Router(
+                name=cpe_name(pod, cpe),
+                router_class=RouterClass.CPE,
+                system_id=system_id_for_index(base_index + 1 + cpe),
+            )
+        )
+    return routers
+
+
+def _access_link(spec: FleetSpec, pod: int, cpe: int) -> Link:
+    index = pod * spec.cpe_per_pod + cpe
+    # Hub names sort before their pod's CPE names ("core" < "cpe"), so the
+    # hub is always the canonical first endpoint.
+    return Link(
+        link_id=f"fl-a{index:08d}",
+        router_a=hub_name(pod),
+        port_a=f"{_HUB_PORT_STEM}{cpe}",
+        router_b=cpe_name(pod, cpe),
+        port_b=_CPE_PORT,
+        subnet=_BASE_ADDRESS + 2 * index,
+        metric=10,
+        link_class=LinkClass.CPE,
+    )
+
+
+def _ring_link(spec: FleetSpec, ring: int) -> Link:
+    """Ring link ``ring`` joins hub ``ring`` to hub ``ring + 1 (mod pods)``.
+
+    The lower pod's hub takes ring port ``cpe_per_pod`` ("next"), the
+    higher pod's hub ``cpe_per_pod + 1`` ("prev"); only the wrap link needs
+    endpoint swapping to satisfy canonical order.
+    """
+    low, high = ring, (ring + 1) % spec.pods
+    port_low = f"{_HUB_PORT_STEM}{spec.cpe_per_pod}"
+    port_high = f"{_HUB_PORT_STEM}{spec.cpe_per_pod + 1}"
+    if high < low:  # the wrap link (pods-1 -> 0)
+        low, high = high, low
+        port_low, port_high = port_high, port_low
+    subnet = _BASE_ADDRESS + 2 * (spec.pods * spec.cpe_per_pod + ring)
+    return Link(
+        link_id=f"fl-r{ring:08d}",
+        router_a=hub_name(low),
+        port_a=port_low,
+        router_b=hub_name(high),
+        port_b=port_high,
+        subnet=subnet,
+        metric=10,
+        link_class=LinkClass.CORE,
+    )
+
+
+def fleet_links(
+    spec: FleetSpec, pods: Optional[Iterable[int]] = None
+) -> Iterator[Link]:
+    """Every link of the fleet, or only those *incident* to ``pods``.
+
+    Ring links are incident to two pods; restricting to a pod range yields
+    each such link once even when both its pods are in the range.
+    """
+    if pods is None:
+        for pod in range(spec.pods):
+            for cpe in range(spec.cpe_per_pod):
+                yield _access_link(spec, pod, cpe)
+        for ring in range(_ring_count(spec)):
+            yield _ring_link(spec, ring)
+        return
+
+    rings = _ring_count(spec)
+    seen_rings = set()
+    for pod in sorted(set(pods)):
+        if not 0 <= pod < spec.pods:
+            raise ValueError(f"pod {pod} out of range")
+        for cpe in range(spec.cpe_per_pod):
+            yield _access_link(spec, pod, cpe)
+        # Incident rings: the pod's own "next" link and its predecessor's.
+        for ring in ((pod - 1) % spec.pods, pod):
+            if ring < rings and ring not in seen_rings:
+                seen_rings.add(ring)
+                yield _ring_link(spec, ring)
+
+
+def build_network(spec: FleetSpec) -> Network:
+    """Materialise the whole fleet as a :class:`Network` object.
+
+    Memory is O(routers + links); fine through the ``fleet`` preset, and
+    required for dataset-mode output (config rendering, analysis).  The
+    streaming generator itself never calls this.
+    """
+    network = Network()
+    for pod in range(spec.pods):
+        for router in pod_routers(spec, pod):
+            network.add_router(router)
+    for link in fleet_links(spec):
+        network.add_link(link)
+    return network

@@ -91,19 +91,26 @@ def merge_parsed_segments(
     *,
     strict: bool = True,
     report: Optional[IngestReport] = None,
+    ingest: str = "scalar",
 ) -> List[CollectedEntry]:
     """Fold context-free segment parses into one sequential-order parse.
 
     ``shards`` must be in file order.  Accepted segments contribute their
     entries verbatim and their drop records in order; rejected ones are
     re-parsed with the true context (in strict mode this re-raises the
-    sequential run's first error at its original line).
+    sequential run's first error at its original line).  ``ingest``
+    selects the engine for those re-parses; both engines raise and drop
+    identically, so it affects wall-clock only.
     """
+    if ingest == "columnar":
+        from repro.columnar import parse_log_segment_columnar as parse_segment
+    else:
+        parse_segment = SyslogCollector.parse_log_segment
     entries: List[CollectedEntry] = []
     latest = 0.0
     for segment, parsed, shard_report in shards:
         if segment_needs_reparse(latest, parsed, shard_report, strict=strict):
-            parsed = SyslogCollector.parse_log_segment(
+            parsed = parse_segment(
                 segment.text,
                 strict=strict,
                 report=report,

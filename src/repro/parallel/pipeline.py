@@ -194,16 +194,20 @@ def run_parallel_analysis(
     strict: bool = True,
     report: Optional[IngestReport] = None,
     jobs: int = 2,
+    ingest: str = "scalar",
 ) -> AnalysisResult:
     """Run the complete methodology across a process pool.
 
     Byte-identical to :func:`repro.core.pipeline.run_analysis` with the
     same arguments — results, orderings, ledger, and (in strict mode)
     the exception raised on bad input.  ``jobs`` controls the pool width
-    and shard counts; it affects wall-clock only.
+    and shard counts; ``ingest`` the syslog parse engine used inside the
+    workers (and for context re-parses); both affect wall-clock only.
     """
     if jobs < 1:
         raise ValueError("jobs must be positive")
+    if ingest not in ("scalar", "columnar"):
+        raise ValueError(f"unknown ingest engine {ingest!r}")
     if options is None:
         options = AnalysisOptions()
     if not strict and report is None:
@@ -224,6 +228,7 @@ def run_parallel_analysis(
                 segment.text,
                 segment.line_base,
                 segment.offset_base,
+                ingest,
             )
             for segment in segments
         ]
@@ -247,6 +252,7 @@ def run_parallel_analysis(
             ],
             strict=strict,
             report=report,
+            ingest=ingest,
         )
         compact: List[CompactLsp] = []
         decode_errors: List[Tuple[int, str]] = []

@@ -71,7 +71,7 @@ CompactLsp = Tuple[
 
 
 def parse_syslog_shard(
-    text: str, line_base: int, offset_base: int
+    text: str, line_base: int, offset_base: int, ingest: str = "scalar"
 ) -> Tuple[ParsedSegment, IngestReport]:
     """Parse one log segment without its predecessors' context.
 
@@ -79,10 +79,16 @@ def parse_syslog_shard(
     drops sequentially (with real context) so the first error surfaces
     exactly as a sequential run would raise it.  The returned report is
     shard-local; the parent folds accepted shards' reports into the run
-    ledger in shard order.
+    ledger in shard order.  ``ingest="columnar"`` swaps in the vectorised
+    engine of :mod:`repro.columnar`; the two produce identical segments
+    and ledgers on every input.
     """
+    if ingest == "columnar":
+        from repro.columnar import parse_log_segment_columnar as parse_segment
+    else:
+        parse_segment = SyslogCollector.parse_log_segment
     report = IngestReport()
-    segment = SyslogCollector.parse_log_segment(
+    segment = parse_segment(
         text,
         strict=False,
         report=report,
