@@ -4,9 +4,11 @@ Per-module rules are pure functions of *(file bytes, rule set)*, so
 their findings can be reused across runs: the cache key is a SHA-256
 over the reported path, the rule-set version
 (:data:`repro.devtools.rules.RULESET_VERSION` — bumped whenever rule
-semantics change), the selected per-module rule ids, and the file text.
-Any edit, rename, rule change, or selection change misses naturally;
-nothing is ever invalidated in place.
+semantics change), the selected per-module rule ids (tagged with each
+rule's scope, so widening a rule to a new subpackage invalidates its
+entries), and the file text.  Any edit, rename, rule change, scope
+change, or selection change misses naturally; nothing is ever
+invalidated in place.
 
 Entries are small JSON files (the *raw* findings, before suppression
 and baseline handling — both of those depend on driver flags and are

@@ -258,6 +258,13 @@ def lint_project(
     )
     local_rules, wide_rules = split_rules(selected)
     local_ids = tuple(local_rules.keys())
+    # Cache identity must cover each rule's *scope* too: widening a rule to
+    # a new subpackage changes its findings for unchanged files, and stale
+    # "clean" entries would otherwise keep masking them.
+    cache_ids = tuple(
+        rule_id if rule.scope is None else f"{rule_id}@{','.join(rule.scope)}"
+        for rule_id, rule in local_rules.items()
+    )
 
     target_modules = [
         module
@@ -270,7 +277,7 @@ def lint_project(
     keys: Dict[str, str] = {}
     for module in target_modules:
         if cache is not None:
-            key = cache.key(module.path, module.text, local_ids)
+            key = cache.key(module.path, module.text, cache_ids)
             keys[module.path] = key
             cached = cache.get(key)
             if cached is not None:

@@ -313,6 +313,11 @@ def iter_syslog_lines(
         for gen, arrival, router, line in sched.messages:
             if allowed is not None and router not in allowed:
                 continue
+            if gen >= spec.horizon_end:
+                # Up-side jitter can land just past the horizon; clip it
+                # (like chatter) so emission never depends on whether the
+                # last slice happens to overshoot horizon_end.
+                continue
             s = int(gen // spec.slice_seconds)
             msgs_by_slice.setdefault(s, []).append((arrival, line))
             if counters is not None:
@@ -468,11 +473,13 @@ class _RouterLspState:
 
 
 def _system_id_of(spec: FleetSpec, name: str) -> str:
-    pod = int(name[1:5])
+    # Pod and CPE fields are zero-padded to a *minimum* width, so parse by
+    # the '-' delimiters, not by position: "p10000-cpe-123" is legal.
+    pod = int(name[1 : name.index("-")])
     base = pod * (1 + spec.cpe_per_pod) + 1
     if "-core-" in name:
         return system_id_for_index(base)
-    return system_id_for_index(base + 1 + int(name[-2:]))
+    return system_id_for_index(base + 1 + int(name.rsplit("-", 1)[1]))
 
 
 def iter_lsp_records(
@@ -506,23 +513,25 @@ def iter_lsp_records(
         for event in _link_schedule(spec, link).lsp_events:
             if event[1] not in states:
                 continue
+            if event[0] >= spec.horizon_end:
+                continue  # an episode ending exactly at the horizon
             s = int(event[0] // spec.slice_seconds)
             events_by_slice.setdefault(s, []).append(event)
 
     # Refresh phase: the first (all-up) flood lands inside the warm-up so
     # the listener seeds every origin before failures begin.
     phase_bound = min(spec.warmup, spec.lsp_refresh_interval) or spec.lsp_refresh_interval
-    phases = {
-        name: child_rng(spec.seed, f"fleet:lsp0:{name}").uniform(0.0, phase_bound)
-        for name in states
-    }
+    phases = [
+        (name, child_rng(spec.seed, f"fleet:lsp0:{name}").uniform(0.0, phase_bound))
+        for name in sorted(states)
+    ]
 
     n_slices = max(1, math.ceil(spec.horizon_end / spec.slice_seconds))
     interval = spec.lsp_refresh_interval
     for s in range(n_slices):
         lo, hi = s * spec.slice_seconds, (s + 1) * spec.slice_seconds
         slice_events = events_by_slice.pop(s, [])
-        for name, phase in phases.items():
+        for name, phase in phases:
             k = max(0, math.ceil((lo - phase) / interval))
             tick = phase + k * interval
             while tick < hi and tick < spec.horizon_end:

@@ -112,6 +112,40 @@ def test_parallel_and_cache_flags_do_not_change_output(capsys, tmp_path):
             assert report == baseline_report
 
 
+def test_cache_misses_when_rule_scope_widens(capsys, tmp_path, monkeypatch):
+    """Widening a rule's scope must not be masked by stale cache entries.
+
+    Regression: extending ``OUTPUT_PACKAGES`` to ``repro.fleet`` left
+    pre-extension "clean" cache entries valid by key, so D005 findings in
+    unchanged fleet files stayed invisible until the file was edited.
+    """
+    from repro.devtools.base import REGISTRY
+
+    pkg = tmp_path / "src" / "repro" / "newpkg"
+    pkg.mkdir(parents=True)
+    bad = pkg / "emit.py"
+    bad.write_text(
+        "def emit(d, out):\n"
+        "    for k, v in d.items():\n"
+        "        out.append((k, v))\n",
+        encoding="utf-8",
+    )
+    cache = ["--cache-dir", str(tmp_path / "cache"), "--select", "D005"]
+
+    # Out of scope: clean, and the clean result is cached.
+    code, report = lint_json(capsys, str(bad), *cache)
+    assert code == 0 and report["findings"] == []
+
+    # Same file bytes, same selection — only the rule's scope widens.
+    rule = REGISTRY["D005"]
+    monkeypatch.setattr(
+        type(rule), "scope", (*rule.scope, "newpkg"), raising=False
+    )
+    code, report = lint_json(capsys, str(bad), *cache)
+    assert code == 1
+    assert [f["rule"] for f in report["findings"]] == ["D005"]
+
+
 def test_unknown_rule_id_is_usage_error(capsys):
     code = main([str(FIXTURES / "bad_wallclock.py"), "--select", "Z999"])
     assert code == 2

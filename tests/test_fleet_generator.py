@@ -37,6 +37,7 @@ from repro.fleet import (
     preset,
     write_corpus,
 )
+from repro.fleet.generate import FleetCounters, _link_schedule, _system_id_of
 from repro.isis.mrt import MrtDumpReader
 from repro.simulation.dataset import Dataset
 from repro.syslog.collector import SyslogCollector
@@ -75,6 +76,57 @@ def test_topology_arithmetic():
     network = build_network(SPEC)
     assert len(network.routers) == SPEC.router_count
     assert len(network.links) == SPEC.link_count
+
+
+def test_system_ids_agree_with_topology_at_scale():
+    # Name fields are zero-padded to a *minimum* width: pod 10000 renders as
+    # "p10000" (5 digits) and cpe 100 as "cpe-100" (3 digits).  The sweep's
+    # name-based system-ID parse must agree with pod_routers() everywhere,
+    # not just below the padding width (paper preset has 25000 pods).
+    spec = FleetSpec(preset="x", pods=25_000, cpe_per_pod=120)
+    ids = set()
+    for pod in (0, 999, 1000, 9999, 10000, 24_999):
+        for router in pod_routers(spec, pod):
+            assert _system_id_of(spec, router.name) == router.system_id, (
+                router.name
+            )
+            ids.add(router.system_id)
+    assert len(ids) == 6 * (1 + spec.cpe_per_pod), "system IDs must not collide"
+
+
+def test_slice_invariance_with_episode_at_horizon():
+    # A failure's "up" syslog is jittered up to ~1s past the episode end; an
+    # episode ending within that jitter of the horizon used to survive or
+    # vanish depending on whether ceil(horizon/slice)*slice overshot the
+    # horizon.  This spec (found by seed scan) has exactly such an episode.
+    spec = preset(
+        "tiny", seed=18, duration_days=0.25, failures_per_link_month=50_000.0,
+        repair_max=900.0, chatter_per_router_day=2.0,
+    )
+    late = [
+        m
+        for link in fleet_links(spec)
+        for m in _link_schedule(spec, link).messages
+        if m[0] >= spec.horizon_end
+    ]
+    assert late, "spec must generate a line past the horizon (else re-scan seeds)"
+
+    counters_by_slice = {}
+    corpora = []
+    for slice_seconds in (3600.0, 5 * 3600.0):  # exact cover vs overshoot
+        counters = FleetCounters()
+        corpora.append(
+            list(iter_syslog_lines(
+                spec.with_overrides(slice_seconds=slice_seconds),
+                counters=counters,
+            ))
+        )
+        counters_by_slice[slice_seconds] = counters
+    assert corpora[0] == corpora[1]
+    first, second = counters_by_slice.values()
+    assert first == second
+    assert first.syslog_lines == len(corpora[0])
+    assert first.syslog_lines == first.chatter_lines + first.failure_lines
 
 
 def test_syslog_determinism_and_order():
