@@ -123,7 +123,7 @@ _BATCH_LINES = 1 << 17
 
 
 def _parsed_entry(time: float, hostname: str, body: str) -> CollectedEntry:
-    cache = _CISCO_CACHE
+    cache = _CISCO_CACHE  # reprolint: disable=W003 -- per-process memo: every entry is re-derived purely from (hostname, body), so whatever a worker's copy holds, the returned values equal a cold parse
     cached = cache.get((hostname, body))
     if cached is None:
         if body.startswith(_CISCO_PREFIXES):
@@ -131,7 +131,7 @@ def _parsed_entry(time: float, hostname: str, body: str) -> CollectedEntry:
         else:
             entry = None
         if len(cache) >= _CISCO_CACHE_CAP:
-            cache.clear()
+            cache.clear()  # reprolint: disable=W001 -- the memo never escapes the process and carries no result state; mutating a worker's copy only affects that worker's parse speed
         cached = (hostname, body, entry)
         cache[hostname, body] = cached
     hostname, body, entry = cached
@@ -406,6 +406,7 @@ def _parse_ascii_batch(
     h0_list = h0.tolist()
     sp_list = sp.tolist()
     end_list = ends[fast_idx].tolist()
+    end_all = ends.tolist()
     start_list = starts.tolist()
 
     def run_group(lo: int, hi: int) -> None:
@@ -435,7 +436,7 @@ def _parse_ascii_batch(
             hi += 1
         run_group(group_start, hi)
         group_start = hi
-        line_text = text[start_list[slow_line] : int(ends[slow_line])]
+        line_text = text[start_list[slow_line] : end_all[slow_line]]
         walk.scalar_line(
             line_text,
             line_base + 1 + slow_line,

@@ -87,6 +87,13 @@ class CallGraph:
         self.edges_from: Dict[str, List[CallEdge]] = {}
         self._imports: Dict[str, ImportMap] = {}
         self._module_names: Dict[str, str] = {}
+        #: Package re-exports: ``repro.columnar.parse_log_segment_columnar``
+        #: -> ``repro.columnar.ingest.parse_log_segment_columnar`` for a
+        #: ``from repro.columnar.ingest import ...`` in the package
+        #: ``__init__``.  Without these, a call imported through the
+        #: package facade resolves to a qualname the graph never defines
+        #: and the edge is silently dropped.
+        self.reexports: Dict[str, str] = {}
         self._collect()
         self._connect()
 
@@ -98,6 +105,18 @@ class CallGraph:
             self._imports[module.path] = ImportMap.from_tree(module.tree)
             prefix = module_dotted_name(module)
             self._module_names[module.path] = prefix
+            if module.path.replace("\\", "/").endswith("/__init__.py"):
+                for statement in module.tree.body:
+                    if (
+                        isinstance(statement, ast.ImportFrom)
+                        and statement.module
+                        and statement.level == 0
+                    ):
+                        for alias in statement.names:
+                            local = alias.asname or alias.name
+                            self.reexports[f"{prefix}.{local}"] = (
+                                f"{statement.module}.{alias.name}"
+                            )
             for statement in module.tree.body:
                 if isinstance(
                     statement, (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -178,6 +197,15 @@ class CallGraph:
             return targets
 
         resolved = imports.resolve(dotted)
+        # Chase package-``__init__`` re-exports to the defining module
+        # (alias-of-alias bounded; cycles terminate via the bound).
+        for _ in range(4):
+            if resolved in self.functions:
+                return [resolved]
+            target = self.reexports.get(resolved)
+            if target is None or target == resolved:
+                break
+            resolved = target
         if resolved in self.functions:
             return [resolved]
         # ``ClassName(...)`` — with the class imported or module-local.
@@ -302,6 +330,38 @@ class CallGraph:
                     ):
                         names.append(child.attr)
         return names
+
+    # ------------------------------------------------------- resolution
+    def resolve_callable(
+        self, dotted: str, module: SourceModule
+    ) -> Optional[str]:
+        """Resolve a function *reference* (not a call) spelled in
+        ``module`` — e.g. the first argument of ``pool.submit(f, ...)``
+        — to a graph qualname, through import aliases, package
+        re-exports, the module-local prefix, and ``Class.method``."""
+        imports = self._imports.get(module.path)
+        if imports is None:
+            return None
+        resolved = imports.resolve(dotted)
+        for _ in range(4):
+            if resolved in self.functions:
+                return resolved
+            target = self.reexports.get(resolved)
+            if target is None or target == resolved:
+                break
+            resolved = target
+        if resolved in self.functions:
+            return resolved
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            prefix = self._module_names.get(module.path)
+            if prefix is not None:
+                local = f"{prefix}.{dotted}"
+                if local in self.functions:
+                    return local
+        if len(parts) == 2:
+            return self._method(parts[0], parts[1])
+        return None
 
     # ----------------------------------------------------- reachability
     def reachable_from(self, roots: Iterable[str]) -> Set[str]:

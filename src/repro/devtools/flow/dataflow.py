@@ -53,6 +53,16 @@ def join_envs(left: Env, right: Env) -> Env:
     return merged
 
 
+def meet_envs(left: Env, right: Env) -> Env:
+    """Name-wise intersection: a name survives only when bound in both
+    environments, keeping the tags common to both paths."""
+    return {
+        name: left[name] & right[name]
+        for name in left
+        if name in right
+    }
+
+
 class TagEvaluator:
     """Maps expressions to tag sets; rule families override the hooks.
 
@@ -161,9 +171,9 @@ class ForwardDataflow:
             if visits.get(node, 0) >= self.MAX_VISITS_PER_NODE:
                 continue
             visits[node] = visits.get(node, 0) + 1
-            entering: Env = {}
-            for predecessor in cfg.pred.get(node, []):
-                entering = join_envs(entering, out.get(predecessor, {}))
+            entering = self.join_predecessors(
+                cfg.pred.get(node, []), out
+            )
             in_env[node] = entering
             leaving = self.transfer(cfg.statements[node], entering)
             if leaving != out.get(node):
@@ -173,6 +183,17 @@ class ForwardDataflow:
                         worklist.append(successor)
                         pending.add(successor)
         return in_env
+
+    # ------------------------------------------------------------ join
+    def join_predecessors(
+        self, predecessors: List[int], out: Dict[int, Env]
+    ) -> Env:
+        """Combine predecessor out-environments (may-direction: union,
+        an unvisited predecessor contributes nothing)."""
+        entering: Env = {}
+        for predecessor in predecessors:
+            entering = join_envs(entering, out.get(predecessor, {}))
+        return entering
 
     # -------------------------------------------------------- transfer
     def transfer(self, statement: ast.stmt, env: Env) -> Env:
@@ -276,6 +297,37 @@ class ForwardDataflow:
                     self._bind(sub_target, None, element, env)
             return
         # Attribute / subscript targets do not touch the local env.
+
+
+class MustForwardDataflow(ForwardDataflow):
+    """The must-direction solver: a fact holds at a node only when it
+    holds on *every* path reaching it.
+
+    Predecessor environments are **intersected** (:func:`meet_envs`)
+    instead of unioned, and predecessors the worklist has not yet
+    computed are skipped — the optimistic top element — so loop
+    back-edges start permissive and the fixpoint only ever removes
+    facts after the first sweep.  The transfer function is shared with
+    the may-direction solver, so reassignment still kills: ``x = ...``
+    rebinds ``x`` to the tags of its new value on that path.  The
+    H-rules use this to prove a sampled timestamp is clipped to the
+    horizon on *all* CFG paths, not just some.
+    """
+
+    def join_predecessors(
+        self, predecessors: List[int], out: Dict[int, Env]
+    ) -> Env:
+        computed = [
+            out[predecessor]
+            for predecessor in predecessors
+            if predecessor in out
+        ]
+        if not computed:
+            return {}
+        entering = dict(computed[0])
+        for env in computed[1:]:
+            entering = meet_envs(entering, env)
+        return entering
 
 
 def analyze_scope(

@@ -1,0 +1,135 @@
+"""Structural picklability check over type annotations (for W004).
+
+A function dispatched to a :class:`ProcessPoolExecutor` worker has its
+arguments and return value pickled across the process boundary.  Most
+project types survive that; callables, iterators, open file handles,
+sockets and locks do not — and the failure is a runtime ``TypeError``
+deep inside ``multiprocessing`` rather than anything attributable to
+the dispatch site.
+
+This walk answers the question *statically and structurally*: given a
+parameter/return annotation, does any component name a type known to
+be unpicklable?  Project classes referenced by the annotation are
+recursed into (their own annotated fields, depth- and cycle-bounded),
+so a frozen dataclass smuggling a ``Callable`` field is still caught.
+Unknown names are assumed picklable — a miss, never a false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.devtools.base import ImportMap, Project, dotted_name
+
+#: Fully-dotted names (after import resolution) that cannot cross a
+#: process boundary by pickling.
+UNPICKLABLE_DOTTED = frozenset(
+    {
+        "socket.socket",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Event",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Thread",
+        "types.ModuleType",
+        "types.FrameType",
+        "types.TracebackType",
+        "_thread.LockType",
+    }
+)
+
+#: Bare type names unpicklable under any module spelling
+#: (``typing.Callable`` and ``collections.abc.Callable`` alike).
+UNPICKLABLE_BARE = frozenset(
+    {
+        "Callable",
+        "Iterator",
+        "Generator",
+        "AsyncGenerator",
+        "AsyncIterator",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "IOBase",
+        "TextIOBase",
+        "TextIOWrapper",
+        "BufferedReader",
+        "BufferedWriter",
+        "ModuleType",
+        "FrameType",
+        "TracebackType",
+    }
+)
+
+#: Recursion bound over nested project classes.
+MAX_DEPTH = 5
+
+
+def unpicklable_names(
+    annotation: Optional[ast.AST],
+    imports: ImportMap,
+    project: Project,
+    _depth: int = 0,
+    _seen: Optional[Set[str]] = None,
+) -> List[str]:
+    """Spelled names inside ``annotation`` that are structurally
+    unpicklable; empty when the annotation is absent or looks safe."""
+    if annotation is None or _depth > MAX_DEPTH:
+        return []
+    if _seen is None:
+        _seen = set()
+
+    offenders: List[str] = []
+    for spelled in _component_names(annotation):
+        resolved = imports.resolve(spelled)
+        bare = resolved.split(".")[-1]
+        if resolved in UNPICKLABLE_DOTTED or bare in UNPICKLABLE_BARE:
+            offenders.append(spelled)
+            continue
+        if bare in _seen:
+            continue
+        entry = project.find_class(bare)
+        if entry is None:
+            continue
+        _seen.add(bare)
+        class_module, class_def = entry
+        class_imports = ImportMap.from_tree(class_module.tree)
+        for statement in class_def.body:
+            if isinstance(statement, ast.AnnAssign):
+                nested = unpicklable_names(
+                    statement.annotation,
+                    class_imports,
+                    project,
+                    _depth + 1,
+                    _seen,
+                )
+                offenders.extend(
+                    f"{spelled}.{name}" for name in nested
+                )
+    return offenders
+
+
+def _component_names(annotation: ast.AST) -> List[str]:
+    """Every dotted name mentioned by an annotation, seeing through
+    string annotations and subscripts, without re-visiting the inner
+    links of a dotted chain."""
+    names: List[str] = []
+    stack: List[ast.AST] = [annotation]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                stack.append(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                continue
+            continue
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            spelled = dotted_name(node)
+            if spelled is not None:
+                names.append(spelled)
+                continue
+        stack.extend(ast.iter_child_nodes(node))
+    return names

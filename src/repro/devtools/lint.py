@@ -187,7 +187,7 @@ def check_module_local(
     # single-module project is sufficient (and picklable-free) here.
     local_project = Project([module])
     for rule_id in rule_ids:
-        rule = REGISTRY[rule_id]
+        rule = REGISTRY[rule_id]  # reprolint: disable=W003 -- the registry is populated by imports in every process (parent and pool workers alike) and never mutated during a run
         if rule.applies_to(module):
             findings.extend(rule.check(module, local_project))
     # Suppressions without a justification are findings themselves.
@@ -288,7 +288,7 @@ def lint_project(
     fresh: Dict[str, List[Finding]] = {}
     if jobs > 1 and len(pending) > 1:
         with multiprocessing.Pool(processes=jobs) as pool:
-            for path, entries in pool.imap_unordered(
+            for path, entries in pool.imap_unordered(  # reprolint: dispatch
                 _lint_file_worker,
                 [(m.path, m.text, local_ids) for m in pending],
             ):

@@ -2,16 +2,20 @@
 
 from repro.devtools.rules import (  # noqa: F401
     codec,
+    columnarrules,
     contract,
     determinism,
     eventtime,
     exceptions,
     flowrules,
+    horizonrules,
+    mergerules,
     mutability,
+    parallelsafety,
     timeaxis,
 )
 
 #: Bump whenever rule semantics change in a way that invalidates cached
 #: per-file results (the on-disk lint cache keys on this + the rule ids
 #: + the file bytes).
-RULESET_VERSION = "2026.08-flow1"
+RULESET_VERSION = "2026.08-psafety1"

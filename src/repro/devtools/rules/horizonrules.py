@@ -1,0 +1,452 @@
+"""Horizon/clip-discipline rules (H201–H203).
+
+The fleet generator and the stream engine emit events whose timestamps
+carry sampled jitter (``rng.uniform``, ``expovariate``); the corpus
+contract says nothing past ``horizon_end`` is ever emitted, because a
+jittered event falling past the horizon lands in a slice bucket that
+is never popped — exactly the PR 6 shipped bug.  These rules make the
+discipline a static guarantee: inside a **generator** scope, any
+emission (a ``yield`` or an append into an emission pool) whose time
+expression derives from a sampled value must be *anchored* — some
+sampled name in the expression must have passed a recognised
+clip-to-horizon guard on **every** CFG path reaching the emission.
+
+Recognised anchors: a rejection guard ``if t >= spec.horizon_end:
+continue/break/return/raise``, a bounding loop header ``while ... t <
+horizon ...``, and a clip assignment ``t = min(t, horizon)``.  The
+"every path" half runs the must-direction solver
+(:class:`~repro.devtools.flow.dataflow.MustForwardDataflow`); a
+may-direction anchor pass distinguishes a *partially* guarded emission
+(anchored on some paths — H203) from an unguarded one (H201/H202).
+Non-generator schedule builders are exempt by design: their output is
+clipped by the consuming generator, which is where these rules look.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.devtools.base import (
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    SourceModule,
+    dotted_name,
+    register,
+)
+from repro.devtools.flow.cfg import (
+    iter_scopes,
+    owned_expressions,
+    scope_parameters,
+)
+from repro.devtools.flow.dataflow import (
+    EMPTY,
+    Env,
+    ForwardDataflow,
+    MustForwardDataflow,
+    Tags,
+    TagEvaluator,
+    analyze_scope,
+)
+
+#: Packages whose generators emit timed events against a horizon.
+HORIZON_PACKAGES = ("fleet", "stream")
+
+SAMPLED = frozenset({"sampled"})
+ANCHORED = frozenset({"anchored"})
+
+#: RNG methods whose result is a sampled (jittered) value.
+RNG_METHODS = frozenset(
+    {
+        "uniform",
+        "random",
+        "expovariate",
+        "normalvariate",
+        "lognormvariate",
+        "gauss",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+        "vonmisesvariate",
+        "triangular",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+    }
+)
+
+#: Project helpers returning sampled values (bare last component).
+SAMPLED_HELPERS = frozenset({"pareto_bounded", "sample_duration"})
+
+#: Numeric shells that keep a sampled value sampled.
+_TRANSPARENT_CALLS = frozenset({"min", "max", "abs", "round", "float", "int"})
+
+
+class SampledEvaluator(TagEvaluator):
+    """May-direction taint: which values derive from RNG draws."""
+
+    def call(self, node: ast.Call, env: Env) -> Tags:
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in RNG_METHODS:
+                return SAMPLED
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            bare = self.imports.resolve(dotted).split(".")[-1]
+            if bare in SAMPLED_HELPERS:
+                return SAMPLED
+            if bare in _TRANSPARENT_CALLS:
+                tags: Tags = EMPTY
+                for argument in node.args:
+                    tags |= self.evaluate(argument, env)
+                return tags & SAMPLED
+        return EMPTY
+
+    def binop(self, node: ast.BinOp, left: Tags, right: Tags) -> Tags:
+        return (left | right) & SAMPLED
+
+    def iter_element(self, tags: Tags) -> Tags:
+        return tags & SAMPLED
+
+    def augmented(self, old: Tags, op: ast.operator, value: Tags) -> Tags:
+        return (old | value) & SAMPLED
+
+    def evaluate(self, node: ast.AST, env: Env) -> Tags:
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            tags: Tags = EMPTY
+            for element in node.elts:
+                tags |= self.evaluate(element, env)
+            return tags & SAMPLED
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            return self.evaluate(node.elt, env) & SAMPLED
+        return super().evaluate(node, env)
+
+
+class AnchorEvaluator(TagEvaluator):
+    """Value flow for the anchored fact: assignment propagates it,
+    arithmetic and augmented assignment kill it (the sum of an anchored
+    and an unanchored value is not itself proven clipped)."""
+
+    def augmented(self, old: Tags, op: ast.operator, value: Tags) -> Tags:
+        return EMPTY
+
+
+def _horizonish(expr: ast.AST) -> bool:
+    """Does the expression mention a horizon bound by name?"""
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = dotted_name(node)
+            if dotted is not None and "horizon" in dotted.lower():
+                return True
+    return False
+
+
+def _is_rejection_body(body: List[ast.stmt]) -> bool:
+    return bool(body) and all(
+        isinstance(stmt, (ast.Continue, ast.Break, ast.Return, ast.Raise))
+        for stmt in body
+    )
+
+
+def _guard_anchor_names(test: ast.expr) -> List[str]:
+    """Names proven below the horizon by a rejection guard's test:
+    ``t >= H`` / ``H <= t`` where ``H`` names the horizon."""
+    names: List[str] = []
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if (
+            isinstance(op, (ast.GtE, ast.Gt))
+            and isinstance(left, ast.Name)
+            and _horizonish(right)
+        ):
+            names.append(left.id)
+        elif (
+            isinstance(op, (ast.LtE, ast.Lt))
+            and isinstance(right, ast.Name)
+            and _horizonish(left)
+        ):
+            names.append(right.id)
+    return names
+
+
+def _while_anchor_names(test: ast.expr) -> List[str]:
+    """Names bounded by a loop header: ``t < H`` conjuncts."""
+    conjuncts: List[ast.expr] = (
+        list(test.values)
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And)
+        else [test]
+    )
+    names: List[str] = []
+    for conjunct in conjuncts:
+        if not (
+            isinstance(conjunct, ast.Compare) and len(conjunct.ops) == 1
+        ):
+            continue
+        left = conjunct.left
+        op = conjunct.ops[0]
+        right = conjunct.comparators[0]
+        if (
+            isinstance(op, (ast.Lt, ast.LtE))
+            and isinstance(left, ast.Name)
+            and _horizonish(right)
+        ):
+            names.append(left.id)
+        elif (
+            isinstance(op, (ast.Gt, ast.GtE))
+            and isinstance(right, ast.Name)
+            and _horizonish(left)
+        ):
+            names.append(right.id)
+    return names
+
+
+def _anchor_names(statement: ast.stmt) -> List[str]:
+    """Names this statement anchors on its fall-through path."""
+    if (
+        isinstance(statement, ast.If)
+        and not statement.orelse
+        and _is_rejection_body(statement.body)
+    ):
+        return _guard_anchor_names(statement.test)
+    if isinstance(statement, ast.While):
+        return _while_anchor_names(statement.test)
+    if isinstance(statement, ast.Assign):
+        value = statement.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "min"
+            and any(_horizonish(argument) for argument in value.args)
+        ):
+            return [
+                target.id
+                for target in statement.targets
+                if isinstance(target, ast.Name)
+            ]
+    return []
+
+
+class _AnchorTransfer:
+    """Mixin: after the normal transfer, establish anchor facts.
+
+    A rejection guard's fall-through is the only successor that stays
+    in the loop, so adding the fact at the header is sound: the guard
+    body leaves, and merge points intersect (must) or union (may) as
+    their direction dictates.
+    """
+
+    def transfer(self, statement: ast.stmt, env: Env) -> Env:
+        env = super().transfer(statement, env)  # type: ignore[misc]
+        for name in _anchor_names(statement):
+            env[name] = env.get(name, EMPTY) | ANCHORED
+        return env
+
+
+class AnchorMustDataflow(_AnchorTransfer, MustForwardDataflow):
+    pass
+
+
+class AnchorMayDataflow(_AnchorTransfer, ForwardDataflow):
+    pass
+
+
+def _has_own_yield(function: ast.AST) -> bool:
+    stack: List[ast.AST] = list(
+        getattr(function, "body", [])
+    )
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _emission_sites(
+    statement: ast.stmt,
+) -> List[Tuple[str, ast.AST, ast.expr]]:
+    """(kind, anchor, time expression) triples: ``yield`` sites and
+    appends/heappushes into emission pools.  The time expression of a
+    tuple event is its first element."""
+    sites: List[Tuple[str, ast.AST, ast.expr]] = []
+
+    def time_of(expr: ast.expr) -> ast.expr:
+        if isinstance(expr, ast.Tuple) and expr.elts:
+            return expr.elts[0]
+        return expr
+
+    for expression in owned_expressions(statement):
+        for node in ast.walk(expression):
+            if isinstance(node, ast.Yield) and node.value is not None:
+                sites.append(("yield", node, time_of(node.value)))
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "append"
+                    and len(node.args) == 1
+                ):
+                    sites.append(("store", node, time_of(node.args[0])))
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "heappush"
+                    and len(node.args) == 2
+                ):
+                    sites.append(("store", node, time_of(node.args[1])))
+    return sites
+
+
+def _horizon_report(
+    module: SourceModule, project: Project
+) -> List[Tuple[str, Finding]]:
+    """(kind, finding) pairs for the whole module, computed once per
+    project object and shared by H201/H202/H203."""
+    cache_key = f"horizon:{module.path}"
+    cached = project.cache.get(cache_key)
+    if isinstance(cached, list):
+        return cached
+    report: List[Tuple[str, Finding]] = []
+    if module.tree is not None:
+        imports = ImportMap.from_tree(module.tree)
+        for scope in iter_scopes(module.tree):
+            if not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not _has_own_yield(scope):
+                continue
+            report.extend(_check_generator(module, scope, imports))
+    project.cache[cache_key] = report
+    return report
+
+
+def _check_generator(
+    module: SourceModule, scope: ast.AST, imports: ImportMap
+) -> Iterator[Tuple[str, Finding]]:
+    sampled_evaluator = SampledEvaluator(imports)
+    cfg, sampled_in = analyze_scope(scope, sampled_evaluator)
+
+    anchor_evaluator = AnchorEvaluator(imports)
+    initial: Env = {
+        parameter.arg: EMPTY for parameter in scope_parameters(scope)
+    }
+    must_in = AnchorMustDataflow(anchor_evaluator).run(cfg, initial)
+    may_in = AnchorMayDataflow(anchor_evaluator).run(cfg, initial)
+
+    for node_id, statement in cfg.nodes():
+        sampled_env = sampled_in.get(node_id, {})
+        must_env = must_in.get(node_id, {})
+        may_env = may_in.get(node_id, {})
+        for kind, anchor, time_expr in _emission_sites(statement):
+            tags = sampled_evaluator.evaluate(time_expr, sampled_env)
+            if "sampled" not in tags:
+                continue
+            sampled_names = [
+                node.id
+                for node in ast.walk(time_expr)
+                if isinstance(node, ast.Name)
+                and "sampled" in sampled_env.get(node.id, EMPTY)
+            ]
+            if any(
+                "anchored" in must_env.get(name, EMPTY)
+                for name in sampled_names
+            ):
+                continue  # clipped on every path.
+            partially = any(
+                "anchored" in may_env.get(name, EMPTY)
+                for name in sampled_names
+            )
+            if partially:
+                yield (
+                    "H203",
+                    module.finding(
+                        "H203",
+                        anchor,
+                        "sampled timestamp is clipped to the horizon on "
+                        "some paths but not all; a branch emits past "
+                        "`horizon_end` — move the guard so every path "
+                        "to this emission passes it",
+                    ),
+                )
+            elif kind == "yield":
+                yield (
+                    "H201",
+                    module.finding(
+                        "H201",
+                        anchor,
+                        "yielded event time derives from a sampled "
+                        "value with no horizon clip on any path; "
+                        "up-side jitter emits past `horizon_end` — "
+                        "guard with `if t >= horizon_end: continue` or "
+                        "clip with `min(t, horizon_end)`",
+                    ),
+                )
+            else:
+                yield (
+                    "H202",
+                    module.finding(
+                        "H202",
+                        anchor,
+                        "event appended to an emission pool with a "
+                        "sampled, unclipped timestamp; a jittered time "
+                        "past `horizon_end` lands in a slice bucket "
+                        "that is never popped — guard or clip before "
+                        "the append",
+                    ),
+                )
+
+
+class _HorizonRule(Rule):
+    scope = HORIZON_PACKAGES
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        for kind, finding in _horizon_report(module, project):
+            if kind == self.id:
+                yield finding
+
+
+@register
+class UnguardedSampledYieldRule(_HorizonRule):
+    id = "H201"
+    name = "sampled-yield-unclipped"
+    rationale = (
+        "A generator yielding an event whose time carries RNG jitter "
+        "must clip it to the horizon on every path; up-side jitter "
+        "otherwise emits events past `horizon_end`, which downstream "
+        "slice accounting silently drops or double-counts."
+    )
+
+
+@register
+class UnguardedSampledStoreRule(_HorizonRule):
+    id = "H202"
+    name = "sampled-store-unclipped"
+    rationale = (
+        "An event appended into an emission pool with a jittered, "
+        "unclipped timestamp lands in a slice bucket past the horizon "
+        "that is never popped — the exact PR 6 shipped bug (horizon-"
+        "edge line drops)."
+    )
+
+
+@register
+class PartiallyGuardedEmissionRule(_HorizonRule):
+    id = "H203"
+    name = "horizon-clip-not-on-all-paths"
+    rationale = (
+        "A horizon guard that covers some CFG paths to an emission but "
+        "not all is worse than none: tests exercising the guarded "
+        "branch pass while the unguarded branch ships the bug.  The "
+        "must-analysis demands the clip on every path."
+    )

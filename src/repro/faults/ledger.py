@@ -99,9 +99,9 @@ class ChannelLedger:
                 self.reasons.get(reason, 0) + other.reasons[reason]
             )
         if self.first is None:
-            self.first = other.first
+            self.first = other.first  # reprolint: disable=M103 -- deliberate: the docstring contract requires folding shards in source order, making first/last identical to a sequential run
         if other.last is not None:
-            self.last = other.last
+            self.last = other.last  # reprolint: disable=M103 -- deliberate: last-in-source-order under the documented in-order fold contract
 
     def to_json(self) -> Dict[str, object]:
         return {

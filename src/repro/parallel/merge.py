@@ -332,4 +332,4 @@ def collect_link_results(
     Chunks are contiguous slices of the sorted link list, gathered in
     submission order, so plain concatenation is already link-sorted.
     """
-    return [result for chunk in chunk_results for result in chunk]
+    return [result for chunk in chunk_results for result in chunk]  # reprolint: disable=M101 -- chunks are contiguous slices of the sorted link list gathered in submission order; concatenation is already link-sorted

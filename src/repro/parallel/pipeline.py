@@ -223,7 +223,7 @@ def run_parallel_analysis(
         # Phase 1: both channels' shards go in together, so syslog
         # parsing and LSP decoding overlap in the pool.
         syslog_futures = [
-            pool.submit(
+            pool.submit(  # reprolint: dispatch
                 parse_syslog_shard,
                 segment.text,
                 segment.line_base,
@@ -235,7 +235,7 @@ def run_parallel_analysis(
         lsp_futures: List[
             Future[Tuple[List[CompactLsp], List[Tuple[int, str]]]]
         ] = [
-            pool.submit(
+            pool.submit(  # reprolint: dispatch
                 decode_lsp_shard, dataset.lsp_records[start:stop], start
             )
             for start, stop in lsp_ranges
@@ -300,7 +300,7 @@ def run_parallel_analysis(
             listener_outages=dataset.listener_outages,
         )
         chunk_futures = [
-            pool.submit(process_link_chunk, chunk, context)
+            pool.submit(process_link_chunk, chunk, context)  # reprolint: dispatch
             for chunk in chunk_links(items, jobs * _CHUNKS_PER_JOB)
         ]
         link_results = collect_link_results(

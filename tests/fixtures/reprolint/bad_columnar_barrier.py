@@ -1,0 +1,26 @@
+"""Deliberately bad: columnar fast-path discipline violations.
+
+The failure index set is drained without ever re-parsing through the
+scalar barrier (B301), and a numpy array is indexed element-wise from
+inside the per-line loop (B302).
+"""
+
+import numpy as np
+
+
+def drain_failures(mask, lines):
+    slow = np.flatnonzero(~mask)
+    recovered = []
+    for index in slow.tolist():  # B301: no scalar-parser barrier call
+        recovered.append(lines[index].strip())
+    return recovered
+
+
+def sum_widths(starts, ends):
+    begin = np.asarray(starts)
+    finish = np.asarray(ends)
+    total = 0
+    for position in finish.tolist():
+        width = finish[position] - begin[position]  # B302: boxed scalars
+        total = total + int(width)
+    return total

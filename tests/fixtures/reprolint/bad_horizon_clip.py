@@ -1,0 +1,34 @@
+"""Deliberately bad: generators emitting jittered times past the horizon.
+
+Each generator draws RNG jitter onto a timestamp and emits it without
+a clip on every path — the exact bug class that shipped in the fleet
+generator (horizon-edge events landing in never-popped slice buckets).
+"""
+
+
+def jittered_ticks(rng, spec):
+    tick = spec.start
+    while tick < spec.horizon_end:
+        stamp = tick + rng.uniform(0.0, 2.0)
+        yield (stamp, "link-up")  # H201: stamp never clipped
+        tick = tick + spec.interval
+
+
+def pooled_chatter(rng, spec):
+    pool = []
+    gen = spec.start
+    while gen < spec.horizon_end:
+        gen = gen + rng.expovariate(1.0)
+        pool.append((gen, "chatter"))  # H202: unclipped store
+    yield from sorted(pool)
+
+
+def half_guarded(rng, spec, strict_edge):
+    tick = spec.start
+    while tick < spec.horizon_end:
+        stamp = tick + rng.uniform(0.0, 3.0)
+        tick = tick + spec.interval
+        if strict_edge:
+            if stamp >= spec.horizon_end:
+                continue
+        yield (stamp, "event")  # H203: clipped only when strict_edge

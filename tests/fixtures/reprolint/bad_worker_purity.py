@@ -1,0 +1,43 @@
+"""Deliberately bad: impure functions shipped to a process pool.
+
+The dispatch site is plain (`with ProcessPoolExecutor() as pool`), so
+the interprocedural W-rules must find the workers through the call
+graph and flag every purity violation in their bodies.
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterator
+
+_CACHE = {}
+_STATS = {"lines": 0}
+_RNG = random.Random(7)
+
+
+def note_progress(lines):
+    """Parent-side bookkeeping: makes ``_STATS`` runtime-mutable."""
+    _STATS["lines"] = _STATS.get("lines", 0) + lines
+
+
+def parse_one(path):
+    text = open(path).read()
+    _CACHE[path] = text  # W001: mutates module state in a worker
+    jitter = _RNG.random()  # W002: module-level RNG handle in a worker
+    seen = _STATS["lines"]  # W003: reads state note_progress() mutates
+    return len(text) + seen + int(jitter)
+
+
+def tally(stream: Iterator[str]) -> int:  # W004: Iterator cannot pickle
+    return sum(1 for _ in stream)
+
+
+def run_jobs(paths):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        parses = [pool.submit(parse_one, path) for path in paths]
+        counts = pool.submit(tally, iter(paths))
+        inline = pool.submit(lambda p: p, paths[0])  # W002: lambda
+        return (
+            [f.result() for f in parses],
+            counts.result(),
+            inline.result(),
+        )

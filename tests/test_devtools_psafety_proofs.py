@@ -1,0 +1,386 @@
+"""AST-injection proofs for the parallel-safety tier, on the real code.
+
+Style of ``tests/test_devtools_flow_proofs.py``: each test takes the
+*shipped* source of a real module, injects the bug class its rule
+family exists for into a copy of the AST, and shows the rule fires —
+paired with a shipped-tree check proving the finding is the injection,
+not background noise.
+
+* W001/W004 — worker impurity injected into ``parallel/workers.py`` /
+  ``parallel/pipeline.py``, found through the real dispatch sites;
+* M101–M103 — the canonical sort severed in ``parallel/merge.py``,
+  plus synthetic order-dependent merges appended to it;
+* H201–H203 — the PR 6 bug class: horizon guards dropped from
+  ``fleet/generate.py``, unclipped generators appended to
+  ``stream/engine.py``;
+* B301/B302 — the scalar barrier severed / element access
+  reintroduced in ``columnar/ingest.py``.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.devtools.rules  # noqa: F401  (registry side effect)
+from repro.devtools.base import Project, REGISTRY, SourceModule
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+WORKERS_PATH = SRC / "repro" / "parallel" / "workers.py"
+PIPELINE_PATH = SRC / "repro" / "parallel" / "pipeline.py"
+MERGE_PATH = SRC / "repro" / "parallel" / "merge.py"
+GENERATE_PATH = SRC / "repro" / "fleet" / "generate.py"
+ENGINE_PATH = SRC / "repro" / "stream" / "engine.py"
+INGEST_PATH = SRC / "repro" / "columnar" / "ingest.py"
+
+
+def src_modules(replaced_path: Path, replaced_text: str):
+    modules = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = (
+            replaced_text
+            if path == replaced_path
+            else path.read_text(encoding="utf-8")
+        )
+        modules.append(SourceModule(str(path), text))
+    return modules
+
+
+def run_rule(rule_id: str, modules, only_path: Path):
+    project = Project(modules)
+    module = next(m for m in modules if m.path == str(only_path))
+    assert module.syntax_error is None
+    return list(REGISTRY[rule_id].check(module, project))
+
+
+def append_source(source: str, injected: str) -> str:
+    tree = ast.parse(source)
+    tree.body.extend(ast.parse(injected).body)
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)
+
+
+# ------------------------------------------------------------- W001
+def test_injected_global_mutation_in_workers_trips_w001():
+    """A module-dict write planted inside ``_process_link`` is found
+    through the *real* dispatch chain: ``pipeline.run_parallel_analysis``
+    submits ``process_link_chunk``, which calls ``_process_link``."""
+    tree = ast.parse(WORKERS_PATH.read_text(encoding="utf-8"))
+    tree.body.extend(ast.parse("_SHARD_MEMO = {}").body)
+    planted = 0
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == "_process_link"
+        ):
+            node.body.insert(
+                0, ast.parse("_SHARD_MEMO[item.link] = item.link").body[0]
+            )
+            planted += 1
+    assert planted == 1
+    ast.fix_missing_locations(tree)
+    modules = src_modules(WORKERS_PATH, ast.unparse(tree))
+    hits = run_rule("W001", modules, WORKERS_PATH)
+    assert hits, "W001 should fire on the planted module-state write"
+    assert any("_process_link" in f.message for f in hits)
+    assert any("_SHARD_MEMO" in f.message for f in hits)
+
+
+def test_shipped_workers_are_clean_for_w_rules():
+    modules = src_modules(WORKERS_PATH, WORKERS_PATH.read_text("utf-8"))
+    for rule_id in ("W001", "W002", "W003", "W004"):
+        assert run_rule(rule_id, modules, WORKERS_PATH) == []
+
+
+# ------------------------------------------------------------- W004
+INJECTED_UNPICKLABLE_WORKER = '''
+def _injected_probe(channel: Iterator[str]) -> int:
+    return sum(1 for _ in channel)
+
+
+def _injected_fanout(paths):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(_injected_probe, iter(p)) for p in paths]
+        return [f.result() for f in futures]
+'''
+
+
+def test_injected_unpicklable_worker_in_pipeline_trips_w004():
+    drifted = append_source(
+        PIPELINE_PATH.read_text(encoding="utf-8"),
+        INJECTED_UNPICKLABLE_WORKER,
+    )
+    modules = src_modules(PIPELINE_PATH, drifted)
+    hits = run_rule("W004", modules, PIPELINE_PATH)
+    assert hits, "W004 should fire on the Iterator-annotated worker"
+    assert any("Iterator" in f.message for f in hits)
+    assert any("_injected_probe" in f.message for f in hits)
+
+
+def test_shipped_pipeline_is_clean_for_w_rules():
+    modules = src_modules(PIPELINE_PATH, PIPELINE_PATH.read_text("utf-8"))
+    for rule_id in ("W001", "W002", "W003", "W004"):
+        assert run_rule(rule_id, modules, PIPELINE_PATH) == []
+
+
+# ------------------------------------------------------------- M101
+def test_severed_sort_in_merge_transitions_trips_m101():
+    tree = ast.parse(MERGE_PATH.read_text(encoding="utf-8"))
+    removed = 0
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == "merge_transitions"
+        ):
+            kept = []
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Attribute)
+                    and stmt.value.func.attr == "sort"
+                ):
+                    removed += 1
+                    continue
+                kept.append(stmt)
+            node.body = kept
+    assert removed == 1, "expected exactly one .sort(...) to sever"
+    modules = src_modules(MERGE_PATH, ast.unparse(tree))
+    hits = run_rule("M101", modules, MERGE_PATH)
+    assert any(
+        "merged" in f.snippet and "per_link" in f.snippet for f in hits
+    ), "M101 should fire on the now-unsorted flatten"
+
+
+def test_shipped_merge_has_only_the_justified_m101():
+    """The one in-tree flatten-without-sort is ``collect_link_results``,
+    whose shard order is already canonical (and suppressed in-line with
+    that justification); nothing else may match."""
+    modules = src_modules(MERGE_PATH, MERGE_PATH.read_text("utf-8"))
+    hits = run_rule("M101", modules, MERGE_PATH)
+    assert len(hits) == 1
+    assert "chunk_results" in hits[0].snippet
+
+
+# ------------------------------------------------------- M102 / M103
+INJECTED_DICT_MERGE = '''
+def _injected_render_totals(totals: Dict[str, int], out):
+    for link in totals:
+        out.append(link)
+    return out
+'''
+
+INJECTED_FOLD = '''
+class _InjectedLedger:
+
+    def merge_from(self, other):
+        self.newest = other.newest
+'''
+
+
+def test_injected_dict_iteration_in_merge_trips_m102():
+    drifted = append_source(
+        MERGE_PATH.read_text(encoding="utf-8"), INJECTED_DICT_MERGE
+    )
+    modules = src_modules(MERGE_PATH, drifted)
+    hits = run_rule("M102", modules, MERGE_PATH)
+    assert hits, "M102 should fire on the order-sensitive dict loop"
+    assert any("for link in totals" in f.snippet for f in hits)
+
+
+def test_injected_noncommutative_fold_in_merge_trips_m103():
+    drifted = append_source(
+        MERGE_PATH.read_text(encoding="utf-8"), INJECTED_FOLD
+    )
+    modules = src_modules(MERGE_PATH, drifted)
+    hits = run_rule("M103", modules, MERGE_PATH)
+    assert hits, "M103 should fire on the last-shard-wins overwrite"
+    assert any("newest" in f.message for f in hits)
+
+
+def test_shipped_merge_is_clean_for_m102_m103():
+    modules = src_modules(MERGE_PATH, MERGE_PATH.read_text("utf-8"))
+    assert run_rule("M102", modules, MERGE_PATH) == []
+    assert run_rule("M103", modules, MERGE_PATH) == []
+
+
+# ------------------------------------------------------------- H202
+class _GuardDropper(ast.NodeTransformer):
+    """Remove ``if gen >= spec.horizon_end: continue`` rejection guards
+    — the exact shape of the PR 6 chatter fix."""
+
+    def __init__(self):
+        self.dropped = 0
+
+    def visit_If(self, node):
+        self.generic_visit(node)
+        if (
+            ast.unparse(node.test) == "gen >= spec.horizon_end"
+            and not node.orelse
+            and all(isinstance(s, ast.Continue) for s in node.body)
+        ):
+            self.dropped += 1
+            return None
+        return node
+
+
+class _WhileBoundDropper(ast.NodeTransformer):
+    """Drop the ``... and tick < spec.horizon_end`` conjunct from loop
+    headers — the refresh-sweep half of the PR 6 bug class."""
+
+    def __init__(self):
+        self.dropped = 0
+
+    def visit_While(self, node):
+        self.generic_visit(node)
+        if isinstance(node.test, ast.BoolOp) and isinstance(
+            node.test.op, ast.And
+        ):
+            kept = [
+                value
+                for value in node.test.values
+                if "horizon_end" not in ast.unparse(value)
+            ]
+            if len(kept) != len(node.test.values) and kept:
+                self.dropped += 1
+                node.test = (
+                    kept[0]
+                    if len(kept) == 1
+                    else ast.BoolOp(op=ast.And(), values=kept)
+                )
+        return node
+
+
+def test_dropped_chatter_guard_in_generate_trips_h202():
+    dropper = _GuardDropper()
+    tree = dropper.visit(
+        ast.parse(GENERATE_PATH.read_text(encoding="utf-8"))
+    )
+    assert dropper.dropped >= 1
+    ast.fix_missing_locations(tree)
+    modules = src_modules(GENERATE_PATH, ast.unparse(tree))
+    hits = run_rule("H202", modules, GENERATE_PATH)
+    assert any(
+        "pool.append((gen + delay, line))" in f.snippet for f in hits
+    ), "H202 should fire on the now-unguarded chatter append"
+
+
+def test_dropped_while_bound_in_generate_trips_h202():
+    dropper = _WhileBoundDropper()
+    tree = dropper.visit(
+        ast.parse(GENERATE_PATH.read_text(encoding="utf-8"))
+    )
+    assert dropper.dropped >= 1
+    ast.fix_missing_locations(tree)
+    modules = src_modules(GENERATE_PATH, ast.unparse(tree))
+    hits = run_rule("H202", modules, GENERATE_PATH)
+    assert any(
+        "slice_events.append" in f.snippet for f in hits
+    ), "H202 should fire on the refresh append once the bound is gone"
+
+
+def test_shipped_generate_is_clean_for_h_rules():
+    modules = src_modules(GENERATE_PATH, GENERATE_PATH.read_text("utf-8"))
+    for rule_id in ("H201", "H202", "H203"):
+        assert run_rule(rule_id, modules, GENERATE_PATH) == []
+
+
+# ------------------------------------------------------- H201 / H203
+INJECTED_UNCLIPPED_YIELD = '''
+def _injected_jitter_feed(rng, horizon_end):
+    t = 0.0
+    while t < horizon_end:
+        stamp = t + rng.uniform(0.0, 1.0)
+        yield (stamp, 'ev')
+        t = t + 1.0
+'''
+
+INJECTED_HALF_GUARD = '''
+def _injected_half_guard(rng, horizon_end, strict_edge):
+    t = 0.0
+    while t < horizon_end:
+        stamp = t + rng.uniform(0.0, 1.0)
+        t = t + 1.0
+        if strict_edge:
+            if stamp >= horizon_end:
+                continue
+        yield (stamp, 'ev')
+'''
+
+
+def test_injected_unclipped_yield_in_engine_trips_h201():
+    drifted = append_source(
+        ENGINE_PATH.read_text(encoding="utf-8"), INJECTED_UNCLIPPED_YIELD
+    )
+    modules = src_modules(ENGINE_PATH, drifted)
+    hits = run_rule("H201", modules, ENGINE_PATH)
+    assert hits, "H201 should fire on the unclipped jittered yield"
+    assert any("yield (stamp, 'ev')" in f.snippet for f in hits)
+
+
+def test_injected_half_guard_in_engine_trips_h203_not_h201():
+    """A guard behind ``if strict_edge`` covers some paths only: the
+    must-analysis rejects it (H203) while the may-analysis stops it
+    from reading as fully unguarded (no H201)."""
+    drifted = append_source(
+        ENGINE_PATH.read_text(encoding="utf-8"), INJECTED_HALF_GUARD
+    )
+    modules = src_modules(ENGINE_PATH, drifted)
+    h203 = run_rule("H203", modules, ENGINE_PATH)
+    assert any("yield (stamp, 'ev')" in f.snippet for f in h203)
+    assert run_rule("H201", modules, ENGINE_PATH) == []
+
+
+def test_shipped_engine_is_clean_for_h_rules():
+    modules = src_modules(ENGINE_PATH, ENGINE_PATH.read_text("utf-8"))
+    for rule_id in ("H201", "H202", "H203"):
+        assert run_rule(rule_id, modules, ENGINE_PATH) == []
+
+
+# ------------------------------------------------------------- B301
+class _BarrierDropper(ast.NodeTransformer):
+    def __init__(self):
+        self.dropped = 0
+
+    def visit_Expr(self, node):
+        if (
+            isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "scalar_line"
+        ):
+            self.dropped += 1
+            return ast.Pass()
+        return node
+
+
+def test_severed_barrier_in_ingest_trips_b301():
+    dropper = _BarrierDropper()
+    tree = dropper.visit(
+        ast.parse(INGEST_PATH.read_text(encoding="utf-8"))
+    )
+    assert dropper.dropped >= 1
+    ast.fix_missing_locations(tree)
+    modules = src_modules(INGEST_PATH, ast.unparse(tree))
+    hits = run_rule("B301", modules, INGEST_PATH)
+    assert any(
+        "slow_idx.tolist()" in f.snippet for f in hits
+    ), "B301 should fire on the barrier-less slow-line loop"
+
+
+# ------------------------------------------------------------- B302
+def test_reintroduced_element_access_in_ingest_trips_b302():
+    """Reverts the shipped fix: back to boxing ``ends[slow_line]`` per
+    slow line instead of indexing the pre-converted list."""
+    source = INGEST_PATH.read_text(encoding="utf-8")
+    assert "end_all[slow_line]" in source
+    drifted = source.replace(
+        "end_all[slow_line]", "int(ends[slow_line])"
+    )
+    modules = src_modules(INGEST_PATH, drifted)
+    hits = run_rule("B302", modules, INGEST_PATH)
+    assert any("ends[slow_line]" in f.snippet for f in hits)
+
+
+def test_shipped_ingest_is_clean_for_b_rules():
+    modules = src_modules(INGEST_PATH, INGEST_PATH.read_text("utf-8"))
+    assert run_rule("B301", modules, INGEST_PATH) == []
+    assert run_rule("B302", modules, INGEST_PATH) == []
