@@ -1,0 +1,356 @@
+"""Sustained multi-tenant throughput of the always-on service.
+
+Not a paper table: this bench characterises ``repro.service`` the way
+the fleet bench characterises the columnar path.  It stands up one
+:class:`~repro.service.supervisor.Service` with **ten tenants** on
+loopback, drives every tenant concurrently over real TCP sockets for
+**30 seconds** at a paced message rate, and measures:
+
+* **sustained throughput** — messages consumed per second, aggregate
+  and per tenant, over the whole feed-plus-drain window;
+* **ingest-to-consumed latency** — the delay between a line leaving the
+  sender's socket and the tenant worker reporting it consumed.  A
+  sampler polls :meth:`Service.status` continuously; each probe's
+  latency is the gap between its send time and the first status sample
+  whose ``lines_seen`` covers it, so the percentiles are honest upper
+  bounds at the sampling resolution.
+
+The run then asserts the service's accounting contract — the reason
+this bench exists.  For every tenant, the books must close with **zero
+unattributed loss**:
+
+* transport: ``received == sent`` (TCP on loopback loses nothing);
+* frontend: ``journalled + shed == received``, every shed line typed
+  ``backpressure`` in the frontend ledger;
+* worker: ``lines_seen == journalled`` and every line that did not
+  become an event carries a typed drop reason.
+
+Results land in ``BENCH_service.json`` at the repo root (and a text
+table under ``benchmarks/results/``) so CI can archive them.
+
+Usage::
+
+    python benchmarks/bench_service.py           # 10 tenants x 30 s
+    python benchmarks/bench_service.py --quick   # CI smoke, 3 x 3 s
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from _bench_utils import emit  # noqa: E402
+from repro import ScenarioConfig, run_scenario  # noqa: E402
+from repro.faults.ledger import CHANNEL_SERVICE  # noqa: E402
+from repro.service.framing import encode_octet_counted  # noqa: E402
+from repro.service.supervisor import (  # noqa: E402
+    Service,
+    ServiceConfig,
+    TenantConfig,
+)
+from repro.util.timefmt import format_timestamp  # noqa: E402
+
+import socket  # noqa: E402
+
+FULL_TENANTS = 10
+FULL_SECONDS = 30.0
+QUICK_TENANTS = 3
+QUICK_SECONDS = 3.0
+RATE_PER_TENANT = 40.0  # paced messages per second per tenant
+BATCH_LINES = 10  # one latency probe per batch
+DRAIN_CEILING = 120.0  # wall seconds allowed for the backlog to clear
+PROFILE_SEED = 11
+PROFILE_DAYS = 3.0
+
+
+def _bench_line(index: int) -> str:
+    """One parseable chatter line; event time advances monotonically so
+    the reorder buffer never sheds a bench message as late."""
+    stamp = format_timestamp(index * 0.5)
+    return f"<189>{stamp} bench-core-01 bench chatter {index}"
+
+
+def _feed_tenant(
+    port: int,
+    total: int,
+    rate: float,
+    probes: List[Tuple[int, float]],
+) -> None:
+    """Pace ``total`` lines into one tenant's TCP port, recording a
+    (lines-sent-so-far, send-time) probe after every batch."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30.0) as sock:
+        sent = 0
+        start = time.monotonic()
+        while sent < total:
+            batch = [
+                _bench_line(i) for i in range(sent, min(sent + BATCH_LINES, total))
+            ]
+            sock.sendall(b"".join(encode_octet_counted(line) for line in batch))
+            sent += len(batch)
+            probes.append((sent, time.monotonic()))
+            delay = start + sent / rate - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _sample_status(
+    service: Service,
+    samples: Dict[str, List[Tuple[float, int]]],
+    stop: threading.Event,
+) -> None:
+    """Continuously record (time, lines_seen) per tenant from the live
+    status document; each probe's latency is resolved against these."""
+    while not stop.is_set():
+        tenants = service.status()["tenants"]
+        now = time.monotonic()  # after the read: latency is never undercounted
+        for name, doc in tenants.items():
+            samples[name].append((now, doc["worker"]["lines_seen"]))
+        stop.wait(0.02)
+
+
+def _latencies_ms(
+    probes: List[Tuple[int, float]],
+    samples: List[Tuple[float, int]],
+) -> List[float]:
+    """For each probe, the gap to the first sample covering it."""
+    counts = [count for _, count in samples]
+    out: List[float] = []
+    for sent, when in probes:
+        index = bisect.bisect_left(counts, sent)
+        if index < len(samples):
+            out.append(max(0.0, (samples[index][0] - when) * 1000.0))
+    return out
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_bench(tenants: int, seconds: float, rate: float) -> dict:
+    per_tenant = int(seconds * rate)
+    names = [f"tenant{i:02d}" for i in range(tenants)]
+
+    with tempfile.TemporaryDirectory(prefix="bench_service_") as tmp:
+        profile_dir = Path(tmp) / "profile"
+        started = time.perf_counter()
+        run_scenario(
+            ScenarioConfig(seed=PROFILE_SEED, duration_days=PROFILE_DAYS)
+        ).save(profile_dir)
+        profile_seconds = time.perf_counter() - started
+
+        config = ServiceConfig(
+            tenants=[
+                TenantConfig(
+                    name=name,
+                    profile_dir=str(profile_dir),
+                    checkpoint_every=500,
+                )
+                for name in names
+            ],
+            state_dir=str(Path(tmp) / "state"),
+            heartbeat_interval=0.05,
+            poll_interval=0.02,
+        )
+        service = Service(config)
+        service.start()
+        try:
+            ports = {
+                name: doc["tcp_port"]
+                for name, doc in service.status()["tenants"].items()
+            }
+            probes: Dict[str, List[Tuple[int, float]]] = {n: [] for n in names}
+            samples: Dict[str, List[Tuple[float, int]]] = {n: [] for n in names}
+            stop = threading.Event()
+            sampler = threading.Thread(
+                target=_sample_status, args=(service, samples, stop), daemon=True
+            )
+            feeders = [
+                threading.Thread(
+                    target=_feed_tenant,
+                    args=(ports[name], per_tenant, rate, probes[name]),
+                    daemon=True,
+                )
+                for name in names
+            ]
+            feed_start = time.monotonic()
+            sampler.start()
+            for thread in feeders:
+                thread.start()
+            for thread in feeders:
+                thread.join()
+            feed_seconds = time.monotonic() - feed_start
+
+            # Keep sampling through the drain so every probe resolves.
+            deadline = time.monotonic() + DRAIN_CEILING
+            drained = False
+            while time.monotonic() < deadline:
+                status = service.status()["tenants"]
+                if all(
+                    status[name]["worker"]["lines_seen"] >= per_tenant
+                    for name in names
+                ):
+                    drained = True
+                    break
+                time.sleep(0.05)
+            total_seconds = time.monotonic() - feed_start
+            stop.set()
+            sampler.join()
+        finally:
+            summary = service.stop(drain_timeout=DRAIN_CEILING)
+
+    latencies: List[float] = []
+    tenants_doc = {}
+    unattributed_total = 0
+    sustained = 0
+    for name in names:
+        result = summary[name]
+        report = result.get("report") or {}
+        shed = result["shed"]
+        journalled = result["journal_lines"]
+        backpressure = (
+            result["frontend_ledger"]
+            .get(CHANNEL_SERVICE, {})
+            .get("reasons", {})
+            .get("backpressure", 0)
+        )
+        lines_seen = report.get("lines_seen", 0)
+        events = report.get("events", 0)
+        attributed = report.get("dropped", 0)
+        unattributed = (
+            (per_tenant - result["received"])
+            + (result["received"] - journalled - shed)
+            + (shed - backpressure)
+            + max(0, (lines_seen - events) - attributed)
+        )
+        unattributed_total += unattributed
+        tenant_latencies = _latencies_ms(probes[name], samples[name])
+        latencies.extend(tenant_latencies)
+        if result["state"] == "stopped" and lines_seen == journalled:
+            sustained += 1
+        tenants_doc[name] = {
+            "sent": per_tenant,
+            "received": result["received"],
+            "journalled": journalled,
+            "shed": shed,
+            "consumed": lines_seen,
+            "events": events,
+            "attributed_drops": attributed,
+            "unattributed_loss": unattributed,
+            "restarts": result["restarts"],
+            "p99_latency_ms": round(_percentile(tenant_latencies, 0.99), 1),
+        }
+
+    total_sent = per_tenant * len(names)
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    return {
+        "quick": tenants < FULL_TENANTS or seconds < FULL_SECONDS,
+        "tenants": len(names),
+        "tenants_sustained": sustained,
+        "seconds": seconds,
+        "rate_per_tenant": rate,
+        "profile_seconds": round(profile_seconds, 2),
+        "total_sent": total_sent,
+        "feed_seconds": round(feed_seconds, 2),
+        "total_seconds": round(total_seconds, 2),
+        "drained": drained,
+        "sent_per_second": round(total_sent / feed_seconds, 1),
+        "consumed_per_second": round(total_sent / total_seconds, 1),
+        "latency_samples": len(latencies),
+        "p50_latency_ms": round(_percentile(latencies, 0.50), 1),
+        "p95_latency_ms": round(_percentile(latencies, 0.95), 1),
+        "p99_latency_ms": round(_percentile(latencies, 0.99), 1),
+        "unattributed_loss": unattributed_total,
+        "per_tenant": tenants_doc,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cores": cores,
+        },
+    }
+
+
+def render(result: dict) -> str:
+    host = result["host"]
+    worst = max(
+        result["per_tenant"].values(), key=lambda doc: doc["p99_latency_ms"]
+    )
+    lines = [
+        "bench_service — sustained multi-tenant ingestion on loopback TCP",
+        f"  load        {result['tenants']} tenants x "
+        f"{result['seconds']:g} s at {result['rate_per_tenant']:g} msg/s "
+        f"each ({result['total_sent']:,} messages)",
+        f"  throughput  {result['sent_per_second']:,.0f} msg/s offered, "
+        f"{result['consumed_per_second']:,.0f} msg/s consumed end-to-end "
+        f"(drained={result['drained']})",
+        f"  latency     p50 {result['p50_latency_ms']:.0f} ms, "
+        f"p95 {result['p95_latency_ms']:.0f} ms, "
+        f"p99 {result['p99_latency_ms']:.0f} ms "
+        f"({result['latency_samples']} probes; worst tenant p99 "
+        f"{worst['p99_latency_ms']:.0f} ms)",
+        f"  accounting  {result['tenants_sustained']}/{result['tenants']} "
+        f"tenants sustained, unattributed loss "
+        f"{result['unattributed_loss']} (sent = journalled + shed; "
+        "lines = events + typed drops)",
+        f"  host        {host['cores']} core(s), python {host['python']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke scale: {QUICK_TENANTS} tenants x {QUICK_SECONDS:g} s",
+    )
+    parser.add_argument("--tenants", type=int, default=None)
+    parser.add_argument("--seconds", type=float, default=None)
+    parser.add_argument(
+        "--rate", type=float, default=RATE_PER_TENANT,
+        help="paced messages per second per tenant",
+    )
+    args = parser.parse_args(argv)
+    tenants = args.tenants or (QUICK_TENANTS if args.quick else FULL_TENANTS)
+    seconds = args.seconds or (QUICK_SECONDS if args.quick else FULL_SECONDS)
+
+    result = run_bench(tenants, seconds, args.rate)
+    emit("bench_service", render(result))
+    (_ROOT / "BENCH_service.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    failed = False
+    if result["unattributed_loss"] != 0:
+        print("FAIL: unattributed message loss", file=sys.stderr)
+        failed = True
+    if not result["drained"]:
+        print("FAIL: backlog did not drain within the ceiling", file=sys.stderr)
+        failed = True
+    if result["tenants_sustained"] != result["tenants"]:
+        print("FAIL: a tenant did not sustain the run", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

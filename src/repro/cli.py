@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands — four mirror the paper's workflow, the rest scale and
+Eight subcommands — four mirror the paper's workflow, the rest scale and
 guard it:
 
 ``repro simulate``
@@ -36,8 +36,16 @@ guard it:
     Replay a seeded campaign under every fault injector
     (:mod:`repro.faults`) and assert the robustness invariants: no
     unhandled exception on damaged artifacts, every loss attributed in
-    the drop ledger, kill-at-any-boundary resume byte-identical.  See
-    ``docs/robustness.md``.
+    the drop ledger, kill-at-any-boundary resume byte-identical.
+    ``--only service-`` restricts the run to the live-service
+    scenarios.  See ``docs/robustness.md``.
+
+``repro serve``
+    Run the always-on multi-tenant ingestion service (:mod:`repro.service`):
+    live RFC 3164 syslog over UDP and TCP (RFC 6587 framing) into
+    supervised per-tenant stream engines with checkpoint-backed
+    failover, or query a running service with ``--status URL``.  See
+    ``docs/service.md``.
 
 Examples::
 
@@ -50,6 +58,9 @@ Examples::
     repro stream campaign/ --seed 7 --checkpoint engine.ckpt --resume
     repro lint src --format json
     repro chaos --quick
+    repro chaos --quick --only service-
+    repro serve --config service.json
+    repro serve --status http://127.0.0.1:8514
 """
 
 from __future__ import annotations
@@ -203,6 +214,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="small campaign (3 days, 4 kill points) for CI",
+    )
+    chaos.add_argument(
+        "--only",
+        metavar="PREFIX",
+        default=None,
+        help="run only scenarios whose name starts with PREFIX "
+        "(e.g. 'service-' for the live-service scenarios)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on multi-tenant ingestion service "
+        "(docs/service.md)",
+    )
+    serve.add_argument(
+        "--config",
+        metavar="CONFIG.json",
+        default=None,
+        help="service configuration document (tenants, ports, state dir)",
+    )
+    serve.add_argument(
+        "--status",
+        metavar="URL",
+        default=None,
+        help="query a running service's status endpoint and print a "
+        "per-tenant table instead of starting a service",
     )
     return parser
 
@@ -563,6 +600,61 @@ def _run_fleetgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        Service,
+        ServiceConfig,
+        fetch_status,
+        render_status,
+    )
+
+    if args.status is not None:
+        print(render_status(fetch_status(args.status)))
+        return 0
+    if args.config is None:
+        raise SystemExit("repro serve: either --config or --status required")
+    config_path = Path(args.config)
+    try:
+        document = json.loads(config_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bad --config {args.config}: {exc}") from None
+    try:
+        config = ServiceConfig.from_document(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"bad --config {args.config}: {exc}") from None
+
+    service = Service(config)
+    service.start()
+    for name, doc in sorted(service.status()["tenants"].items()):
+        print(
+            f"serve: tenant {name}: tcp={doc['tcp_port']} "
+            f"udp={doc['udp_port']}"
+        )
+    if service.status_port is not None:
+        print(
+            f"serve: status endpoint "
+            f"http://{config.host}:{service.status_port}/status"
+        )
+    print("serve: running — Ctrl-C to drain and stop")
+    try:
+        while True:
+            service.clock.sleep(1.0)
+    except KeyboardInterrupt:
+        print("serve: draining…")
+    finally:
+        summary = service.stop()
+    failed = [
+        name
+        for name, doc in summary.items()
+        if doc.get("state") == "failed"
+    ]
+    print(render_status(service.status()))
+    if failed:
+        print(f"serve: FAILED tenants: {', '.join(sorted(failed))}")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
@@ -600,7 +692,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         days = 3.0 if args.quick else args.days
         kill_samples = 4 if args.quick else args.kill_samples
-        return run_chaos(args.seed, days, kill_samples=kill_samples)
+        return run_chaos(
+            args.seed, days, kill_samples=kill_samples, only=args.only
+        )
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError("unreachable")
 
 

@@ -28,7 +28,10 @@ from repro.devtools.suppress import FileSuppressions, parse_suppressions
 #: Subpackages of ``repro`` whose output feeds the paper's tables; the
 #: determinism rules are scoped to these (plus any file outside the
 #: ``repro`` package, so fixtures and scripts are always checked).
-OUTPUT_PACKAGES = ("core", "stream", "simulation", "parallel", "fleet", "columnar")
+OUTPUT_PACKAGES = (
+    "core", "stream", "simulation", "parallel", "fleet", "columnar",
+    "service",
+)
 
 #: Layers that manipulate event time; the event-time rules are scoped here.
 EVENT_TIME_PACKAGES = ("intervals", "core", "stream")

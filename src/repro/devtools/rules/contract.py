@@ -37,7 +37,7 @@ from repro.devtools.flow.callgraph import CallGraph, get_callgraph
 #: stream sources, the batch pipeline, and the dataset loaders).
 CONTRACT_PACKAGES = (
     "core", "stream", "syslog", "isis", "simulation", "parallel",
-    "fleet", "columnar",
+    "fleet", "columnar", "service",
 )
 
 

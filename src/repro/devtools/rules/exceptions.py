@@ -28,7 +28,9 @@ from repro.devtools.base import (
 #: The packages whose except-handlers stand between raw artifacts and
 #: the paper's tables.  Files outside the ``repro`` package (fixtures)
 #: are always in scope, as for every rule.
-INGESTION_PACKAGES = ("core", "stream", "syslog", "isis", "fleet", "columnar")
+INGESTION_PACKAGES = (
+    "core", "stream", "syslog", "isis", "fleet", "columnar", "service",
+)
 
 #: Exception names whose catch is "broad": everything a damaged artifact
 #: can raise, and then some.

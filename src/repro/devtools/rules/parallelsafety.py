@@ -12,7 +12,8 @@ arguments/returns that actually pickle (W004, a structural walk via
 :mod:`repro.devtools.flow.picklewalk`).
 
 The worker set is computed interprocedurally: every
-``ProcessPoolExecutor``/``multiprocessing.Pool`` dispatch site in the
+``ProcessPoolExecutor``/``multiprocessing.Pool`` dispatch site and
+every ``multiprocessing.Process(target=...)`` construction in the
 project is found (receiver bindings through assignments and ``with``
 items, plus explicit ``# reprolint: dispatch`` annotations for sites
 the binding scan cannot see), the dispatched functions become roots,
@@ -70,6 +71,16 @@ DISPATCH_METHODS = frozenset(
     }
 )
 
+#: Constructors whose ``target=`` keyword runs in a worker process.
+PROCESS_FACTORIES = frozenset(
+    {
+        "multiprocessing.Process",
+        "multiprocessing.context.Process",
+        "multiprocessing.process.Process",
+        "multiprocessing.process.BaseProcess",
+    }
+)
+
 #: Marker comment naming a line as a dispatch site the receiver-binding
 #: scan cannot prove (wrapped pools, dynamically chosen executors).
 DISPATCH_MARKER = "reprolint: dispatch"
@@ -124,6 +135,19 @@ _HANDLE_FACTORIES = frozenset(
         "numpy.random.RandomState",
     }
 )
+
+
+def _process_target(
+    call: ast.Call, imports: ImportMap
+) -> Optional[ast.expr]:
+    """The ``target=`` expression of a ``multiprocessing.Process(...)``
+    construction, ``None`` when the call is not one (or has no target)."""
+    if call_name(call, imports) not in PROCESS_FACTORIES:
+        return None
+    for keyword in call.keywords:
+        if keyword.arg == "target":
+            return keyword.value
+    return None
 
 
 def _binding_kind(
@@ -221,16 +245,22 @@ class _SafetyAnalysis:
                 continue
             pools = self._pool_receivers(info.node, imports)
             for node in ast.walk(info.node):
-                if not (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
                     and node.func.attr in DISPATCH_METHODS
                     and node.args
                     and isinstance(node.func.value, ast.Name)
                     and node.func.value.id in pools
                 ):
+                    self._add_site(info.module, node, seen, info)
                     continue
-                self._add_site(info.module, node, seen, info)
+                target = _process_target(node, imports)
+                if target is not None:
+                    self._add_site(
+                        info.module, node, seen, info, worker=target
+                    )
         # Annotated sites: a `# reprolint: dispatch` marker makes every
         # method call on that line a dispatch site regardless of how
         # the pool object was obtained.
@@ -244,15 +274,24 @@ class _SafetyAnalysis:
             }
             if not marked:
                 continue
+            imports = self._imports.get(module.path)
             for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call) and node.lineno in marked
+                ):
+                    continue
                 if (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
+                    isinstance(node.func, ast.Attribute)
                     and node.func.attr in DISPATCH_METHODS
                     and node.args
-                    and node.lineno in marked
                 ):
                     self._add_site(module, node, seen, None)
+                elif imports is not None:
+                    target = _process_target(node, imports)
+                    if target is not None:
+                        self._add_site(
+                            module, node, seen, None, worker=target
+                        )
 
     def _pool_receivers(
         self, function: ast.AST, imports: ImportMap
@@ -284,12 +323,15 @@ class _SafetyAnalysis:
         call: ast.Call,
         seen: Set[Tuple[str, int, int]],
         enclosing: Optional[FunctionInfo],
+        worker: Optional[ast.expr] = None,
     ) -> None:
         key = (module.path, call.lineno, call.col_offset)
         if key in seen:
             return
         seen.add(key)
-        worker = self._worker_expression(call.args[0], module)
+        worker = self._worker_expression(
+            call.args[0] if worker is None else worker, module
+        )
         qualname: Optional[str] = None
         if isinstance(worker, ast.Lambda):
             self.findings["W002"].append(

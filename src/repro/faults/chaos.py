@@ -500,8 +500,13 @@ def run_chaos(
     kill_samples: int = 6,
     out: TextIO = sys.stdout,
     work_dir: Optional[Path] = None,
+    only: Optional[str] = None,
 ) -> int:
-    """Run every chaos scenario; returns a process exit code (0 = all ok)."""
+    """Run every chaos scenario; returns a process exit code (0 = all ok).
+
+    ``only`` restricts the run to scenarios whose name starts with the
+    given prefix (``only="service-"`` is CI's live-service smoke job).
+    """
     own_dir = work_dir is None
     root = (
         Path(tempfile.mkdtemp(prefix="repro-chaos-"))
@@ -509,14 +514,19 @@ def run_chaos(
         else Path(work_dir)
     )
     try:
-        return _run_scenarios(seed, days, kill_samples, root, out)
+        return _run_scenarios(seed, days, kill_samples, root, out, only)
     finally:
         if own_dir:
             shutil.rmtree(root, ignore_errors=True)
 
 
 def _run_scenarios(
-    seed: int, days: float, kill_samples: int, root: Path, out: TextIO
+    seed: int,
+    days: float,
+    kill_samples: int,
+    root: Path,
+    out: TextIO,
+    only: Optional[str] = None,
 ) -> int:
     print(
         f"chaos: seed={seed} days={days:g} — simulating pristine campaign",
@@ -555,6 +565,19 @@ def _run_scenarios(
         ("checkpoint-corrupt", _scenario_checkpoint_corrupt),
         ("kill-resume", _scenario_kill_resume),
     ]
+    # The live-service scenarios spawn real sockets and worker processes;
+    # the import is deferred so batch-only chaos runs never pay for it
+    # (and so repro.faults keeps no hard dependency on repro.service).
+    from repro.service.chaos import service_scenarios
+
+    scenarios.extend(service_scenarios())
+    if only is not None:
+        scenarios = [
+            entry for entry in scenarios if entry[0].startswith(only)
+        ]
+        if not scenarios:
+            print(f"chaos: no scenario matches prefix {only!r}", file=out)
+            return 1
 
     outcomes: List[ScenarioOutcome] = []
     for name, scenario in scenarios:

@@ -30,6 +30,9 @@ from typing import Dict, List, Optional
 CHANNEL_SYSLOG = "syslog"
 CHANNEL_ISIS = "isis"
 CHANNEL_CHECKPOINT = "checkpoint"
+#: Transport/service-level losses (framing damage, backpressure shedding,
+#: late arrivals beyond the reorder bound) recorded by :mod:`repro.service`.
+CHANNEL_SERVICE = "service"
 
 #: Longest sample text stored per drop (keeps reports small even when a
 #: multi-megabyte binary blob lands in the log).

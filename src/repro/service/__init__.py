@@ -1,0 +1,72 @@
+"""The always-on multi-tenant ingestion service (``repro serve``).
+
+The paper's collector is not a batch job: routers stream RFC 3164
+syslog at a central box that must stay up through worker crashes, load
+floods, and damaged transport.  This package is that operational layer
+over the existing analysis — live UDP/TCP ingestion (RFC 6587 framing),
+per-tenant journals feeding supervised
+:class:`~repro.stream.engine.StreamEngine` workers, checkpoint-backed
+failover with byte-identical resume, and ledger-attributed graceful
+degradation.  See ``docs/service.md``.
+"""
+
+from repro.service.buffer import REASON_BACKPRESSURE, BoundedLineBuffer
+from repro.service.clock import Clock, FakeClock
+from repro.service.framing import (
+    FRAME_REASONS,
+    MAX_FRAME_BYTES,
+    FrameError,
+    TcpFrameDecoder,
+    decode_datagram,
+    encode_lf_delimited,
+    encode_octet_counted,
+)
+from repro.service.profile import (
+    TenantContext,
+    load_tenant_context,
+    validate_tenant_name,
+)
+from repro.service.status import fetch_status, render_status
+from repro.service.supervisor import (
+    Service,
+    ServiceConfig,
+    TenantConfig,
+    restart_backoff,
+)
+from repro.service.worker import (
+    DEFAULT_LATENESS,
+    REASON_LATE_ARRIVAL,
+    TenantPipeline,
+    replay_lines,
+    run_worker,
+    tenant_worker_main,
+)
+
+__all__ = [
+    "BoundedLineBuffer",
+    "Clock",
+    "DEFAULT_LATENESS",
+    "FRAME_REASONS",
+    "FakeClock",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "REASON_BACKPRESSURE",
+    "REASON_LATE_ARRIVAL",
+    "Service",
+    "ServiceConfig",
+    "TcpFrameDecoder",
+    "TenantConfig",
+    "TenantContext",
+    "TenantPipeline",
+    "decode_datagram",
+    "encode_lf_delimited",
+    "encode_octet_counted",
+    "fetch_status",
+    "load_tenant_context",
+    "render_status",
+    "replay_lines",
+    "restart_backoff",
+    "run_worker",
+    "tenant_worker_main",
+    "validate_tenant_name",
+]

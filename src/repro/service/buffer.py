@@ -1,0 +1,56 @@
+"""The bounded ingress buffer between the sockets and a tenant's journal.
+
+Received lines queue here until the journal pump writes them out.  Under
+normal load the buffer drains immediately; when a tenant's worker lags
+past its high-water mark the pump pauses journalling for that tenant and
+lines accumulate here instead — and once the buffer itself is full, the
+**oldest** queued lines are shed (§ graceful degradation).  Oldest-first
+is deliberate: under sustained overload the paper's collector loses the
+oldest unprocessed messages to its finite socket buffers, and shedding
+old lines keeps the tenant's view fresh rather than ever further behind.
+
+Shedding never happens silently: :meth:`BoundedLineBuffer.push` returns
+the lines it evicted so the caller records each one in the tenant's
+:class:`~repro.faults.ledger.IngestReport` with the typed
+``backpressure`` reason.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+#: Ledger reason for lines shed at the ingress buffer.
+REASON_BACKPRESSURE = "backpressure"
+
+
+class BoundedLineBuffer:
+    """A FIFO of received lines with a hard capacity and oldest-first shed."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least 1")
+        self.capacity = capacity
+        self._lines: Deque[str] = deque()
+        self.pushed = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def push(self, line: str) -> List[str]:
+        """Queue one line; returns the (oldest) lines shed to make room."""
+        self._lines.append(line)
+        self.pushed += 1
+        evicted: List[str] = []
+        while len(self._lines) > self.capacity:
+            evicted.append(self._lines.popleft())
+            self.shed += 1
+        return evicted
+
+    def drain(self, limit: int) -> List[str]:
+        """Pop up to ``limit`` oldest lines for journalling, in order."""
+        if limit < 0:
+            raise ValueError("drain limit must be non-negative")
+        count = min(limit, len(self._lines))
+        return [self._lines.popleft() for _ in range(count)]

@@ -1,0 +1,45 @@
+"""Wall-clock access for the always-on service, in one place.
+
+Everything under :mod:`repro.service` that needs real time — heartbeat
+ages, watchdog timeouts, backoff sleeps, bench latency stamps — goes
+through a :class:`Clock` so (a) deterministic tests can substitute a
+:class:`FakeClock` and drive timeouts without sleeping, and (b) the
+reprolint determinism rules (D001/D002) stay meaningful over the rest of
+the service: wall-clock reads are *liveness* inputs only, never inputs
+to analysis results, and confining them here makes that auditable.  The
+two suppressions below are the service's entire wall-clock surface.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic time plus sleep; the service's only liveness clock."""
+
+    def now(self) -> float:
+        """Seconds on a monotonic axis (not wall-calendar time)."""
+        return time.monotonic()  # reprolint: disable=D001 -- service liveness (heartbeat ages, timeouts); never feeds analysis results
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)  # reprolint: disable=D001 -- service pacing (watchdog poll, backoff); never feeds analysis results
+
+
+class FakeClock(Clock):
+    """A manually advanced clock for deterministic service tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks only move forward")
+        self._now += seconds

@@ -1,0 +1,254 @@
+"""RFC 3164 / RFC 6587 framing for live syslog transport.
+
+UDP needs no framing: one datagram is one message (RFC 3164 §2).  Over
+TCP, RFC 6587 defines the two framings in the wild:
+
+* **octet counting** (§3.4.1): ``MSG-LEN SP MSG`` — self-describing and
+  binary-safe, the framing reliable collectors prefer;
+* **non-transparent framing** (§3.4.2): messages separated by LF — what
+  legacy senders emit, vulnerable to torn writes.
+
+:class:`TcpFrameDecoder` accepts arbitrary byte chunks from a TCP stream
+(frames torn at any byte boundary reassemble; that is the stream
+contract, not an error) and yields complete message lines.  It
+auto-detects the framing per connection from the first byte, exactly as
+RFC 6587 §3.4 suggests receivers do.  Genuine damage — an unparseable
+length prefix, a frame beyond the size bound, a connection closed mid
+frame — never raises and is never silent: each failure yields a typed
+:class:`FrameError` the caller records in the drop ledger with reasons
+from :data:`FRAME_REASONS`.
+
+Everything here is pure (bytes in, records out) so the framing layer is
+testable and fuzzable without sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+#: Frame/line size bound (bytes).  RFC 5424 transports must support at
+#: least 2048 octets; we allow comfortably more, and anything beyond is
+#: shed as hostile or corrupt rather than buffered without bound.
+MAX_FRAME_BYTES = 16384
+
+#: Longest run of digits an octet-count prefix may carry (2**20 bytes
+#: needs 7 digits; more digits means a corrupt or hostile prefix).
+_MAX_COUNT_DIGITS = 7
+
+#: Drop-ledger reasons the decoder can attribute.
+REASON_BAD_FRAME = "bad-frame"
+REASON_OVERSIZE_FRAME = "oversize-frame"
+REASON_TORN_FRAME = "torn-frame"
+FRAME_REASONS = frozenset(
+    {REASON_BAD_FRAME, REASON_OVERSIZE_FRAME, REASON_TORN_FRAME}
+)
+
+
+@dataclass(frozen=True)
+class FrameError:
+    """One framing-level loss, attributable in the drop ledger.
+
+    ``reason`` is a :data:`FRAME_REASONS` member; ``sample`` is a clipped
+    piece of the offending bytes; ``discarded`` counts the bytes this
+    error consumed (so transport accounting still closes to the byte).
+    """
+
+    reason: str
+    sample: bytes
+    discarded: int
+
+
+#: What :meth:`TcpFrameDecoder.feed` yields: decoded message lines
+#: (``str``) interleaved with framing losses (:class:`FrameError`).
+FrameItem = Union[str, FrameError]
+
+
+def encode_octet_counted(line: str) -> bytes:
+    """Encode one message line as an RFC 6587 octet-counted frame."""
+    payload = line.encode("utf-8")
+    return f"{len(payload)} ".encode("ascii") + payload
+
+
+def encode_lf_delimited(line: str) -> bytes:
+    """Encode one message line in RFC 6587 non-transparent framing."""
+    if "\n" in line:
+        raise ValueError("LF-delimited frames cannot contain newlines")
+    return line.encode("utf-8") + b"\n"
+
+
+class TcpFrameDecoder:
+    """Incremental RFC 6587 frame reassembly over one TCP connection.
+
+    Feed it every received chunk in order; it yields complete message
+    lines and typed :class:`FrameError` records.  Call :meth:`close`
+    when the connection ends to flush (and attribute) a torn final
+    frame.  The decoder is deterministic in the byte stream alone —
+    chunk boundaries never change what it yields, which is what the
+    torn-frame chaos scenario asserts.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._mode: str = "detect"  # "detect" | "octet" | "lf"
+        self._closed = False
+        # One damaged run in flight: bytes are discarded as they arrive
+        # but the FrameError is emitted only once the run ends (at the
+        # resync LF, or at close).  Emitting eagerly would split one
+        # damaged run into a chunk-boundary-dependent number of errors,
+        # breaking the decoder's determinism contract.
+        self._skip_reason: str = ""
+        self._skip_sample = bytearray()
+        self._skip_count = 0
+
+    @property
+    def mode(self) -> str:
+        """The framing this connection locked onto (``detect`` until known)."""
+        return self._mode
+
+    def feed(self, data: bytes) -> List[FrameItem]:
+        """Consume one received chunk; returns completed items in order."""
+        if self._closed:
+            raise ValueError("decoder already closed")
+        self._buffer.extend(data)
+        items: List[FrameItem] = []
+        while True:
+            if self._skip_reason:
+                flushed = self._drain_skip()
+                if flushed is None:
+                    break  # the damaged run has no end in sight yet
+                items.append(flushed)
+                continue
+            if self._mode == "detect":
+                if not self._buffer:
+                    break
+                # RFC 6587 §3.4: a digit first byte means octet counting
+                # (a syslog line proper always starts with "<").
+                first = self._buffer[0:1]
+                self._mode = "octet" if first.isdigit() else "lf"
+            before = len(self._buffer)
+            if self._mode == "octet":
+                items.extend(self._drain_octet())
+            else:
+                items.extend(self._drain_lf())
+            if len(self._buffer) == before and not self._skip_reason:
+                break
+        return items
+
+    def close(self) -> List[FrameItem]:
+        """End of connection: attribute whatever is left as torn."""
+        if self._closed:
+            return []
+        self._closed = True
+        if self._skip_reason:
+            # The damaged run never found its resync LF; the connection
+            # end bounds it instead.
+            self._absorb_into_skip(len(self._buffer))
+            return [self._finish_skip()]
+        if not self._buffer:
+            return []
+        leftover = bytes(self._buffer)
+        self._buffer.clear()
+        return [
+            FrameError(
+                reason=REASON_TORN_FRAME,
+                sample=leftover[:64],
+                discarded=len(leftover),
+            )
+        ]
+
+    # ------------------------------------------------------------- skip
+    def _begin_skip(self, reason: str) -> None:
+        self._skip_reason = reason
+
+    def _absorb_into_skip(self, count: int) -> None:
+        taken = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        self._skip_sample.extend(taken[: max(0, 64 - len(self._skip_sample))])
+        self._skip_count += len(taken)
+
+    def _finish_skip(self) -> FrameError:
+        error = FrameError(
+            reason=self._skip_reason,
+            sample=bytes(self._skip_sample),
+            discarded=self._skip_count,
+        )
+        self._skip_reason = ""
+        self._skip_sample = bytearray()
+        self._skip_count = 0
+        return error
+
+    def _drain_skip(self) -> "FrameError | None":
+        """Discard buffered bytes up to the resync LF (the only other
+        frame boundary in the wild); emit once the run is bounded."""
+        cut = self._buffer.find(b"\n")
+        if cut < 0:
+            self._absorb_into_skip(len(self._buffer))
+            return None
+        self._absorb_into_skip(cut + 1)
+        return self._finish_skip()
+
+    # ------------------------------------------------------------ octet
+    def _drain_octet(self) -> List[FrameItem]:
+        items: List[FrameItem] = []
+        while True:
+            space = self._buffer.find(b" ", 0, _MAX_COUNT_DIGITS + 1)
+            if space < 0:
+                if len(self._buffer) > _MAX_COUNT_DIGITS:
+                    # No space within the longest legal prefix: the
+                    # stream lost octet sync.
+                    self._begin_skip(REASON_BAD_FRAME)
+                break  # else: an incomplete count prefix; wait for bytes
+            prefix = bytes(self._buffer[:space])
+            if not prefix.isdigit():
+                self._begin_skip(REASON_BAD_FRAME)
+                break
+            length = int(prefix)
+            if length > self.max_frame_bytes:
+                self._begin_skip(REASON_OVERSIZE_FRAME)
+                break
+            end = space + 1 + length
+            if len(self._buffer) < end:
+                break  # torn frame: wait for the rest
+            payload = bytes(self._buffer[space + 1 : end])
+            del self._buffer[:end]
+            items.append(payload.decode("utf-8", errors="replace"))
+        return items
+
+    # --------------------------------------------------------------- lf
+    def _drain_lf(self) -> List[FrameItem]:
+        items: List[FrameItem] = []
+        while True:
+            cut = self._buffer.find(b"\n")
+            if cut < 0:
+                if len(self._buffer) > self.max_frame_bytes:
+                    self._begin_skip(REASON_OVERSIZE_FRAME)
+                break
+            if cut > self.max_frame_bytes:
+                # The line is complete but over the bound; shedding must
+                # not depend on whether its LF had arrived by the time
+                # the length bound tripped, so both paths converge here.
+                self._begin_skip(REASON_OVERSIZE_FRAME)
+                break
+            raw = bytes(self._buffer[:cut])
+            del self._buffer[: cut + 1]
+            if raw.endswith(b"\r"):  # tolerate CRLF senders
+                raw = raw[:-1]
+            if not raw:
+                continue  # keepalive blank lines carry nothing
+            items.append(raw.decode("utf-8", errors="replace"))
+        return items
+
+
+def decode_datagram(data: bytes) -> str:
+    """One UDP datagram as a message line (RFC 3164: no framing at all).
+
+    Trailing newlines some senders append are stripped; undecodable
+    bytes survive as replacement characters so the line still reaches
+    the parser (and, if malformed, the parse ledger) rather than
+    vanishing at the transport.
+    """
+    return data.rstrip(b"\r\n").decode("utf-8", errors="replace")

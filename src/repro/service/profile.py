@@ -1,0 +1,103 @@
+"""Tenant profiles: what the always-on service knows about each tenant.
+
+A tenant is one network whose routers stream syslog at the service.  Its
+*profile* is a saved campaign directory (the ``repro simulate`` output
+format): the router config archive supplies the link inventory the
+analysis resolves reporters against, ``meta.json`` supplies the analysis
+horizon, and ``tickets.json``/listener outages supply the sanitisation
+context.  Live ingestion needs exactly that subset — no ground truth, no
+topology object, no LSP archive — so :func:`load_tenant_context` loads
+it directly instead of round-tripping through
+:meth:`repro.simulation.dataset.Dataset.load` (which requires the
+regenerated :class:`~repro.topology.model.Network`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.links import LinkResolver
+from repro.intervals import Interval, IntervalSet
+from repro.ticketing import TicketSystem, TroubleTicket
+from repro.topology.configmine import ConfigArchive, mine_configs
+
+#: Tenant names become directory names and URL path segments, so they
+#: are restricted to a filesystem- and URL-safe alphabet up front.
+_TENANT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_tenant_name(name: str) -> str:
+    """Return ``name`` if it is usable as a tenant identifier, else raise.
+
+    The name namespaces the tenant's state directory and checkpoint
+    files; anything that could traverse paths or collide after
+    normalisation is rejected here, once, rather than defended against
+    everywhere downstream.
+    """
+    if not _TENANT_NAME_RE.match(name):
+        raise ValueError(
+            f"tenant name {name!r} is not a safe identifier "
+            "(letters, digits, dot, dash, underscore; max 64 chars)"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class TenantContext:
+    """Everything a tenant's analysis engine needs besides the live feed."""
+
+    name: str
+    resolver: LinkResolver
+    analysis_start: float
+    horizon_end: float
+    listener_outages: IntervalSet
+    tickets: TicketSystem
+
+
+def load_tenant_context(name: str, profile_dir: "str | Path") -> TenantContext:
+    """Load a tenant's analysis context from its saved profile directory.
+
+    ``profile_dir`` is a saved campaign directory; only ``configs/``,
+    ``meta.json``, and ``tickets.json`` are read.  The inventory is
+    re-mined from the config archive exactly as every other load path
+    does, so the service resolves links identically to the batch and
+    stream analyses of the same campaign.
+    """
+    validate_tenant_name(name)
+    root = Path(profile_dir)
+
+    archive = ConfigArchive()
+    config_dir = root / "configs"
+    if not config_dir.is_dir():
+        raise FileNotFoundError(
+            f"tenant {name!r} profile {root} has no configs/ directory"
+        )
+    for path in sorted(config_dir.glob("*.cfg")):
+        archive.add(path.stem, path.read_text(encoding="utf-8"))
+    resolver = LinkResolver(mine_configs(archive))
+
+    meta = json.loads((root / "meta.json").read_text(encoding="utf-8"))
+    outages = IntervalSet(
+        Interval(start, end) for start, end in meta["listener_outages"]
+    )
+
+    tickets_path = root / "tickets.json"
+    if tickets_path.exists():
+        tickets = TicketSystem(
+            TroubleTicket(**raw)
+            for raw in json.loads(tickets_path.read_text(encoding="utf-8"))
+        )
+    else:
+        tickets = TicketSystem([])
+
+    return TenantContext(
+        name=name,
+        resolver=resolver,
+        analysis_start=meta["analysis_start"],
+        horizon_end=meta["horizon_end"],
+        listener_outages=outages,
+        tickets=tickets,
+    )

@@ -1,0 +1,95 @@
+"""The service's health surface: an HTTP status endpoint and its client.
+
+`GET /status` returns the supervisor's :meth:`Service.status` document
+as JSON — per-tenant lifecycle state, queue depth, worker lag, restart
+and shed counters, and the worker's own last heartbeat.  Everything is
+stdlib (:mod:`http.server` in a daemon thread); the endpoint serves
+monitoring dashboards, ``repro serve --status``, and the load bench.
+
+The server binds the supervisor's host; the document is assembled fresh
+per request from supervisor memory and heartbeat files, so it is always
+as current as the last watchdog tick.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+
+from repro.core.report import render_table
+
+
+def start_status_server(
+    service: "Service", host: str, port: int  # noqa: F821
+) -> Tuple[ThreadingHTTPServer, int]:
+    """Serve ``service.status()`` at ``/status``; returns (server, port)."""
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server's contract)
+            if self.path in ("/", "/status", "/status/"):
+                body = json.dumps(service.status()).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self.send_error(404)
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # health polls are not log-worthy
+
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-status", daemon=True
+    )
+    thread.start()
+    return server, server.server_address[1]
+
+
+def fetch_status(url: str, *, timeout: float = 5.0) -> Dict[str, Any]:
+    """Fetch and decode a status document from a running service."""
+    if not url.endswith("/status"):
+        url = url.rstrip("/") + "/status"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def render_status(document: Dict[str, Any]) -> str:
+    """One table row per tenant, for ``repro serve --status``."""
+    rows = []
+    for name, tenant in sorted(document.get("tenants", {}).items()):
+        worker = tenant.get("worker", {})
+        rows.append(
+            [
+                name,
+                tenant.get("state", "?"),
+                str(tenant.get("received", 0)),
+                str(tenant.get("queue_depth", 0)),
+                str(worker.get("events_consumed", 0)),
+                str(tenant.get("restarts", 0)),
+                str(tenant.get("shed", 0)),
+                str(
+                    int(tenant.get("frontend_dropped", 0))
+                    + int(worker.get("dropped", 0))
+                ),
+            ]
+        )
+    return render_table(
+        [
+            "Tenant",
+            "State",
+            "Received",
+            "Queue",
+            "Events",
+            "Restarts",
+            "Shed",
+            "Dropped",
+        ],
+        rows,
+        title="Service status",
+    )

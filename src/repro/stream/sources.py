@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 import struct
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -117,6 +118,91 @@ class ReorderBuffer:
         released = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
         self._released = max(self._released, self._max_time)
         return released
+
+    def pending(self) -> List[StreamEvent]:
+        """Everything still buffered, in release order, *without* mutating.
+
+        The always-on service uses this to build point-in-time snapshot
+        reports: a cloned engine is finished with the pending events
+        while the live buffer keeps holding them (they may yet be joined
+        by earlier-sorting peers inside the lateness bound).
+        """
+        return [entry[2] for entry in sorted(self._heap)]
+
+
+class LogTailer:
+    """Incremental line reader over a *growing* log file.
+
+    The always-on service journals every delivered syslog line to an
+    append-only file and the tenant worker tails it; :meth:`poll` returns
+    the lines completed since the last call.  The subtlety a naive tail
+    gets wrong: reading a file that is being appended to can observe a
+    **torn write** — the final line's bytes present but its newline not
+    yet flushed.  Parsing that fragment would ledger a spurious
+    ``malformed-line`` drop (and, one flush later, the same line would
+    parse fine — a phantom loss the accounting could never close).  The
+    tailer therefore buffers trailing bytes until their newline arrives:
+    only complete lines are ever released, and :attr:`offset` — the byte
+    position of everything released so far — advances only over complete
+    lines, so it is always a valid resume point.
+
+    ``close_partial()`` is the end-of-file counterpart: once the writer
+    is known to be finished (service shutdown, crashed collector), a
+    still-unterminated tail is genuinely torn and is returned for the
+    caller to attribute, exactly like a torn TCP frame.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", start_offset: int = 0) -> None:
+        if start_offset < 0:
+            raise ValueError("start_offset must be non-negative")
+        self.path = os.fspath(path)
+        self.offset = start_offset
+        self._partial = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes read but not yet released (the buffered partial line)."""
+        return len(self._partial)
+
+    def poll(self) -> List[str]:
+        """Read newly appended bytes; return newly *completed* lines.
+
+        A file that does not exist yet simply yields nothing — the
+        journal writer may not have created it on first poll.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset + len(self._partial))
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        if not data:
+            return []
+        self._partial.extend(data)
+        lines: List[str] = []
+        while True:
+            cut = self._partial.find(b"\n")
+            if cut < 0:
+                break
+            raw = bytes(self._partial[:cut])
+            del self._partial[: cut + 1]
+            self.offset += cut + 1
+            lines.append(raw.decode("utf-8", errors="replace"))
+        return lines
+
+    def close_partial(self) -> Optional[str]:
+        """Release a buffered unterminated tail (writer known finished).
+
+        Returns the torn fragment (for ledger attribution), or ``None``
+        when the file ended on a clean newline.  :attr:`offset` advances
+        past the fragment so the accounting still closes to the byte.
+        """
+        if not self._partial:
+            return None
+        fragment = bytes(self._partial).decode("utf-8", errors="replace")
+        self.offset += len(self._partial)
+        self._partial.clear()
+        return fragment
 
 
 def syslog_events(

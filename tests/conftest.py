@@ -39,3 +39,11 @@ def cenic_network():
 @pytest.fixture(scope="session")
 def small_resolver(small_dataset: Dataset) -> LinkResolver:
     return LinkResolver(small_dataset.inventory)
+
+
+@pytest.fixture(scope="session")
+def service_profile_dir(tmp_path_factory) -> str:
+    """A short saved campaign the service tests use as a tenant profile."""
+    directory = tmp_path_factory.mktemp("service-profile") / "campaign"
+    run_scenario(ScenarioConfig(seed=11, duration_days=3.0)).save(directory)
+    return str(directory)

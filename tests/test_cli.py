@@ -170,3 +170,94 @@ class TestJobsAuto:
 
         with pytest.raises(ValueError, match="jobs"):
             run_analysis(small_dataset, jobs=-1)
+
+
+class TestServe:
+    def test_requires_config_or_status(self):
+        with pytest.raises(SystemExit, match="--config or --status"):
+            main(["serve"])
+
+    def test_bad_config_path_fails_typed(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad --config"):
+            main(["serve", "--config", str(tmp_path / "absent.json")])
+
+    def test_bad_config_document_fails_typed(self, tmp_path):
+        path = tmp_path / "service.json"
+        path.write_text('{"tenants": [{"name": "../bad", "profile_dir": "x"}], "state_dir": "s"}')
+        with pytest.raises(SystemExit, match="bad --config"):
+            main(["serve", "--config", str(path)])
+
+    def test_status_query_renders_table(self, service_profile_dir, tmp_path, capsys):
+        from repro.service import Service, ServiceConfig, TenantConfig
+
+        config = ServiceConfig(
+            tenants=[TenantConfig(name="acme", profile_dir=service_profile_dir)],
+            state_dir=str(tmp_path / "state"),
+            status_port=0,
+        )
+        service = Service(config)
+        service.start()
+        try:
+            url = f"http://127.0.0.1:{service.status_port}/status"
+            assert main(["serve", "--status", url]) == 0
+            out = capsys.readouterr().out
+            assert "acme" in out and "Service status" in out
+        finally:
+            service.stop(drain_timeout=60.0)
+
+
+class TestChaosOnly:
+    def test_unknown_prefix_exits_nonzero(self, capsys, monkeypatch, tmp_path):
+        # The scenario list is filtered before any scenario runs; an
+        # unmatched prefix is an error, not a silent no-op "all ok".
+        from repro.faults import chaos as chaos_module
+
+        class _FakeChaos:
+            baseline_entries = 0
+            baseline_records = 0
+
+            def __init__(self, *args):
+                pass
+
+        monkeypatch.setattr(chaos_module, "_Chaos", _FakeChaos)
+        import io
+
+        code = chaos_module.run_chaos(
+            7, 1.0, only="no-such-scenario-", work_dir=tmp_path,
+            out=io.StringIO(),
+        )
+        assert code == 1
+
+    def test_prefix_selects_subset(self, monkeypatch, tmp_path, capsys):
+        from repro.faults import chaos as chaos_module
+        from repro.faults.chaos import ScenarioOutcome
+
+        class _FakeChaos:
+            baseline_entries = 0
+            baseline_records = 0
+
+            def __init__(self, *args):
+                pass
+
+        ran = []
+
+        def fake_scenario(name):
+            def run(chaos):
+                ran.append(name)
+                return ScenarioOutcome(name)
+
+            return run
+
+        monkeypatch.setattr(chaos_module, "_Chaos", _FakeChaos)
+        monkeypatch.setattr(
+            chaos_module,
+            "_scenario_clean_identity",
+            fake_scenario("clean-identity"),
+        )
+        import io
+
+        code = chaos_module.run_chaos(
+            7, 1.0, only="clean-", work_dir=tmp_path, out=io.StringIO()
+        )
+        assert code == 0
+        assert ran == ["clean-identity"]

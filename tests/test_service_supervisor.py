@@ -1,0 +1,276 @@
+"""The supervised service end to end (`repro.service.supervisor`).
+
+Real loopback sockets, real worker processes: lines sent over TCP (both
+RFC 6587 framings) and UDP must come out of `stop()` as per-tenant
+reports byte-identical to an in-process clean replay of the same lines,
+with multi-tenant isolation and a live status endpoint.  The restart
+policy (budget, deterministic backoff schedule, failure ledgering) is
+tested against a fake clock without sockets.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.faults.chaos import stream_signature
+from repro.faults.ledger import CHANNEL_SERVICE
+from repro.service.clock import FakeClock
+from repro.service.framing import encode_lf_delimited, encode_octet_counted
+from repro.service.profile import load_tenant_context
+from repro.service.status import fetch_status, render_status
+from repro.service.supervisor import (
+    STATE_BACKOFF,
+    STATE_FAILED,
+    Service,
+    ServiceConfig,
+    TenantConfig,
+    restart_backoff,
+)
+from repro.service.worker import replay_lines
+
+DRAIN_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def corpus(service_profile_dir):
+    from pathlib import Path
+
+    text = (Path(service_profile_dir) / "syslog.log").read_text("utf-8")
+    return [line for line in text.splitlines() if line.strip()]
+
+
+def _config(service_profile_dir, tmp_path, names, **overrides):
+    tenants = [
+        TenantConfig(name=name, profile_dir=service_profile_dir)
+        for name in names
+    ]
+    fields = {
+        "tenants": tenants,
+        "state_dir": str(tmp_path / "state"),
+        "heartbeat_interval": 0.05,
+        "poll_interval": 0.02,
+    }
+    fields.update(overrides)
+    return ServiceConfig(**fields)
+
+
+def _send_tcp(port, payload: bytes) -> None:
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        sock.sendall(payload)
+
+
+class TestEndToEnd:
+    def test_two_tenants_are_isolated_and_identical(
+        self, tmp_path, service_profile_dir, corpus
+    ):
+        config = _config(
+            service_profile_dir, tmp_path, ["alpha", "beta"], status_port=0
+        )
+        service = Service(config)
+        service.start()
+        try:
+            status = service.status()["tenants"]
+            feeds = {"alpha": corpus, "beta": corpus[: len(corpus) // 3]}
+            # alpha over octet-counted TCP, beta over LF-delimited TCP
+            # with its last ten lines as UDP datagrams.
+            _send_tcp(
+                status["alpha"]["tcp_port"],
+                b"".join(encode_octet_counted(l) for l in feeds["alpha"]),
+            )
+            tcp_part, udp_part = feeds["beta"][:-10], feeds["beta"][-10:]
+            _send_tcp(
+                status["beta"]["tcp_port"],
+                b"".join(encode_lf_delimited(l) for l in tcp_part),
+            )
+            # The TCP stream must reach the journal before the UDP tail:
+            # the comparator replays the feed in order, and datagrams
+            # overtaking the stream would reorder the journal.
+            deadline = time.monotonic() + DRAIN_TIMEOUT
+            while time.monotonic() < deadline:
+                beta = service.status()["tenants"]["beta"]
+                if beta["journal_lines"] >= len(tcp_part):
+                    break
+                time.sleep(0.05)
+            udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            for line in udp_part:
+                udp.sendto(
+                    line.encode("utf-8"),
+                    ("127.0.0.1", status["beta"]["udp_port"]),
+                )
+            udp.close()
+            deadline = time.monotonic() + DRAIN_TIMEOUT
+            while time.monotonic() < deadline:
+                tenants = service.status()["tenants"]
+                if all(
+                    tenants[name]["received"] >= len(feeds[name])
+                    for name in feeds
+                ):
+                    break
+                time.sleep(0.05)
+        finally:
+            summary = service.stop(drain_timeout=DRAIN_TIMEOUT)
+
+        for name, feed in feeds.items():
+            doc = summary[name]
+            assert doc["state"] == "stopped"
+            assert doc["received"] == len(feed)
+            assert doc["journal_lines"] == len(feed)
+            assert doc["shed"] == 0 and doc["frontend_dropped"] == 0
+            context = load_tenant_context(name, service_profile_dir)
+            clean, report = replay_lines(context, feed)
+            assert report.dropped() == 0
+            assert doc["report"]["signature"] == stream_signature(clean)
+            assert doc["report"]["dropped"] == 0
+        # Isolation: the two reports cover different feeds.
+        assert (
+            summary["alpha"]["report"]["signature"]
+            != summary["beta"]["report"]["signature"]
+        )
+
+    def test_status_endpoint_serves_document(
+        self, tmp_path, service_profile_dir, corpus
+    ):
+        config = _config(
+            service_profile_dir, tmp_path, ["tenant0"], status_port=0
+        )
+        service = Service(config)
+        service.start()
+        try:
+            url = f"http://127.0.0.1:{service.status_port}/status"
+            document = fetch_status(url)
+            assert set(document["tenants"]) == {"tenant0"}
+            tenant = document["tenants"]["tenant0"]
+            assert tenant["state"] == "running"
+            assert tenant["tcp_port"] > 0 and tenant["udp_port"] > 0
+            table = render_status(document)
+            assert "tenant0" in table and "running" in table
+        finally:
+            service.stop(drain_timeout=DRAIN_TIMEOUT)
+
+    def test_journal_survives_service_restart(
+        self, tmp_path, service_profile_dir, corpus
+    ):
+        # First service life journals half the corpus; the second life
+        # receives the rest.  The final report must cover the union —
+        # the journal and checkpoint are durable across service runs.
+        half = len(corpus) // 2
+        config = _config(service_profile_dir, tmp_path, ["tenant0"])
+        first = Service(config)
+        first.start()
+        try:
+            port = first.status()["tenants"]["tenant0"]["tcp_port"]
+            _send_tcp(
+                port,
+                b"".join(encode_lf_delimited(l) for l in corpus[:half]),
+            )
+            deadline = time.monotonic() + DRAIN_TIMEOUT
+            while time.monotonic() < deadline:
+                if (
+                    first.status()["tenants"]["tenant0"]["received"] >= half
+                ):
+                    break
+                time.sleep(0.05)
+        finally:
+            first.stop(drain_timeout=DRAIN_TIMEOUT)
+
+        second = Service(_config(service_profile_dir, tmp_path, ["tenant0"]))
+        second.start()
+        try:
+            port = second.status()["tenants"]["tenant0"]["tcp_port"]
+            _send_tcp(
+                port,
+                b"".join(encode_lf_delimited(l) for l in corpus[half:]),
+            )
+            deadline = time.monotonic() + DRAIN_TIMEOUT
+            while time.monotonic() < deadline:
+                tenant = second.status()["tenants"]["tenant0"]
+                if tenant["received"] >= len(corpus) - half:
+                    break
+                time.sleep(0.05)
+        finally:
+            summary = second.stop(drain_timeout=DRAIN_TIMEOUT)
+
+        doc = summary["tenant0"]
+        assert doc["journal_lines"] == len(corpus)
+        context = load_tenant_context("tenant0", service_profile_dir)
+        clean, _ = replay_lines(context, corpus)
+        assert doc["report"]["signature"] == stream_signature(clean)
+
+
+class TestRestartPolicy:
+    def _service(self, tmp_path, service_profile_dir, **overrides):
+        clock = FakeClock()
+        config = _config(
+            service_profile_dir,
+            tmp_path,
+            ["tenant0"],
+            restart_budget=2,
+            backoff_base=0.5,
+            backoff_cap=4.0,
+            **overrides,
+        )
+        return Service(config, clock=clock), clock
+
+    def test_backoff_schedule_is_deterministic(
+        self, tmp_path, service_profile_dir
+    ):
+        service, clock = self._service(tmp_path, service_profile_dir)
+        runtime = service.tenants["tenant0"]
+        service._schedule_restart(runtime, "exited 13")
+        assert runtime.state == STATE_BACKOFF
+        expected = clock.now() + restart_backoff(
+            service.config.seed, "tenant0", 1, base=0.5, cap=4.0
+        )
+        assert runtime.next_restart == expected
+
+    def test_budget_exhaustion_fails_tenant_with_ledger_entry(
+        self, tmp_path, service_profile_dir
+    ):
+        service, _clock = self._service(tmp_path, service_profile_dir)
+        runtime = service.tenants["tenant0"]
+        for _ in range(service.config.restart_budget):
+            service._schedule_restart(runtime, "exited 13")
+            assert runtime.state == STATE_BACKOFF
+        service._schedule_restart(runtime, "exited 13")
+        assert runtime.state == STATE_FAILED
+        reasons = runtime.ledger.reasons(CHANNEL_SERVICE)
+        assert reasons["restart-budget-exhausted"] == 1
+
+
+class TestServiceConfig:
+    def test_from_document_round_trip(self, service_profile_dir, tmp_path):
+        document = {
+            "state_dir": str(tmp_path / "state"),
+            "seed": 99,
+            "restart_budget": 5,
+            "tenants": [
+                {"name": "acme", "profile_dir": service_profile_dir},
+                {
+                    "name": "zeus",
+                    "profile_dir": service_profile_dir,
+                    "tcp_port": 0,
+                    "high_water": 100,
+                },
+            ],
+        }
+        config = ServiceConfig.from_document(document)
+        assert [t.name for t in config.tenants] == ["acme", "zeus"]
+        assert config.seed == 99 and config.restart_budget == 5
+        assert config.tenants[1].high_water == 100
+
+    def test_duplicate_tenant_names_rejected(self, service_profile_dir, tmp_path):
+        with pytest.raises(ValueError):
+            _config(service_profile_dir, tmp_path, ["same", "same"])
+
+    def test_unsafe_tenant_name_rejected(self, service_profile_dir):
+        with pytest.raises(ValueError):
+            TenantConfig(name="../escape", profile_dir=service_profile_dir)
+
+    def test_degradation_knobs_validated(self, service_profile_dir):
+        with pytest.raises(ValueError):
+            TenantConfig(
+                name="ok", profile_dir=service_profile_dir, high_water=0
+            )

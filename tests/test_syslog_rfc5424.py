@@ -1,0 +1,179 @@
+"""RFC 5424 version-1 fallback parsing (`repro.syslog.message`).
+
+The live service can face mixed-dialect feeds: RFC 3164 from routers,
+RFC 5424 from modern relays.  The lenient single-line primitive
+`try_parse_syslog_line` tries 3164 first and falls back to 5424 only
+for lines with the version-1 shape; these tests pin the round-trip, the
+fallback gating, the typed failure reasons, and (via Hypothesis) that
+no input ever escapes as an exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.syslog.message import (
+    Facility,
+    Severity,
+    SyslogMessage,
+    SyslogParseError,
+    parse_rfc5424_line,
+    parse_syslog_line,
+    render_rfc5424,
+    try_parse_syslog_line,
+)
+
+EXAMPLE = "<165>1 2010-10-20T00:00:12.500Z lax-core-01 app - - - hello"
+
+
+class TestParseRfc5424:
+    def test_example_line(self):
+        message = parse_rfc5424_line(EXAMPLE)
+        assert message.timestamp == 12.5
+        assert message.hostname == "lax-core-01"
+        assert message.body == "hello"
+        assert message.facility == Facility.LOCAL4
+        assert message.severity == Severity.NOTICE
+
+    def test_structured_data_is_skipped(self):
+        line = (
+            '<189>1 2010-10-20T01:00:00Z host app - - [ex@1 k="v"] body text'
+        )
+        assert parse_rfc5424_line(line).body == "body text"
+
+    def test_escaped_bracket_inside_element(self):
+        line = (
+            '<189>1 2010-10-20T01:00:00Z host app - - [ex@1 k="a\\]b"] body'
+        )
+        assert parse_rfc5424_line(line).body == "body"
+
+    def test_multiple_elements(self):
+        line = (
+            "<189>1 2010-10-20T01:00:00Z host app - - "
+            '[a@1 x="1"][b@2 y="2"] body'
+        )
+        assert parse_rfc5424_line(line).body == "body"
+
+    def test_nil_message(self):
+        line = "<189>1 2010-10-20T01:00:00Z host app - - -"
+        assert parse_rfc5424_line(line).body == ""
+
+    def test_utc_offset_is_applied(self):
+        # 02:00+02:00 is midnight UTC — the study epoch itself.
+        plus = "<189>1 2010-10-20T02:00:00+02:00 host app - - - x"
+        assert parse_rfc5424_line(plus).timestamp == 0.0
+
+    def test_lowercase_t_and_z_accepted(self):
+        line = "<189>1 2010-10-20t00:00:01z host app - - - x"
+        assert parse_rfc5424_line(line).timestamp == 1.0
+
+    @pytest.mark.parametrize(
+        "line,reason",
+        [
+            ("<200>1 2010-10-20T01:00:00Z host a - - - x", "pri-out-of-range"),
+            ("<189>1 - host app - - - x", "bad-timestamp"),
+            ("<189>1 2010-13-40T01:00:00Z host a - - - x", "bad-timestamp"),
+            ("<189>1 not-a-stamp host app - - - x", "bad-timestamp"),
+            # Predates the study epoch: unplaceable on the sim time axis.
+            (
+                "<189>1 2001-01-01T00:00:00Z host app - - - x",
+                "timestamp-out-of-range",
+            ),
+            ("<189>1 2010-10-20T01:00:00Z - app - - - x", "malformed-5424"),
+            # Unterminated structured-data element.
+            (
+                "<189>1 2010-10-20T01:00:00Z host app - - [open body",
+                "malformed-5424",
+            ),
+            # Garbage between MSGID and SD.
+            ("<189>1 2010-10-20T01:00:00Z host app - - junk", "malformed-5424"),
+        ],
+    )
+    def test_typed_failures(self, line, reason):
+        with pytest.raises(SyslogParseError) as exc:
+            parse_rfc5424_line(line)
+        assert exc.value.reason == reason
+
+
+class TestRoundTrip:
+    def test_render_parse_identity(self):
+        message = SyslogMessage(12.5, "lax-core-01", "hello world")
+        assert parse_rfc5424_line(render_rfc5424(message)) == message
+
+    def test_empty_body_round_trips(self):
+        message = SyslogMessage(3600.0, "host-1", "")
+        assert parse_rfc5424_line(render_rfc5424(message)) == message
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        milliseconds=st.integers(min_value=0, max_value=90 * 86400 * 1000),
+        hostname=st.from_regex(r"[A-Za-z0-9][A-Za-z0-9.-]{0,30}", fullmatch=True),
+        body=st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Cs", "Cc"), blacklist_characters="\n"
+            ),
+            max_size=80,
+        ),
+        pri=st.integers(min_value=0, max_value=191),
+    )
+    def test_fuzz_round_trip(self, milliseconds, hostname, body, pri):
+        facility, severity = divmod(pri, 8)
+        message = SyslogMessage(
+            timestamp=milliseconds / 1000.0,
+            hostname=hostname,
+            body=body.strip(),
+            facility=Facility(facility),
+            severity=Severity(severity),
+        )
+        parsed = parse_rfc5424_line(render_rfc5424(message))
+        assert parsed.hostname == message.hostname
+        assert parsed.body == message.body
+        assert parsed.priority == message.priority
+        assert parsed.timestamp == pytest.approx(message.timestamp, abs=1e-6)
+
+
+class TestFallbackGating:
+    def test_3164_still_wins(self):
+        native = SyslogMessage(12.5, "lax-core-01", "hello").render()
+        message, reason = try_parse_syslog_line(native)
+        assert reason is None
+        assert message == parse_syslog_line(native)
+
+    def test_5424_shape_falls_back(self):
+        message, reason = try_parse_syslog_line(EXAMPLE)
+        assert reason is None
+        assert message is not None and message.timestamp == 12.5
+
+    def test_strict_3164_rejects_5424(self):
+        with pytest.raises(SyslogParseError):
+            parse_syslog_line(EXAMPLE)
+
+    def test_non_5424_shape_keeps_3164_reason(self):
+        # No "<PRI>1 " hint: the 3164 verdict must survive untouched.
+        message, reason = try_parse_syslog_line("total garbage")
+        assert message is None and reason == "malformed-line"
+
+    def test_bad_5424_reports_5424_reason(self):
+        message, reason = try_parse_syslog_line("<189>1 - host app - - - x")
+        assert message is None and reason == "bad-timestamp"
+
+    @settings(max_examples=200, deadline=None)
+    @given(line=st.text(max_size=120))
+    def test_fuzz_never_raises(self, line):
+        message, reason = try_parse_syslog_line(line)
+        assert (message is None) != (reason is None)
+
+    @settings(max_examples=200, deadline=None)
+    @given(suffix=st.text(max_size=100))
+    def test_fuzz_5424_shaped_never_raises(self, suffix):
+        message, reason = try_parse_syslog_line(f"<189>1 {suffix}")
+        assert (message is None) != (reason is None)
+        if reason is not None:
+            assert reason in {
+                "malformed-5424",
+                "bad-timestamp",
+                "timestamp-out-of-range",
+                "pri-out-of-range",
+            }
