@@ -27,6 +27,28 @@ SOURCE_ISIS_IS = "isis-is"
 SOURCE_ISIS_IP = "isis-ip"
 
 
+# --------------------------------------------------------- canonical order
+# The three canonical sort keys every execution mode must order by.  All
+# five engines (batch, stream, parallel, columnar, service) sort the same
+# streams with the same keys — drifting tie-breakers are exactly how
+# jobs=N or a resumed stream would silently diverge from the reference
+# run, so the keys live here once and `engine-spec.json` pins them.
+def message_sort_key(message: "LinkMessage") -> Tuple[float, str, str]:
+    """``(time, link, reporter)`` — the message-stream order."""
+    return (message.time, message.link, message.reporter)
+
+
+def transition_sort_key(transition: "Transition") -> Tuple[float, str]:
+    """``(time, link)`` — the transition-stream order."""
+    return (transition.time, transition.link)
+
+
+def failure_sort_key(event: "FailureEvent") -> Tuple[float, str]:
+    """``(start, link)`` — failure and flap-episode order (duck-typed:
+    :class:`~repro.core.flapping.FlapEpisode` carries the same fields)."""
+    return (event.start, event.link)
+
+
 @dataclass(frozen=True)
 class LinkMessage:
     """One single-reporter record attributed to a canonical link.

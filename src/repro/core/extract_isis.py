@@ -29,6 +29,7 @@ from repro.core.events import (
     FailureEvent,
     LinkMessage,
     Transition,
+    message_sort_key,
 )
 from repro.core.links import LinkResolver
 from repro.core.reconstruct import (
@@ -206,8 +207,8 @@ def extract_isis_from_changes(
         result.unresolved_count,
     ) = classify_changes(changes, resolver)
 
-    result.is_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
-    result.ip_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
+    result.is_messages.sort(key=message_sort_key)
+    result.ip_messages.sort(key=message_sort_key)
 
     result.is_transitions = merge_messages(
         result.is_messages, config.merge_window, SOURCE_ISIS_IS

@@ -22,7 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.events import SOURCE_SYSLOG, FailureEvent, LinkMessage, Transition
+from repro.core.events import (
+    SOURCE_SYSLOG,
+    FailureEvent,
+    LinkMessage,
+    Transition,
+    message_sort_key,
+)
 from repro.core.links import LinkResolver
 from repro.core.reconstruct import (
     build_timelines,
@@ -173,8 +179,8 @@ def extract_syslog(
         result.unresolved_count,
     ) = classify_entries(entries, resolver)
 
-    result.isis_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
-    result.physical_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
+    result.isis_messages.sort(key=message_sort_key)
+    result.physical_messages.sort(key=message_sort_key)
 
     result.isis_transitions = merge_messages(
         result.isis_messages, config.merge_window, SOURCE_SYSLOG

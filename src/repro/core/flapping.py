@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.events import FailureEvent, Transition
+from repro.core.events import FailureEvent, Transition, failure_sort_key
 from repro.intervals import Interval, IntervalSet
 
 #: §4.1's threshold: failures closer than this form one flapping episode.
@@ -71,7 +71,7 @@ def detect_flap_episodes(
             run = [failure]
         if len(run) >= 2:
             episodes.append(FlapEpisode(link, run[0].start, run[-1].end, len(run)))
-    episodes.sort(key=lambda e: (e.start, e.link))
+    episodes.sort(key=failure_sort_key)
     return episodes
 
 

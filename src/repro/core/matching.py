@@ -24,7 +24,12 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.events import (
+    FailureEvent,
+    LinkMessage,
+    Transition,
+    failure_sort_key,
+)
 from repro.intervals.timeline import LinkStateTimeline
 
 
@@ -208,7 +213,7 @@ def match_failures(
     # O(n²) rescan that blows up on a single flapping link (§4.1).
     scan_floor: Dict[str, int] = {}
 
-    for failure in sorted(failures_a, key=lambda f: (f.start, f.link)):
+    for failure in sorted(failures_a, key=failure_sort_key):
         candidates = by_link_b.get(failure.link, [])
         used = consumed.get(failure.link, [])
         floor = scan_floor.get(failure.link, 0)
@@ -241,7 +246,7 @@ def match_failures(
         for i, candidate in enumerate(candidates):
             if not consumed[link][i]:
                 result.only_b.append(candidate)
-    result.only_b.sort(key=lambda f: (f.start, f.link))
+    result.only_b.sort(key=failure_sort_key)
 
     # Partial-overlap accounting for the unmatched remainder.  An overlap
     # index answers "does anything on this link overlap [start, end)?" in

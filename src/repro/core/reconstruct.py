@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.events import (
+    FailureEvent,
+    LinkMessage,
+    Transition,
+    failure_sort_key,
+    transition_sort_key,
+)
 from repro.intervals.timeline import (
     AmbiguityStrategy,
     LinkStateTimeline,
@@ -60,7 +66,7 @@ def merge_messages(
             run = [message]
         if run:
             transitions.append(_transition_from_run(run, source))
-    transitions.sort(key=lambda t: (t.time, t.link))
+    transitions.sort(key=transition_sort_key)
     return transitions
 
 
@@ -130,5 +136,5 @@ def failures_from_timelines(
                     end_transition=index.get((link, span.end, "up")),
                 )
             )
-    failures.sort(key=lambda f: (f.start, f.link))
+    failures.sort(key=failure_sort_key)
     return failures

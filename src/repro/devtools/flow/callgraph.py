@@ -17,7 +17,15 @@ Resolution is deliberately modest and sound-for-our-purposes:
   ``repro.pkg.module.ClassName.method`` spellings;
 * ``ClassName(...)`` — the class's ``__init__``;
 * ``obj.method`` where ``obj`` is a parameter annotated with a project
-  class or a local assigned from ``ClassName(...)``.
+  class or a local assigned from ``ClassName(...)``;
+* ``self.attr.method`` where ``attr`` is inferred from the class body:
+  ``self.attr: T`` annotations, ``self.attr = ClassName(...)`` and
+  ``self.attr = name`` assignments (``name`` locally typed);
+* subscripted receivers — ``self.mergers[key].feed(...)`` and
+  ``self.timelines[ch][link].feed(...)`` resolve through the container
+  annotation's element classes (``Dict[str, OnlineRunMerger]``), which
+  is what lets the spine pass follow the streaming engine's per-link
+  machine registries.
 
 Anything else (dynamic dispatch, callables in containers) produces no
 edge, which for the R-rules means no finding — a miss, never a false
@@ -29,12 +37,21 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, TypeGuard, Union
 
 from repro.devtools.base import ImportMap, Project, SourceModule, dotted_name
 from repro.devtools.flow.cfg import scope_parameters
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_self_attr(node: ast.expr) -> TypeGuard[ast.Attribute]:
+    """``self.attr`` / ``cls.attr`` as an assignment target."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    )
 
 
 def module_dotted_name(module: SourceModule) -> str:
@@ -94,6 +111,9 @@ class CallGraph:
         #: package facade resolves to a qualname the graph never defines
         #: and the edge is silently dropped.
         self.reexports: Dict[str, str] = {}
+        #: class name -> attribute name -> inferred project classes, from
+        #: ``self.attr`` annotations/assignments across the class body.
+        self._attr_types_cache: Dict[str, Dict[str, Set[str]]] = {}
         self._collect()
         self._connect()
 
@@ -161,11 +181,15 @@ class CallGraph:
                 if not isinstance(node, ast.Call):
                     continue
                 dotted = dotted_name(node.func)
-                if dotted is None:
-                    continue
-                for callee in self._resolve(
-                    dotted, info, imports, local_types
-                ):
+                if dotted is not None:
+                    callees = self._resolve(
+                        dotted, info, imports, local_types
+                    )
+                else:
+                    callees = self._resolve_subscripted(
+                        node.func, info, local_types
+                    )
+                for callee in callees:
                     edge = CallEdge(
                         caller=info.qualname, callee=callee, call=node
                     )
@@ -187,6 +211,17 @@ class CallGraph:
         if head in ("self", "cls") and info.class_name and len(parts) == 2:
             found = self._method(info.class_name, parts[1])
             return [found] if found else []
+
+        # ``self.attr.method`` — through the class's inferred attribute
+        # types (``self.matcher = OnlineMatcher(...)`` et al.).
+        if head in ("self", "cls") and info.class_name and len(parts) == 3:
+            targets = []
+            attr_types = self._attr_types(info.class_name)
+            for class_name in sorted(attr_types.get(parts[1], set())):
+                found = self._method(class_name, parts[2])
+                if found:
+                    targets.append(found)
+            return targets
 
         if head in local_types and len(parts) == 2:
             targets = []
@@ -273,33 +308,164 @@ class CallGraph:
     ) -> Dict[str, Set[str]]:
         """Names in ``info`` known to hold instances of project classes:
         annotated parameters and ``x = ClassName(...)`` locals."""
+        return self._scope_class_types(info.node, imports)
+
+    def _scope_class_types(
+        self, scope: FunctionNode, imports: ImportMap
+    ) -> Dict[str, Set[str]]:
+        """Per-scope name typing: annotated parameters, annotated locals,
+        and (multi-target) assignments from ``ClassName(...)``.  The
+        multi-target case matters for the streaming engine's
+        ``timeline = self.timelines[ch][link] = OnlineTimeline(...)``
+        idiom — every ``Name`` target receives the constructed type."""
         types: Dict[str, Set[str]] = {}
-        for parameter in scope_parameters(info.node):
+        for parameter in scope_parameters(scope):
             for class_name in self._annotation_classes(parameter.annotation):
                 types.setdefault(parameter.arg, set()).add(class_name)
-        for node in ast.walk(info.node):
-            target: Optional[ast.expr] = None
+        for node in ast.walk(scope):
+            targets: List[ast.expr] = []
             value: Optional[ast.expr] = None
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                target, value = node.targets[0], node.value
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
             elif isinstance(node, ast.AnnAssign):
-                target, value = node.target, node.value
-                if isinstance(target, ast.Name):
+                targets, value = [node.target], node.value
+                if isinstance(node.target, ast.Name):
                     for class_name in self._annotation_classes(
                         node.annotation
                     ):
-                        types.setdefault(target.id, set()).add(class_name)
-            if (
-                isinstance(target, ast.Name)
-                and isinstance(value, ast.Call)
-            ):
-                dotted = dotted_name(value.func)
-                if dotted is None:
-                    continue
-                bare = imports.resolve(dotted).split(".")[-1]
-                if self.project.find_class(bare) is not None:
+                        types.setdefault(node.target.id, set()).add(
+                            class_name
+                        )
+            name_targets = [t for t in targets if isinstance(t, ast.Name)]
+            if not name_targets or not isinstance(value, ast.Call):
+                continue
+            dotted = dotted_name(value.func)
+            if dotted is None:
+                continue
+            bare = imports.resolve(dotted).split(".")[-1]
+            if self.project.find_class(bare) is not None:
+                for target in name_targets:
                     types.setdefault(target.id, set()).add(bare)
         return types
+
+    def _attr_types(self, class_name: str) -> Dict[str, Set[str]]:
+        """Project classes each ``self.attr`` of ``class_name`` may hold,
+        inferred over the whole class body: ``self.attr: T`` annotations
+        (container annotations contribute their element classes),
+        ``self.attr = ClassName(...)`` constructions, and
+        ``self.attr = name`` where ``name`` is locally typed."""
+        cached = self._attr_types_cache.get(class_name)
+        if cached is not None:
+            return cached
+        types: Dict[str, Set[str]] = {}
+        # Pre-seed the cache so a self-referential attribute type cannot
+        # recurse through ``_scope_class_types``.
+        self._attr_types_cache[class_name] = types
+        entry = self.project.find_class(class_name)
+        if entry is None:
+            return types
+        module, class_def = entry
+        imports = self._imports.get(module.path)
+        if imports is None and module.tree is not None:
+            imports = ImportMap.from_tree(module.tree)
+        if imports is None:
+            return types
+        for member in class_def.body:
+            if not isinstance(
+                member, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            local = self._scope_class_types(member, imports)
+            for node in ast.walk(member):
+                if isinstance(node, ast.AnnAssign) and _is_self_attr(
+                    node.target
+                ):
+                    for cname in self._annotation_classes(node.annotation):
+                        types.setdefault(node.target.attr, set()).add(cname)
+                elif isinstance(node, ast.Assign):
+                    attrs = [
+                        target.attr
+                        for target in node.targets
+                        if _is_self_attr(target)
+                    ]
+                    if not attrs:
+                        continue
+                    for cname in self._value_classes(
+                        node.value, imports, local
+                    ):
+                        for attr in attrs:
+                            types.setdefault(attr, set()).add(cname)
+        return types
+
+    def _value_classes(
+        self,
+        value: Optional[ast.expr],
+        imports: ImportMap,
+        local: Dict[str, Set[str]],
+    ) -> Set[str]:
+        """Project classes a right-hand side may construct or forward."""
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is not None:
+                bare = imports.resolve(dotted).split(".")[-1]
+                if self.project.find_class(bare) is not None:
+                    return {bare}
+            return set()
+        if isinstance(value, ast.Name):
+            return set(local.get(value.id, set()))
+        return set()
+
+    def _resolve_subscripted(
+        self,
+        func: ast.expr,
+        info: FunctionInfo,
+        local_types: Dict[str, Set[str]],
+    ) -> List[str]:
+        """Calls whose receiver goes through subscripts —
+        ``self.mergers[key].feed(...)``,
+        ``self.timelines[ch][link].feed(...)`` — resolved by peeling the
+        subscripts and typing the base through the container annotation's
+        element classes."""
+        if not isinstance(func, ast.Attribute):
+            return []
+        base = func.value
+        peeled = False
+        while isinstance(base, ast.Subscript):
+            base = base.value
+            peeled = True
+        if not peeled:
+            return []
+        base_dotted = dotted_name(base)
+        if base_dotted is None:
+            return []
+        targets = []
+        for class_name in sorted(
+            self._receiver_classes(base_dotted, info, local_types)
+        ):
+            found = self._method(class_name, func.attr)
+            if found:
+                targets.append(found)
+        return targets
+
+    def _receiver_classes(
+        self,
+        base_dotted: str,
+        info: FunctionInfo,
+        local_types: Dict[str, Set[str]],
+    ) -> Set[str]:
+        """Project classes a receiver expression may evaluate to."""
+        parts = base_dotted.split(".")
+        if parts[0] in ("self", "cls") and info.class_name:
+            if len(parts) == 1:
+                return {info.class_name}
+            if len(parts) == 2:
+                return set(
+                    self._attr_types(info.class_name).get(parts[1], set())
+                )
+            return set()
+        if len(parts) == 1 and parts[0] in local_types:
+            return set(local_types[parts[0]])
+        return set()
 
     def _annotation_classes(
         self, annotation: Optional[ast.AST]

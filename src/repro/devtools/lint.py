@@ -31,6 +31,7 @@ import multiprocessing
 import os
 import subprocess
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -165,11 +166,15 @@ def split_rules(
 
 
 def check_module_local(
-    module: SourceModule, rule_ids: Sequence[str]
+    module: SourceModule,
+    rule_ids: Sequence[str],
+    timings: Optional[Dict[str, float]] = None,
 ) -> List[Finding]:
     """Raw per-module findings: the selected per-module rules plus the
     X001/S001 pseudo-rules.  Pure in *(module text, rule ids)* — this is
-    the unit the cache stores and the worker processes compute."""
+    the unit the cache stores and the worker processes compute.  When
+    ``timings`` is given, each rule's wall time is accumulated into it
+    (cache hits never get here, so they contribute zero by design)."""
     findings: List[Finding] = []
     if module.syntax_error is not None:
         findings.append(
@@ -189,7 +194,14 @@ def check_module_local(
     for rule_id in rule_ids:
         rule = REGISTRY[rule_id]  # reprolint: disable=W003 -- the registry is populated by imports in every process (parent and pool workers alike) and never mutated during a run
         if rule.applies_to(module):
-            findings.extend(rule.check(module, local_project))
+            if timings is None:
+                findings.extend(rule.check(module, local_project))
+            else:
+                started = time.perf_counter()
+                findings.extend(rule.check(module, local_project))
+                timings[rule_id] = timings.get(rule_id, 0.0) + (
+                    time.perf_counter() - started
+                )
     # Suppressions without a justification are findings themselves.
     for suppression in module.suppressions.missing_reasons():
         findings.append(
@@ -209,12 +221,16 @@ def check_module_local(
 
 
 def _lint_file_worker(
-    job: Tuple[str, str, Tuple[str, ...]]
-) -> Tuple[str, List[Dict[str, object]]]:
+    job: Tuple[str, str, Tuple[str, ...], bool]
+) -> Tuple[str, List[Dict[str, object]], Dict[str, float]]:
     """Pool worker: re-parse one file and run the per-module rules."""
-    path, text, rule_ids = job
+    path, text, rule_ids, stats = job
     module = SourceModule(path, text)
-    return path, [f.to_json() for f in check_module_local(module, rule_ids)]
+    timings: Dict[str, float] = {}
+    findings = check_module_local(
+        module, rule_ids, timings if stats else None
+    )
+    return path, [f.to_json() for f in findings], timings
 
 
 def _finding_from_json(entry: Dict[str, object]) -> Finding:
@@ -242,6 +258,7 @@ def lint_project(
     jobs: int = 1,
     cache: Optional[LintCache] = None,
     targets: Optional[Set[str]] = None,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[Finding], List[Finding]]:
     """Run the registry over a project.
 
@@ -249,7 +266,9 @@ def lint_project(
     parallelised across ``jobs`` processes with optional caching;
     project-wide rules always see the whole project.  Returns
     ``(active, suppressed)``: findings that count against the exit
-    status, and findings silenced by suppression comments.
+    status, and findings silenced by suppression comments.  When
+    ``stats`` is given, per-rule wall seconds are accumulated into it;
+    cache hits contribute zero (the work they saved never ran).
     """
     selected = (
         {rule_id: REGISTRY[rule_id] for rule_id in rule_ids}
@@ -288,14 +307,22 @@ def lint_project(
     fresh: Dict[str, List[Finding]] = {}
     if jobs > 1 and len(pending) > 1:
         with multiprocessing.Pool(processes=jobs) as pool:
-            for path, entries in pool.imap_unordered(  # reprolint: dispatch
+            for path, entries, timings in pool.imap_unordered(  # reprolint: dispatch
                 _lint_file_worker,
-                [(m.path, m.text, local_ids) for m in pending],
+                [
+                    (m.path, m.text, local_ids, stats is not None)
+                    for m in pending
+                ],
             ):
                 fresh[path] = [_finding_from_json(e) for e in entries]
+                if stats is not None:
+                    for rule_id, seconds in timings.items():
+                        stats[rule_id] = stats.get(rule_id, 0.0) + seconds
     else:
         for module in pending:
-            fresh[module.path] = check_module_local(module, local_ids)
+            fresh[module.path] = check_module_local(
+                module, local_ids, stats
+            )
     for module in pending:
         findings = fresh[module.path]
         raw.extend(findings)
@@ -306,9 +333,17 @@ def lint_project(
     for module in project.modules:
         if module.tree is None:
             continue
-        for rule in wide_rules.values():
-            if rule.applies_to(module):
+        for rule_id, rule in wide_rules.items():
+            if not rule.applies_to(module):
+                continue
+            if stats is None:
                 raw.extend(rule.check(module, project))
+            else:
+                started = time.perf_counter()
+                raw.extend(rule.check(module, project))
+                stats[rule_id] = stats.get(rule_id, 0.0) + (
+                    time.perf_counter() - started
+                )
 
     modules_by_path: Dict[str, SourceModule] = {
         module.path: module for module in project.modules
@@ -411,6 +446,21 @@ def render_json(
     )
 
 
+def render_stats(stats: Dict[str, float], total_seconds: float) -> str:
+    """Per-rule timing table, slowest first (``--stats``)."""
+    lines = ["rule timings (wall seconds, cache hits count as 0):"]
+    for rule_id, seconds in sorted(
+        stats.items(), key=lambda item: (-item[1], item[0])
+    ):
+        lines.append(f"  {rule_id:6s} {seconds:8.3f}s")
+    accounted = sum(stats.values())
+    lines.append(
+        f"  total  {total_seconds:8.3f}s "
+        f"({accounted:.3f}s in rule checks)"
+    )
+    return "\n".join(lines)
+
+
 def render_rules() -> str:
     lines = []
     for rule in REGISTRY.values():
@@ -482,6 +532,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="REF",
         help="lint only files differing from the git ref (default REF: "
         "HEAD); project-wide rules still see every file",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report per-rule wall time after the findings (cache hits "
+        "contribute 0; in json mode the table is a `stats` object)",
     )
     parser.add_argument(
         "--no-cache",
@@ -560,9 +616,17 @@ def run(args: argparse.Namespace) -> int:
     if jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    stats: Optional[Dict[str, float]] = {} if args.stats else None
+    lint_started = time.perf_counter()
     active, suppressed = lint_project(
-        project, rule_ids, jobs=jobs, cache=cache, targets=targets
+        project,
+        rule_ids,
+        jobs=jobs,
+        cache=cache,
+        targets=targets,
+        stats=stats,
     )
+    lint_seconds = time.perf_counter() - lint_started
 
     if args.update_baseline:
         if baseline_path is None:
@@ -584,9 +648,21 @@ def run(args: argparse.Namespace) -> int:
             return 2
         active, baselined = split_baselined(active, baseline)
 
-    renderer = render_json if args.format == "json" else render_human
     files_checked = len(targets) if targets is not None else len(files)
-    print(renderer(active, baselined, suppressed, files_checked))
+    if args.format == "json":
+        document = json.loads(
+            render_json(active, baselined, suppressed, files_checked)
+        )
+        if stats is not None:
+            document["stats"] = {
+                "total_seconds": lint_seconds,
+                "rules": {k: stats[k] for k in sorted(stats)},
+            }
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_human(active, baselined, suppressed, files_checked))
+        if stats is not None:
+            print(render_stats(stats, lint_seconds))
     return 1 if active else 0
 
 

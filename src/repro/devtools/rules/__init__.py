@@ -1,6 +1,7 @@
 """Rule modules; importing this package populates the registry."""
 
 from repro.devtools.rules import (  # noqa: F401
+    atomicity,
     codec,
     columnarrules,
     contract,
@@ -12,10 +13,11 @@ from repro.devtools.rules import (  # noqa: F401
     mergerules,
     mutability,
     parallelsafety,
+    spinerules,
     timeaxis,
 )
 
 #: Bump whenever rule semantics change in a way that invalidates cached
 #: per-file results (the on-disk lint cache keys on this + the rule ids
 #: + the file bytes).
-RULESET_VERSION = "2026.08-psafety1"
+RULESET_VERSION = "2026.08-spine1"

@@ -52,7 +52,7 @@ from repro.devtools.flow.dataflow import (
 )
 
 #: Packages whose generators emit timed events against a horizon.
-HORIZON_PACKAGES = ("fleet", "stream")
+HORIZON_PACKAGES = ("fleet", "stream", "service", "columnar")
 
 SAMPLED = frozenset({"sampled"})
 ANCHORED = frozenset({"anchored"})

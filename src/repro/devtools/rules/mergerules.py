@@ -39,7 +39,7 @@ from repro.devtools.rules.determinism import _body_is_order_sensitive
 from repro.devtools.rules.flowrules import module_constant_env
 
 #: Packages whose modules perform shard merges.
-MERGE_PACKAGES = ("parallel", "fleet", "faults")
+MERGE_PACKAGES = ("parallel", "fleet", "faults", "service", "columnar")
 
 #: Accumulator methods whose effect depends on call order.
 _ORDER_DEPENDENT_METHODS = frozenset(

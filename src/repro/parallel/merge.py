@@ -31,7 +31,12 @@ from __future__ import annotations
 import struct
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.core.events import FailureEvent, Transition
+from repro.core.events import (
+    FailureEvent,
+    Transition,
+    failure_sort_key,
+    transition_sort_key,
+)
 from repro.core.matching import FailureMatchResult, TransitionCoverage
 from repro.core.sanitize import SanitizationReport
 from repro.faults.ledger import CHANNEL_ISIS, CHANNEL_SYSLOG, IngestReport
@@ -233,7 +238,7 @@ def merge_transitions(
 ) -> List[Transition]:
     """Concatenate per-link transition lists into global transition order."""
     merged = [transition for items in per_link for transition in items]
-    merged.sort(key=lambda t: (t.time, t.link))
+    merged.sort(key=transition_sort_key)
     return merged
 
 
@@ -242,7 +247,7 @@ def merge_failures(
 ) -> List[FailureEvent]:
     """Concatenate per-link failure lists into global failure order."""
     merged = [failure for items in per_link for failure in items]
-    merged.sort(key=lambda f: (f.start, f.link))
+    merged.sort(key=failure_sort_key)
     return merged
 
 
@@ -298,7 +303,7 @@ def merge_coverage(
                     direction
                 ][bucket]
         merged.unmatched.extend(coverage.unmatched)
-    merged.unmatched.sort(key=lambda t: (t.time, t.link))
+    merged.unmatched.sort(key=transition_sort_key)
     return merged
 
 

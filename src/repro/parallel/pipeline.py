@@ -30,7 +30,7 @@ from __future__ import annotations
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.events import LinkMessage
+from repro.core.events import LinkMessage, failure_sort_key, message_sort_key
 from repro.core.extract_isis import IsisExtraction, classify_changes
 from repro.core.extract_syslog import SyslogExtraction, classify_entries
 from repro.core.flapping import flap_intervals
@@ -125,8 +125,8 @@ def _assemble_syslog(
         result.unparsed_count,
         result.unresolved_count,
     ) = entries_classified
-    result.isis_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
-    result.physical_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
+    result.isis_messages.sort(key=message_sort_key)
+    result.physical_messages.sort(key=message_sort_key)
     result.isis_transitions = merge_transitions(
         [r.syslog_isis_transitions for r in link_results]
     )
@@ -166,8 +166,8 @@ def _assemble_isis(
         result.multilink_skipped,
         result.unresolved_count,
     ) = changes_classified
-    result.is_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
-    result.ip_messages.sort(key=lambda m: (m.time, m.link, m.reporter))
+    result.is_messages.sort(key=message_sort_key)
+    result.ip_messages.sort(key=message_sort_key)
     result.is_transitions = merge_transitions(
         [r.isis_is_transitions for r in link_results]
     )
@@ -275,16 +275,16 @@ def run_parallel_analysis(
         # Phase 4: per-link fan.  Items carry each link's slice of the
         # globally sorted message streams.
         syslog_isis = sorted(
-            entries_classified[0], key=lambda m: (m.time, m.link, m.reporter)
+            entries_classified[0], key=message_sort_key
         )
         syslog_physical = sorted(
-            entries_classified[1], key=lambda m: (m.time, m.link, m.reporter)
+            entries_classified[1], key=message_sort_key
         )
         isis_is = sorted(
-            changes_classified[0], key=lambda m: (m.time, m.link, m.reporter)
+            changes_classified[0], key=message_sort_key
         )
         isis_ip = sorted(
-            changes_classified[1], key=lambda m: (m.time, m.link, m.reporter)
+            changes_classified[1], key=message_sort_key
         )
         items = _build_work_items(
             dataset, resolver, syslog_isis, syslog_physical, isis_is, isis_ip
@@ -327,7 +327,7 @@ def run_parallel_analysis(
     episodes = [
         episode for r in link_results for episode in r.flap_episodes
     ]
-    episodes.sort(key=lambda e: (e.start, e.link))
+    episodes.sort(key=failure_sort_key)
 
     return AnalysisResult(
         resolver=resolver,

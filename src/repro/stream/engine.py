@@ -36,6 +36,7 @@ from repro.core.events import (
     SOURCE_SYSLOG,
     FailureEvent,
     Transition,
+    failure_sort_key,
 )
 from repro.core.flapping import FlapEpisode
 from repro.core.matching import FailureMatchResult, TransitionCoverage
@@ -338,7 +339,7 @@ class StreamEngine:
         self.flaps.flush()
         self.finished = True
 
-        key = lambda f: (f.start, f.link)  # noqa: E731
+        key = failure_sort_key
         counters = dict(self.counters)
         counters["events"] = self.events_consumed
         for merger_key in MERGER_KEYS:

@@ -1,0 +1,32 @@
+"""Fixture: the atomicity tier (A501, A502, A503) must flag this file.
+
+Each function is one way the service layer's crash contract dies
+quietly: a temp-file write with an escape path that never renames, an
+in-place truncating write a reader can observe torn, and a ledger shed
+whose reason is computed at the call site.
+"""
+
+import json
+import os
+
+
+def save_state_leaky(path, document):
+    # A501: the early return exits without os.replace — that path
+    # publishes nothing and leaks the temp file.
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        if not document:
+            return
+    os.replace(temp_path, path)
+
+
+def overwrite_in_place(path, document):
+    # A502: truncating write outside the blessed atomic writers.
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def shed_with_computed_reason(report, line, error):
+    # A503: the reason vocabulary becomes unbounded.
+    report.record("service", f"late: {error}", sample=line)

@@ -34,6 +34,7 @@ EXPECTED_RULES = {
     "bad_merge_order.py": {"M101", "M102", "M103"},
     "bad_horizon_clip.py": {"H201", "H202", "H203"},
     "bad_columnar_barrier.py": {"B301", "B302"},
+    "bad_atomic.py": {"A501", "A502", "A503"},
 }
 
 
@@ -94,6 +95,67 @@ def test_json_report_matches_golden(capsys, monkeypatch):
         (FIXTURES / "golden_bad_contract.json").read_text(encoding="utf-8")
     )
     assert report == golden
+
+
+def test_json_report_matches_golden_for_atomicity(capsys, monkeypatch):
+    """Field-for-field golden for the atomicity tier (A501–A503):
+    schema or finding changes must update ``golden_bad_atomic.json``
+    deliberately."""
+    monkeypatch.chdir(REPO_ROOT)
+    _, report = lint_json(
+        capsys, "tests/fixtures/reprolint/bad_atomic.py", "--no-cache"
+    )
+    golden = json.loads(
+        (FIXTURES / "golden_bad_atomic.json").read_text(encoding="utf-8")
+    )
+    assert report == golden
+
+
+def test_spine_rules_run_clean_over_src_via_cli(capsys):
+    """The drift tier (S401–S404) through the real CLI: project-wide,
+    uncached, and quiet on the shipped tree."""
+    code, report = lint_json(
+        capsys,
+        str(REPO_ROOT / "src"),
+        "--select",
+        "S401,S402,S403,S404",
+        "--no-cache",
+    )
+    assert code == 0
+    assert report["findings"] == []
+    assert report["files_checked"] > 50
+
+
+def test_stats_reports_per_rule_timings(capsys):
+    code = main(
+        [
+            str(FIXTURES / "bad_wallclock.py"),
+            "--format",
+            "json",
+            "--no-baseline",
+            "--no-cache",
+            "--stats",
+        ]
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert code == 1
+    stats = report["stats"]
+    assert stats["total_seconds"] >= 0.0
+    assert "D001" in stats["rules"]
+    assert all(seconds >= 0.0 for seconds in stats["rules"].values())
+    # Human mode renders the same numbers as a table.
+    code = main(
+        [
+            str(FIXTURES / "bad_wallclock.py"),
+            "--no-baseline",
+            "--no-cache",
+            "--stats",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "rule timings" in out
+    assert "D001" in out
 
 
 def test_jobs_zero_is_usage_error(capsys):
@@ -279,6 +341,8 @@ def test_list_rules_catalogue(capsys):
         "M101", "M102", "M103",
         "H201", "H202", "H203",
         "B301", "B302",
+        "S401", "S402", "S403", "S404",
+        "A501", "A502", "A503",
     ):
         assert rule_id in out
 
