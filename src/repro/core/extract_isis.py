@@ -33,9 +33,8 @@ from repro.core.events import (
 )
 from repro.core.links import LinkResolver
 from repro.core.reconstruct import (
-    build_timelines,
-    failures_from_timelines,
     merge_messages,
+    reconstruct_channel,
 )
 from repro.intervals.timeline import AmbiguityStrategy, LinkStateTimeline
 from repro.isis.listener import IsisListener, ReachabilityChange, ReachabilityKind
@@ -216,15 +215,13 @@ def extract_isis_from_changes(
     result.ip_transitions = merge_messages(
         result.ip_messages, config.merge_window, SOURCE_ISIS_IP
     )
-    result.timelines = build_timelines(
+    result.timelines, result.failures = reconstruct_channel(
         result.is_transitions,
         horizon_start,
         horizon_end,
         strategy=config.strategy,
         links=[record.name for record in resolver.single_links()],
-    )
-    result.failures = failures_from_timelines(
-        result.timelines, result.is_transitions, SOURCE_ISIS_IS
+        source=SOURCE_ISIS_IS,
     )
     return result
 

@@ -31,9 +31,8 @@ from repro.core.events import (
 )
 from repro.core.links import LinkResolver
 from repro.core.reconstruct import (
-    build_timelines,
-    failures_from_timelines,
     merge_messages,
+    reconstruct_channel,
 )
 from repro.intervals.timeline import AmbiguityStrategy, LinkStateTimeline, StateAnomaly
 from repro.syslog.cisco import (
@@ -197,14 +196,12 @@ def extract_syslog(
     timeline_transitions = [
         t for t in result.isis_transitions if t.link in single
     ]
-    result.timelines = build_timelines(
+    result.timelines, result.failures = reconstruct_channel(
         timeline_transitions,
         horizon_start,
         horizon_end,
         strategy=config.strategy,
         links=sorted(single),
-    )
-    result.failures = failures_from_timelines(
-        result.timelines, timeline_transitions, SOURCE_SYSLOG
+        source=SOURCE_SYSLOG,
     )
     return result

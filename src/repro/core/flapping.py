@@ -1,48 +1,36 @@
-"""Flap detection: the ten-minute rule of §4.1.
+"""Batch driver for the canonical flap phase: the ten-minute rule of §4.1.
 
 "Two or more consecutive failures on the same link separated by less than
 10 minutes" form a flapping episode.  Flap periods matter because syslog's
 reliability collapses inside them: the paper finds most unmatched IS-IS
 transitions (67 % of DOWNs, 61 % of UPs) fall in flap periods, and less
 than half of syslog's own transitions are matched there.
+
+The rule itself lives in :class:`repro.engine.flaps.FlapDetector`,
+shared by every execution mode; this module re-exports
+:class:`~repro.engine.flaps.FlapEpisode` for compatibility and hosts the
+batch driver plus the flap-interval queries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.events import FailureEvent, Transition, failure_sort_key
+from repro.core.events import FailureEvent, Transition
+from repro.engine.flaps import FlapDetector, FlapEpisode
 from repro.intervals import Interval, IntervalSet
+
+__all__ = [
+    "DEFAULT_FLAP_GAP",
+    "FlapEpisode",
+    "detect_flap_episodes",
+    "flap_intervals",
+    "in_flap",
+    "transitions_in_flap",
+]
 
 #: §4.1's threshold: failures closer than this form one flapping episode.
 DEFAULT_FLAP_GAP = 600.0
-
-
-@dataclass(frozen=True)
-class FlapEpisode:
-    """A run of rapid consecutive failures on one link.
-
-    An episode may have zero duration: two or more zero-duration failures
-    at the same instant (a sanitised double-down/double-up burst) are
-    still a flap under the ten-minute rule.  Only ``end < start`` is an
-    error.
-    """
-
-    link: str
-    start: float
-    end: float
-    failure_count: int
-
-    def __post_init__(self) -> None:
-        if self.failure_count < 2:
-            raise ValueError("a flap episode needs at least two failures")
-        if self.end < self.start:
-            raise ValueError("flap episode end precedes its start")
-
-    @property
-    def span(self) -> Interval:
-        return Interval(self.start, self.end)
 
 
 def detect_flap_episodes(
@@ -50,40 +38,33 @@ def detect_flap_episodes(
     gap_threshold: float = DEFAULT_FLAP_GAP,
 ) -> List[FlapEpisode]:
     """Group failures into flap episodes per the ten-minute rule."""
-    if gap_threshold <= 0:
-        raise ValueError("gap threshold must be positive")
+    detector = FlapDetector(gap_threshold)
     by_link: Dict[str, List[FailureEvent]] = {}
     for failure in failures:
         by_link.setdefault(failure.link, []).append(failure)
-
-    episodes: List[FlapEpisode] = []
     for link in sorted(by_link):
-        ordered = sorted(by_link[link], key=lambda f: f.start)
-        run: List[FailureEvent] = []
-        for failure in ordered:
-            if run and failure.start - run[-1].end < gap_threshold:
-                run.append(failure)
-                continue
-            if len(run) >= 2:
-                episodes.append(
-                    FlapEpisode(link, run[0].start, run[-1].end, len(run))
-                )
-            run = [failure]
-        if len(run) >= 2:
-            episodes.append(FlapEpisode(link, run[0].start, run[-1].end, len(run)))
-    episodes.sort(key=failure_sort_key)
-    return episodes
+        for failure in sorted(by_link[link], key=lambda f: f.start):
+            detector.feed(failure)
+    detector.flush()
+    return detector.result()
 
 
 def flap_intervals(
     episodes: Sequence[FlapEpisode],
     guard: float = 0.0,
+    horizon_start: Optional[float] = None,
 ) -> Dict[str, IntervalSet]:
-    """Per-link interval sets covering flap episodes (± an optional guard)."""
+    """Per-link interval sets covering flap episodes (± an optional guard).
+
+    Guards are clipped at ``horizon_start`` when given — clamping at an
+    absolute 0.0 would silently widen guards to the epoch on datasets
+    whose time axis does not start at zero.
+    """
+    floor = 0.0 if horizon_start is None else horizon_start
     spans: Dict[str, List[Interval]] = {}
     for episode in episodes:
         spans.setdefault(episode.link, []).append(
-            Interval(max(0.0, episode.start - guard), episode.end + guard)
+            Interval(max(floor, episode.start - guard), episode.end + guard)
         )
     return {link: IntervalSet(items) for link, items in spans.items()}
 

@@ -16,21 +16,43 @@ Three queries cover the paper's tables:
   did zero, one, or both of the link's routers send a matching message;
 * :func:`match_failures` — Table 4's overlap and §4.3's false positives:
   greedy one-to-one failure matching plus partial-overlap accounting.
+
+The failure matcher and the Table 3 scorer are the canonical engine
+machines (:class:`repro.engine.matching.Matcher`,
+:class:`repro.engine.matching.CoverageScorer`); this module hosts their
+batch drivers, which feed to exhaustion with infinite frontiers.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.events import (
     FailureEvent,
     LinkMessage,
     Transition,
     failure_sort_key,
+    message_sort_key,
+)
+from repro.engine.matching import (
+    CoverageScorer,
+    FailureMatchResult,
+    Matcher,
+    TransitionCoverage,
 )
 from repro.intervals.timeline import LinkStateTimeline
+
+__all__ = [
+    "FailureMatchResult",
+    "MatchConfig",
+    "TransitionCoverage",
+    "count_matching_reporters",
+    "downtime_overlap_seconds",
+    "match_failures",
+    "transition_match_fraction",
+]
 
 
 @dataclass(frozen=True)
@@ -65,17 +87,6 @@ class _MessageIndex:
         index = bisect.bisect_left(times, time - window)
         return index < len(times) and times[index] <= time + window
 
-    def reporters_within(
-        self, link: str, direction: str, time: float, window: float
-    ) -> frozenset:
-        entries = self._reporters.get((link, direction), [])
-        index = bisect.bisect_left(entries, (time - window, ""))
-        found = set()
-        while index < len(entries) and entries[index][0] <= time + window:
-            found.add(entries[index][1])
-            index += 1
-        return frozenset(found)
-
 
 def transition_match_fraction(
     reference: Sequence[Transition],
@@ -102,85 +113,26 @@ def transition_match_fraction(
     }
 
 
-@dataclass
-class TransitionCoverage:
-    """Table 3: reference transitions by how many distinct routers matched."""
-
-    #: counts[direction][n] where n is 0 ("None"), 1 ("One"), 2 ("Both").
-    counts: Dict[str, Dict[int, int]] = field(
-        default_factory=lambda: {"down": {0: 0, 1: 0, 2: 0}, "up": {0: 0, 1: 0, 2: 0}}
-    )
-    #: The transitions that matched no message, for flap attribution (§4.1).
-    unmatched: List[Transition] = field(default_factory=list)
-
-    def total(self, direction: str) -> int:
-        return sum(self.counts[direction].values())
-
-    def fraction(self, direction: str, bucket: int) -> float:
-        total = self.total(direction)
-        return self.counts[direction][bucket] / total if total else 0.0
-
-
 def count_matching_reporters(
     reference: Sequence[Transition],
     messages: Sequence[LinkMessage],
     config: MatchConfig = MatchConfig(),
 ) -> TransitionCoverage:
     """For each reference transition, how many distinct routers reported it."""
-    index = _MessageIndex(messages)
-    coverage = TransitionCoverage()
+    scorer = CoverageScorer(config.window)
+    for message in sorted(messages, key=message_sort_key):
+        scorer.feed(message)
     for transition in reference:
-        reporters = index.reporters_within(
-            transition.link, transition.direction, transition.time, config.window
-        )
-        bucket = min(len(reporters), 2)
-        coverage.counts[transition.direction][bucket] += 1
-        if bucket == 0:
-            coverage.unmatched.append(transition)
+        scorer.feed(transition)
+    scorer.flush()
+    coverage = TransitionCoverage()
+    coverage.counts = {
+        direction: dict(buckets) for direction, buckets in scorer.counts.items()
+    }
+    # Unmatched transitions keep the reference input order (the batch
+    # contract); result() would impose the stream's (time, link) order.
+    coverage.unmatched = list(scorer.unmatched)
     return coverage
-
-
-class _OverlapIndex:
-    """O(log n) positive-measure overlap queries over one link's failures.
-
-    Failures are kept sorted by start alongside a running maximum of their
-    ends; ``[start, end)`` overlaps some failure exactly when, among the
-    failures starting before ``end``, the furthest-reaching one extends
-    past ``start``.
-    """
-
-    __slots__ = ("_starts", "_max_end")
-
-    def __init__(self, failures: Sequence[FailureEvent]) -> None:
-        ordered = sorted(failures, key=lambda f: f.start)
-        self._starts = [f.start for f in ordered]
-        self._max_end: List[float] = []
-        running = float("-inf")
-        for failure in ordered:
-            running = max(running, failure.end)
-            self._max_end.append(running)
-
-    def overlaps(self, start: float, end: float) -> bool:
-        """True when some indexed failure overlaps ``[start, end)``."""
-        before = bisect.bisect_left(self._starts, end)
-        return before > 0 and self._max_end[before - 1] > start
-
-
-@dataclass
-class FailureMatchResult:
-    """Greedy one-to-one failure matching between two channels."""
-
-    pairs: List[Tuple[FailureEvent, FailureEvent]] = field(default_factory=list)
-    only_a: List[FailureEvent] = field(default_factory=list)
-    only_b: List[FailureEvent] = field(default_factory=list)
-    #: Unmatched failures that nevertheless overlap something on the other
-    #: side — the paper's "partial" matches.
-    partial_a: List[FailureEvent] = field(default_factory=list)
-    partial_b: List[FailureEvent] = field(default_factory=list)
-
-    @property
-    def matched_count(self) -> int:
-        return len(self.pairs)
 
 
 def match_failures(
@@ -195,81 +147,13 @@ def match_failures(
     and end both fall within the window.  Unmatched failures that still
     intersect some failure on the other side are recorded as partial.
     """
-    result = FailureMatchResult()
-    by_link_b: Dict[str, List[FailureEvent]] = {}
-    for failure in failures_b:
-        by_link_b.setdefault(failure.link, []).append(failure)
-    for link in by_link_b:
-        by_link_b[link].sort(key=lambda f: f.start)
-
-    consumed: Dict[str, List[bool]] = {
-        link: [False] * len(items) for link, items in by_link_b.items()
-    }
-    # Per-link advancing lower bound over the scan: everything below it is
-    # either consumed or starts more than a window before the current
-    # ``a``-failure.  Since ``a``-failures are processed in ascending start
-    # order, neither kind can ever match again, so each candidate is passed
-    # over at most once — O(n + window occupancy) per link instead of the
-    # O(n²) rescan that blows up on a single flapping link (§4.1).
-    scan_floor: Dict[str, int] = {}
-
+    matcher = Matcher(config.window)
     for failure in sorted(failures_a, key=failure_sort_key):
-        candidates = by_link_b.get(failure.link, [])
-        used = consumed.get(failure.link, [])
-        floor = scan_floor.get(failure.link, 0)
-        while floor < len(candidates) and (
-            used[floor]
-            or candidates[floor].start < failure.start - config.window
-        ):
-            floor += 1
-        scan_floor[failure.link] = floor
-        match_index: Optional[int] = None
-        for i in range(floor, len(candidates)):
-            candidate = candidates[i]
-            if used[i]:
-                continue
-            if candidate.start > failure.start + config.window:
-                break
-            if (
-                abs(candidate.start - failure.start) <= config.window
-                and abs(candidate.end - failure.end) <= config.window
-            ):
-                match_index = i
-                break
-        if match_index is None:
-            result.only_a.append(failure)
-        else:
-            used[match_index] = True
-            result.pairs.append((failure, candidates[match_index]))
-
-    for link, candidates in sorted(by_link_b.items()):
-        for i, candidate in enumerate(candidates):
-            if not consumed[link][i]:
-                result.only_b.append(candidate)
-    result.only_b.sort(key=failure_sort_key)
-
-    # Partial-overlap accounting for the unmatched remainder.  An overlap
-    # index answers "does anything on this link overlap [start, end)?" in
-    # O(log n) — the linear scan it replaces is the other O(n²) blow-up on
-    # a flapping link.
-    a_by_link: Dict[str, List[FailureEvent]] = {}
-    for failure in failures_a:
-        a_by_link.setdefault(failure.link, []).append(failure)
-    b_overlap = {link: _OverlapIndex(items) for link, items in by_link_b.items()}
-    a_overlap = {link: _OverlapIndex(items) for link, items in a_by_link.items()}
-    result.partial_a = [
-        failure
-        for failure in result.only_a
-        if failure.link in b_overlap
-        and b_overlap[failure.link].overlaps(failure.start, failure.end)
-    ]
-    result.partial_b = [
-        failure
-        for failure in result.only_b
-        if failure.link in a_overlap
-        and a_overlap[failure.link].overlaps(failure.start, failure.end)
-    ]
-    return result
+        matcher.feed("a", failure)
+    for failure in sorted(failures_b, key=failure_sort_key):
+        matcher.feed("b", failure)
+    matcher.flush()
+    return matcher.result()
 
 
 def downtime_overlap_seconds(

@@ -1,20 +1,27 @@
-"""Shared reconstruction machinery used by both channel extractors.
+"""Batch drivers for the shared reconstruction funnel (§3.4).
 
-Both channels go through the same funnel (§3.4):
+Both channels go through the same funnel:
 
 1. per-reporter :class:`~repro.core.events.LinkMessage` records, sorted by
    generation time;
 2. **merging**: consecutive same-direction messages on a link within a
    merge window collapse into one link-level
-   :class:`~repro.core.events.Transition` (the two ends of a link report
-   the same state change a detection skew apart);
-3. **timeline building** under an ambiguity strategy;
+   :class:`~repro.core.events.Transition`
+   (:class:`repro.engine.merge.RunMerger` is the canonical machine);
+3. **timeline building** under an ambiguity strategy and
 4. **failure extraction**: each complete DOWN span becomes a
-   :class:`~repro.core.events.FailureEvent`.
+   :class:`~repro.core.events.FailureEvent`
+   (:class:`repro.engine.timeline.TimelineBuilder` is the canonical
+   machine for both).
+
+The drivers here feed those per-link machines to exhaustion and close
+them with an infinite watermark, so batch results are by construction
+the stream results at end-of-stream.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import (
@@ -24,6 +31,8 @@ from repro.core.events import (
     failure_sort_key,
     transition_sort_key,
 )
+from repro.engine.merge import RunMerger
+from repro.engine.timeline import TimelineBuilder
 from repro.intervals.timeline import (
     AmbiguityStrategy,
     LinkStateTimeline,
@@ -44,41 +53,63 @@ def merge_messages(
     a new transition — the latter is exactly the "double down/up" case whose
     handling §4.3 studies.
     """
-    if merge_window < 0:
-        raise ValueError("merge window must be non-negative")
+    merger = RunMerger(merge_window, source)
     by_link: Dict[str, List[LinkMessage]] = {}
     for message in messages:
         by_link.setdefault(message.link, []).append(message)
 
     transitions: List[Transition] = []
     for link in sorted(by_link):
-        run: List[LinkMessage] = []
         for message in sorted(by_link[link], key=lambda m: m.time):
-            if (
-                run
-                and message.direction == run[0].direction
-                and message.time - run[0].time <= merge_window
-            ):
-                run.append(message)
-                continue
-            if run:
-                transitions.append(_transition_from_run(run, source))
-            run = [message]
-        if run:
-            transitions.append(_transition_from_run(run, source))
+            closed = merger.feed(message)
+            if closed is not None:
+                transitions.append(closed)
+    transitions.extend(merger.advance(math.inf))
     transitions.sort(key=transition_sort_key)
     return transitions
 
 
-def _transition_from_run(run: List[LinkMessage], source: str) -> Transition:
-    return Transition(
-        time=run[0].time,
-        link=run[0].link,
-        direction=run[0].direction,
-        source=source,
-        reporters=frozenset(message.reporter for message in run),
-        messages=tuple(run),
-    )
+def reconstruct_channel(
+    transitions: Sequence[Transition],
+    horizon_start: float,
+    horizon_end: float,
+    strategy: AmbiguityStrategy = AmbiguityStrategy.PREVIOUS_STATE,
+    links: Optional[Sequence[str]] = None,
+    source: str = "",
+) -> Tuple[Dict[str, LinkStateTimeline], List[FailureEvent]]:
+    """Timelines and complete failures from a channel's transition stream.
+
+    One :class:`~repro.engine.timeline.TimelineBuilder` per link, fed in
+    time order and flushed at the horizon: the rendered timelines carry
+    censoring flags, and the collected failures are the non-censored DOWN
+    spans with their opening/closing transitions attached.  With ``links``
+    given, links with no transitions at all still get an (all-UP)
+    timeline — they existed and simply never failed, which matters for
+    per-link statistics.
+    """
+    builders: Dict[str, TimelineBuilder] = {}
+    by_link: Dict[str, List[Transition]] = {}
+    for transition in transitions:
+        by_link.setdefault(transition.link, []).append(transition)
+    if links is not None:
+        for link in links:
+            by_link.setdefault(link, [])
+
+    timelines: Dict[str, LinkStateTimeline] = {}
+    failures: List[FailureEvent] = []
+    for link in sorted(by_link):
+        builder = builders[link] = TimelineBuilder(
+            link, horizon_start, horizon_end, strategy, source, capture=True
+        )
+        for transition in sorted(by_link[link], key=transition_sort_key):
+            builder.feed(transition)
+    for link in sorted(builders):
+        builder = builders[link]
+        builder.flush()
+        failures.extend(builder.collect())
+        timelines[link] = builder.timeline()
+    failures.sort(key=failure_sort_key)
+    return timelines, failures
 
 
 def build_timelines(
@@ -90,9 +121,10 @@ def build_timelines(
 ) -> Dict[str, LinkStateTimeline]:
     """One timeline per link from its transition stream.
 
-    With ``links`` given, links with no transitions at all still get an
-    (all-UP) timeline — they existed and simply never failed, which matters
-    for per-link statistics.
+    A thin wrapper over :meth:`LinkStateTimeline.from_transitions` (which
+    itself replays the engine's :class:`TimelineBuilder`) for callers that
+    need timelines without failure extraction — ambiguity sweeps and
+    ad-hoc analysis.  The mode pipelines use :func:`reconstruct_channel`.
     """
     by_link: Dict[str, List[Tuple[float, str]]] = {}
     for transition in transitions:
@@ -108,33 +140,3 @@ def build_timelines(
         )
         for link, events in by_link.items()
     }
-
-
-def failures_from_timelines(
-    timelines: Dict[str, LinkStateTimeline],
-    transitions: Sequence[Transition],
-    source: str,
-) -> List[FailureEvent]:
-    """Complete DOWN spans become failures, with their transitions attached.
-
-    Censored spans (downtime running into either horizon edge) are not
-    failures — their true start or end was never observed.
-    """
-    index: Dict[Tuple[str, float, str], Transition] = {
-        (t.link, t.time, t.direction): t for t in transitions
-    }
-    failures: List[FailureEvent] = []
-    for link in sorted(timelines):
-        for span in timelines[link].down_spans(include_censored=False):
-            failures.append(
-                FailureEvent(
-                    link=link,
-                    start=span.start,
-                    end=span.end,
-                    source=source,
-                    start_transition=index.get((link, span.start, "down")),
-                    end_transition=index.get((link, span.end, "up")),
-                )
-            )
-    failures.sort(key=failure_sort_key)
-    return failures

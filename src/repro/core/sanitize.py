@@ -1,117 +1,45 @@
-"""Data sanitisation (§4.2).
+"""Batch driver for the canonical sanitise phase (§4.2).
 
-Before any statistics, the paper cleans both failure sets:
-
-1. failures spanning **listener outage** windows are removed — during such
-   windows the IS-IS channel is blind, so no fair comparison exists, and
-   the post-restart resync fabricates transition times;
-2. syslog failures longer than **24 hours** are "manually verified" against
-   NOC trouble tickets; unverified ones are removed as spurious.  In the
-   paper this single step removes ~6,000 hours of downtime — nearly twice
-   the real total — so it is the highest-leverage filter in the pipeline.
+The cleaning rules themselves — listener-outage masking, ticket
+verification of 24 h+ failures — live in :mod:`repro.engine.sanitize`
+and are shared by every execution mode.  This module re-exports them for
+compatibility and hosts the batch driver: feed the per-link
+:class:`~repro.engine.sanitize.Sanitizer` with an infinite watermark so
+every decision is immediate and the report comes back in input order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import math
+from typing import Optional, Sequence
 
 from repro.core.events import FailureEvent
-from repro.intervals import Interval, IntervalSet
+from repro.engine.sanitize import (
+    DROP_LISTENER,
+    DROP_UNVERIFIED,
+    KEEP,
+    KEEP_VERIFIED,
+    SanitizationConfig,
+    SanitizationReport,
+    Sanitizer,
+    apply_disposition,
+    classify_failure,
+)
+from repro.intervals import IntervalSet
 from repro.ticketing import TicketSystem
-from repro.util.timefmt import SECONDS_PER_HOUR
 
-
-@dataclass(frozen=True)
-class SanitizationConfig:
-    """Thresholds of the §4.2 cleaning pass."""
-
-    #: Failures at least this long need ticket verification (24 hours).
-    long_failure_threshold: float = 86400.0
-    #: Slack when cross-checking tickets (NOC open/close lag tolerance).
-    ticket_slack: float = 7200.0
-
-    def __post_init__(self) -> None:
-        if self.long_failure_threshold <= 0:
-            raise ValueError("long-failure threshold must be positive")
-        if self.ticket_slack < 0:
-            raise ValueError("ticket slack must be non-negative")
-
-
-@dataclass
-class SanitizationReport:
-    """What the cleaning pass kept and what it threw away, and why."""
-
-    kept: List[FailureEvent] = field(default_factory=list)
-    removed_listener_overlap: List[FailureEvent] = field(default_factory=list)
-    removed_unverified_long: List[FailureEvent] = field(default_factory=list)
-    verified_long: List[FailureEvent] = field(default_factory=list)
-
-    @property
-    def long_failures_checked(self) -> int:
-        return len(self.verified_long) + len(self.removed_unverified_long)
-
-    @property
-    def spurious_downtime_hours(self) -> float:
-        """Hours of downtime removed by ticket verification."""
-        return (
-            sum(f.duration for f in self.removed_unverified_long)
-            / SECONDS_PER_HOUR
-        )
-
-    @property
-    def kept_downtime_hours(self) -> float:
-        return sum(f.duration for f in self.kept) / SECONDS_PER_HOUR
-
-
-#: Dispositions returned by :func:`classify_failure`.
-KEEP = "keep"
-KEEP_VERIFIED = "keep-verified"
-DROP_LISTENER = "drop-listener"
-DROP_UNVERIFIED = "drop-unverified"
-
-
-def classify_failure(
-    failure: FailureEvent,
-    listener_outages: IntervalSet,
-    tickets: Optional[TicketSystem],
-    config: SanitizationConfig,
-) -> str:
-    """Decide one failure's fate under §4.2's cleaning rules.
-
-    Returns ``KEEP``, ``KEEP_VERIFIED`` (a long failure corroborated by a
-    ticket), ``DROP_LISTENER`` (spans a listener outage), or
-    ``DROP_UNVERIFIED`` (a long failure no ticket corroborates).  This is
-    the single-failure decision shared by the batch pass and the streaming
-    sanitiser.
-    """
-    span = Interval(failure.start, failure.end)
-    if listener_outages.intersection(IntervalSet([span])):
-        return DROP_LISTENER
-    if failure.duration >= config.long_failure_threshold and tickets is not None:
-        if tickets.confirms(
-            failure.link, failure.start, failure.end, slack=config.ticket_slack
-        ):
-            return KEEP_VERIFIED
-        return DROP_UNVERIFIED
-    return KEEP
-
-
-def apply_disposition(
-    report: SanitizationReport, failure: FailureEvent, disposition: str
-) -> None:
-    """Record one classified failure in a report (shared batch/stream)."""
-    if disposition == DROP_LISTENER:
-        report.removed_listener_overlap.append(failure)
-    elif disposition == DROP_UNVERIFIED:
-        report.removed_unverified_long.append(failure)
-    elif disposition == KEEP_VERIFIED:
-        report.verified_long.append(failure)
-        report.kept.append(failure)
-    elif disposition == KEEP:
-        report.kept.append(failure)
-    else:
-        raise ValueError(f"unknown disposition {disposition!r}")
+__all__ = [
+    "DROP_LISTENER",
+    "DROP_UNVERIFIED",
+    "KEEP",
+    "KEEP_VERIFIED",
+    "SanitizationConfig",
+    "SanitizationReport",
+    "Sanitizer",
+    "apply_disposition",
+    "classify_failure",
+    "sanitize_failures",
+]
 
 
 def sanitize_failures(
@@ -129,9 +57,8 @@ def sanitize_failures(
     """
     if config is None:
         config = SanitizationConfig()
-    report = SanitizationReport()
+    sanitizer = Sanitizer(listener_outages, tickets, config)
     for failure in failures:
-        apply_disposition(
-            report, failure, classify_failure(failure, listener_outages, tickets, config)
-        )
-    return report
+        sanitizer.feed(failure, math.inf)
+    sanitizer.flush()
+    return sanitizer.report

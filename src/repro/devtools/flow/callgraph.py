@@ -23,7 +23,7 @@ Resolution is deliberately modest and sound-for-our-purposes:
   ``self.attr = name`` assignments (``name`` locally typed);
 * subscripted receivers — ``self.mergers[key].feed(...)`` and
   ``self.timelines[ch][link].feed(...)`` resolve through the container
-  annotation's element classes (``Dict[str, OnlineRunMerger]``), which
+  annotation's element classes (``Dict[str, RunMerger]``), which
   is what lets the spine pass follow the streaming engine's per-link
   machine registries.
 
@@ -213,7 +213,7 @@ class CallGraph:
             return [found] if found else []
 
         # ``self.attr.method`` — through the class's inferred attribute
-        # types (``self.matcher = OnlineMatcher(...)`` et al.).
+        # types (``self.matcher = Matcher(...)`` et al.).
         if head in ("self", "cls") and info.class_name and len(parts) == 3:
             targets = []
             attr_types = self._attr_types(info.class_name)
@@ -316,7 +316,7 @@ class CallGraph:
         """Per-scope name typing: annotated parameters, annotated locals,
         and (multi-target) assignments from ``ClassName(...)``.  The
         multi-target case matters for the streaming engine's
-        ``timeline = self.timelines[ch][link] = OnlineTimeline(...)``
+        ``timeline = self.timelines[ch][link] = TimelineBuilder(...)``
         idiom — every ``Name`` target receives the constructed type."""
         types: Dict[str, Set[str]] = {}
         for parameter in scope_parameters(scope):

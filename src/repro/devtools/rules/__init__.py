@@ -20,4 +20,4 @@ from repro.devtools.rules import (  # noqa: F401
 #: Bump whenever rule semantics change in a way that invalidates cached
 #: per-file results (the on-disk lint cache keys on this + the rule ids
 #: + the file bytes).
-RULESET_VERSION = "2026.08-spine1"
+RULESET_VERSION = "2026.08-spine2"

@@ -2,10 +2,10 @@
 
 ``repro.stream.checkpoint`` promises that a restored engine is
 value-identical to the checkpointed one.  That promise dies silently
-the day someone adds a field to a state class in ``stream/state.py``
-(or ``stream/matching.py``/``stream/flaps.py``) and forgets the codec:
-the checkpoint still round-trips, the resumed stream just computes
-different numbers.  These rules make that drift a lint failure.
+the day someone adds a field to an engine machine in
+``src/repro/engine/`` and forgets the codec: the checkpoint still
+round-trips, the resumed stream just computes different numbers.
+These rules make that drift a lint failure.
 
 The convention they enforce is already the codebase's own:
 

@@ -1,12 +1,15 @@
-"""Semantic-drift rules (S401–S404): one engine, five executions.
+"""Semantic-drift rules (S401–S405): one engine, five executions.
 
 The repository runs the paper's funnel — merge → timeline → failure →
 sanitise → match → coverage → flaps — in five execution modes (batch,
 columnar, parallel, stream, service).  The comparison between syslog
 and IS-IS is only meaningful while every mode computes the *same*
 semantics; these rules make that correspondence a checked property.
+Since the engine unification the post-ingest phases live once, in
+:mod:`repro.engine`; S405 is the rule that keeps them from ever
+triplicating again.
 
-All four rules are thin views over :class:`repro.devtools.spine
+All five rules are thin views over :class:`repro.devtools.spine
 .SpineAnalysis` — the memoised project pass that walks each mode's call
 graph from its entry point and compares what it finds against the
 registered correspondence map (the same pass that emits the committed
@@ -95,4 +98,20 @@ class UnregisteredEntryPointRule(_SpineRule):
         "checked, and never covered by the cross-mode equivalence "
         "suites.  Declare it in devtools/spine.py (as a mode, a "
         "correspondence, or an extra caller with a reason)."
+    )
+
+
+@register
+class PhaseResolutionDriftRule(_SpineRule):
+    id = "S405"
+    name = "phase-resolution-drift"
+    rationale = (
+        "After the engine unification each post-ingest phase has "
+        "exactly one implementation — the per-link machine in "
+        "repro.engine — and every registered implementation of every "
+        "phase must funnel into that sink.  A mode that resolves a "
+        "phase to two implementations, or an implementation that no "
+        "longer reaches the canonical core, is the divergent "
+        "triplication this repository just paid to remove, growing "
+        "back."
     )

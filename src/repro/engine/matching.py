@@ -1,32 +1,69 @@
-"""Watermark-driven failure matching and transition coverage (§3.4 online).
+"""The canonical match + coverage phases (§3.4, Tables 3–4).
 
-:class:`OnlineMatcher` replicates the batch greedy one-to-one matcher
-(:func:`repro.core.matching.match_failures`) with deferred decisions.
-Matching is per-link, and per-link failure streams are ordered by start
-*and* end (down spans on one link cannot overlap), so a syslog failure's
-verdict is final as soon as the IS-IS side's **frontier** — a lower bound
-on the start of any IS-IS failure still to come on that link — clears
-both the matching window past the failure's start and the failure's end
-(for partial-overlap accounting).  Decisions therefore stream out within
-one matching window plus hold-timer slack of real time, and the
-end-of-stream result is exactly the batch matcher's.
+:class:`Matcher` is the single implementation of the greedy one-to-one
+failure matcher behind every mode.  Matching is per-link, and per-link
+failure streams are ordered by start *and* end (down spans on one link
+cannot overlap), so a syslog failure's verdict is final as soon as the
+IS-IS side's **frontier** — a lower bound on the start of any IS-IS
+failure still to come on that link — clears both the matching window
+past the failure's start and the failure's end (for partial-overlap
+accounting).  The batch driver
+(:func:`repro.core.matching.match_failures`) feeds both sides to
+exhaustion and flushes with infinite frontiers; the stream engine feeds
+real frontiers so decisions stream out within one matching window plus
+hold-timer slack of real time.  Both read the same canonical result.
 
-:class:`OnlineCoverage` replicates
-:func:`repro.core.matching.count_matching_reporters` (Table 3): each
-IS-IS transition is scored once the watermark passes its time plus the
-matching window, against a pruned ring of recent syslog messages.
+:class:`CoverageScorer` is the single implementation of Table 3's
+None/One/Both accounting
+(:func:`repro.core.matching.count_matching_reporters` is its batch
+driver): each IS-IS transition is scored once the watermark passes its
+time plus the matching window, against a pruned ring of recent syslog
+messages.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Set, Tuple, Union
 
 from repro.core.events import FailureEvent, LinkMessage, Transition
-from repro.core.matching import (
-    FailureMatchResult,
-    TransitionCoverage,
-)
+
+
+@dataclass
+class FailureMatchResult:
+    """Greedy one-to-one failure matching between two channels."""
+
+    pairs: List[Tuple[FailureEvent, FailureEvent]] = field(default_factory=list)
+    only_a: List[FailureEvent] = field(default_factory=list)
+    only_b: List[FailureEvent] = field(default_factory=list)
+    #: Unmatched failures that nevertheless overlap something on the other
+    #: side — the paper's "partial" matches.
+    partial_a: List[FailureEvent] = field(default_factory=list)
+    partial_b: List[FailureEvent] = field(default_factory=list)
+
+    @property
+    def matched_count(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass
+class TransitionCoverage:
+    """Table 3: reference transitions by how many distinct routers matched."""
+
+    #: counts[direction][n] where n is 0 ("None"), 1 ("One"), 2 ("Both").
+    counts: Dict[str, Dict[int, int]] = field(
+        default_factory=lambda: {"down": {0: 0, 1: 0, 2: 0}, "up": {0: 0, 1: 0, 2: 0}}
+    )
+    #: The transitions that matched no message, for flap attribution (§4.1).
+    unmatched: List[Transition] = field(default_factory=list)
+
+    def total(self, direction: str) -> int:
+        return sum(self.counts[direction].values())
+
+    def fraction(self, direction: str, bucket: int) -> float:
+        total = self.total(direction)
+        return self.counts[direction][bucket] / total if total else 0.0
 
 
 class _LinkMatchState:
@@ -45,7 +82,7 @@ class _LinkMatchState:
         self.b_consumed: List[bool] = []
 
 
-class OnlineMatcher:
+class Matcher:
     """Greedy one-to-one failure matching with provably-final decisions.
 
     ``a`` is the syslog channel, ``b`` the IS-IS channel, matching the
@@ -69,16 +106,18 @@ class OnlineMatcher:
             state = self.links[link] = _LinkMatchState()
         return state
 
-    def feed_a(self, failure: FailureEvent) -> None:
+    def feed(self, side: str, failure: FailureEvent) -> None:
+        """Add one kept failure to channel ``side`` (``"a"`` or ``"b"``)."""
         state = self._state(failure.link)
-        state.a_pending.append(failure)
-        state.a_all.append(failure)
-
-    def feed_b(self, failure: FailureEvent) -> None:
-        state = self._state(failure.link)
-        state.b_all.append(failure)
-        state.b_consumed.append(False)
-        state.b_pending.append(len(state.b_all) - 1)
+        if side == "a":
+            state.a_pending.append(failure)
+            state.a_all.append(failure)
+        elif side == "b":
+            state.b_all.append(failure)
+            state.b_consumed.append(False)
+            state.b_pending.append(len(state.b_all) - 1)
+        else:
+            raise ValueError(f"unknown matcher side {side!r}")
 
     # ---------------------------------------------------------- decisions
     def advance(
@@ -152,7 +191,7 @@ class OnlineMatcher:
         self.advance(infinite, infinite)
 
     def result(self) -> FailureMatchResult:
-        """The match result in the batch matcher's canonical order."""
+        """The match result in the canonical batch order."""
         result = FailureMatchResult()
         result.pairs = sorted(self.pairs, key=lambda p: (p[0].start, p[0].link))
         result.only_a = sorted(self.only_a, key=lambda f: (f.start, f.link))
@@ -172,10 +211,10 @@ class OnlineMatcher:
         return len(self.pairs) + len(self.only_a) + len(self.only_b)
 
 
-class OnlineCoverage:
+class CoverageScorer:
     """Incremental Table 3: reporters matching each IS-IS transition."""
 
-    def __init__(self, window: float, reference_merge_window: float) -> None:
+    def __init__(self, window: float, reference_merge_window: float = 0.0) -> None:
         self.window = window
         self.reference_merge_window = reference_merge_window
         self.counts: Dict[str, Dict[int, int]] = {
@@ -187,15 +226,16 @@ class OnlineCoverage:
         #: (link, direction) -> deque of (time, reporter), in event time.
         self.messages: Dict[Tuple[str, str], Deque[Tuple[float, str]]] = {}
 
-    def feed_message(self, message: LinkMessage) -> None:
-        key = (message.link, message.direction)
-        ring = self.messages.get(key)
-        if ring is None:
-            ring = self.messages[key] = deque()
-        ring.append((message.time, message.reporter))
-
-    def feed_transition(self, transition: Transition) -> None:
-        self.pending.append(transition)
+    def feed(self, item: Union[LinkMessage, Transition]) -> None:
+        """Add one syslog message or one reference (IS-IS) transition."""
+        if isinstance(item, LinkMessage):
+            key = (item.link, item.direction)
+            ring = self.messages.get(key)
+            if ring is None:
+                ring = self.messages[key] = deque()
+            ring.append((item.time, item.reporter))
+        else:
+            self.pending.append(item)
 
     def advance(self, watermark: float) -> None:
         while self.pending and watermark > self.pending[0].time + self.window:

@@ -1,30 +1,29 @@
-"""Per-link online state machines replacing the batch timeline build.
+"""The canonical timeline + failure phases: transitions → spans → failures.
 
-Two machines, both exact incremental replicas of their batch
-counterparts:
+:class:`TimelineBuilder` is the single per-link implementation behind
+every mode of the funnel's timeline-building and failure-extraction
+phases (§3.4 steps 3–4).  It applies the ambiguity strategy transition
+by transition, merges contiguous equal-state segments on the fly, and
+emits a :class:`~repro.core.events.FailureEvent` the moment a complete
+(non-censored) DOWN span can no longer change — which for the paper's
+PREVIOUS_STATE strategy is as soon as the watermark passes the closing
+UP transition.
 
-:class:`OnlineRunMerger`
-    replicates :func:`repro.core.reconstruct.merge_messages`: per-link
-    runs of same-direction messages collapse into link-level
-    :class:`~repro.core.events.Transition` records.  A run closes the
-    moment a message proves it over (direction change, or same direction
-    outside the merge window) — or when the watermark passes the run's
-    start plus the merge window, after which no message can join it.
+The batch drivers (:func:`repro.core.reconstruct.reconstruct_channel`,
+:meth:`repro.intervals.timeline.LinkStateTimeline.from_transitions`)
+construct the builder with ``capture=True``, feed the link's whole
+transition stream, ``flush()``, and read the rendered
+:class:`~repro.intervals.timeline.LinkStateTimeline` from
+:meth:`timeline`.  The stream engine leaves capture off (its memory must
+stay bounded by the open state, not the elapsed campaign) and drains
+failures incrementally via :meth:`collect`.
 
-:class:`OnlineTimeline`
-    replicates :meth:`LinkStateTimeline.from_transitions` plus
-    :func:`failures_from_timelines` for one link: it applies the
-    ambiguity strategy transition by transition, merges contiguous
-    equal-state segments on the fly, and emits a
-    :class:`~repro.core.events.FailureEvent` the moment a complete
-    (non-censored) DOWN span can no longer change — which for the
-    paper's PREVIOUS_STATE strategy is as soon as the watermark passes
-    the closing UP transition.
-
-Both machines expose *frontiers*: provable lower bounds on the time of
-anything they may still emit for a link.  Frontiers are what lets the
-downstream matcher and flap detector finalise early without ever being
-wrong.
+State mirrors the classic batch loop variables (``cursor``, ``state``,
+``last_message_time``) plus the one piece of deferred bookkeeping the
+batch code used to do afterwards: the *tail*, the last merged
+constant-state segment, which stays open until a different-state segment
+(or the horizon) seals it.  Sealed DOWN tails that touch neither horizon
+edge become failures.
 """
 
 from __future__ import annotations
@@ -32,85 +31,20 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.events import FailureEvent, LinkMessage, Transition
+from repro.core.events import FailureEvent, Transition
 from repro.intervals.timeline import (
     DOWN,
     AmbiguityStrategy,
     LinkState,
+    LinkStateTimeline,
+    StateAnomaly,
+    StateSpan,
     _window_state,
 )
 
 
-class OnlineRunMerger:
-    """Incremental replica of ``merge_messages`` for one message category."""
-
-    def __init__(self, merge_window: float, source: str) -> None:
-        if merge_window < 0:
-            raise ValueError("merge window must be non-negative")
-        self.merge_window = merge_window
-        self.source = source
-        self._open_runs: Dict[str, List[LinkMessage]] = {}
-        self.transition_count = 0
-
-    def _close(self, run: List[LinkMessage]) -> Transition:
-        self.transition_count += 1
-        return Transition(
-            time=run[0].time,
-            link=run[0].link,
-            direction=run[0].direction,
-            source=self.source,
-            reporters=frozenset(message.reporter for message in run),
-            messages=tuple(run),
-        )
-
-    def feed(self, message: LinkMessage) -> Optional[Transition]:
-        """Add one message; returns the transition it closed, if any."""
-        run = self._open_runs.get(message.link)
-        if (
-            run is not None
-            and message.direction == run[0].direction
-            and message.time - run[0].time <= self.merge_window
-        ):
-            run.append(message)
-            return None
-        self._open_runs[message.link] = [message]
-        return self._close(run) if run is not None else None
-
-    def advance(self, watermark: float) -> List[Transition]:
-        """Close every run no future message (time >= watermark) can join."""
-        closed: List[Transition] = []
-        for link in sorted(self._open_runs):
-            run = self._open_runs[link]
-            if watermark > run[0].time + self.merge_window:
-                closed.append(self._close(run))
-                del self._open_runs[link]
-        return closed
-
-    def frontier(self, link: str, watermark: float) -> float:
-        """Lower bound on the time of any future transition on ``link``."""
-        run = self._open_runs.get(link)
-        return min(run[0].time, watermark) if run is not None else watermark
-
-    @property
-    def open_run_count(self) -> int:
-        return len(self._open_runs)
-
-    @property
-    def open_runs(self) -> Dict[str, List[LinkMessage]]:
-        """The open runs, exposed for checkpointing."""
-        return self._open_runs
-
-
-class OnlineTimeline:
-    """Incremental replica of the batch timeline build for one link.
-
-    State mirrors the loop variables of ``from_transitions`` (``cursor``,
-    ``state``, ``last_message_time``) plus the one piece of deferred
-    bookkeeping the batch code does afterwards: the *tail*, the last
-    merged constant-state segment, which stays open until a
-    different-state segment (or the horizon) seals it.  Sealed DOWN
-    tails that touch neither horizon edge become failures.
-    """
+class TimelineBuilder:
+    """Per-link incremental timeline reconstruction and failure closing."""
 
     def __init__(
         self,
@@ -119,15 +53,19 @@ class OnlineTimeline:
         horizon_end: float,
         strategy: AmbiguityStrategy,
         source: str,
+        initial_state: LinkState = LinkState.UP,
+        capture: bool = False,
     ) -> None:
         self.link = link
         self.horizon_start = horizon_start
         self.horizon_end = horizon_end
         self.strategy = strategy
         self.source = source
+        self.initial_state = initial_state
+        self.capture = capture
 
         self.cursor = horizon_start
-        self.state = LinkState.UP
+        self.state = initial_state
         self.last_message_time: Optional[float] = None
         #: The unfinalised merged segment, or None ((start, end, state));
         #: invariant: tail.end == cursor.
@@ -141,6 +79,9 @@ class OnlineTimeline:
         self.flushed = False
         #: Finalised failures awaiting collection by the engine.
         self.emitted: List[FailureEvent] = []
+        #: Sealed spans / anomalies, recorded only under capture=True.
+        self._spans: List[Tuple[float, float, LinkState]] = []
+        self._anomalies: List[StateAnomaly] = []
 
     # -------------------------------------------------------------- feed
     def feed(self, transition: Transition) -> None:
@@ -174,6 +115,10 @@ class OnlineTimeline:
                 self.last_message_time = time
                 return
             self.anomaly_count += 1
+            if self.capture:
+                self._anomalies.append(
+                    StateAnomaly(self.last_message_time, time, direction)
+                )
             window = _window_state(self.strategy, self.state)
             if window != self.state:
                 self._append(self.cursor, self.last_message_time, self.state)
@@ -205,6 +150,8 @@ class OnlineTimeline:
         assert self.tail is not None
         start, end, state = self.tail
         self.tail = None
+        if self.capture:
+            self._spans.append((start, end, state))
         if (
             state is LinkState.DOWN
             and start > self.horizon_start
@@ -268,6 +215,35 @@ class OnlineTimeline:
         out = self.emitted
         self.emitted = []
         return out
+
+    # ---------------------------------------------------------- timeline
+    def timeline(self) -> LinkStateTimeline:
+        """Render the captured spans as a :class:`LinkStateTimeline`.
+
+        Requires ``capture=True`` and a prior :meth:`flush` — the batch
+        drivers' exhaustive feed makes the sealed spans exactly the merged
+        segment list of the classic batch build, censoring included.
+        """
+        if not self.capture:
+            raise ValueError("timeline() requires capture=True")
+        if not self.flushed:
+            raise ValueError("timeline() requires flush()")
+        merged = self._spans or [
+            (self.horizon_start, self.horizon_end, self.initial_state)
+        ]
+        spans = [
+            StateSpan(
+                start,
+                end,
+                state,
+                censored_left=(start == self.horizon_start),
+                censored_right=(end == self.horizon_end),
+            )
+            for start, end, state in merged
+        ]
+        return LinkStateTimeline(
+            spans, self._anomalies, self.horizon_start, self.horizon_end
+        )
 
     # ---------------------------------------------------------- frontier
     def down_frontier(self) -> float:

@@ -145,6 +145,32 @@ class IntervalSet:
                 return True
         return False
 
+    def touches(self, start: float, end: float) -> bool:
+        """Closed-interval overlap test: does ``[start, end]`` touch the set?
+
+        Unlike :meth:`intersection` (half-open, positive measure only),
+        this treats both the probe and every member interval as closed, so
+        a zero-length probe sitting exactly on a member's boundary — or a
+        probe abutting a member end-to-start — counts as touching.  Note
+        that zero-width *member* intervals are dropped at normalisation,
+        so only the probe may be degenerate.  O(log n).
+        """
+        if end < start:
+            raise ValueError(f"probe end {end} precedes start {start}")
+        # The rightmost member starting at or before `end` is, because
+        # member ends increase with starts, also the furthest-reaching
+        # candidate; the closed spans touch iff it reaches back to `start`.
+        lo, hi = 0, len(self._intervals) - 1
+        candidate = -1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self._intervals[mid].start <= end:
+                candidate = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return candidate >= 0 and self._intervals[candidate].end >= start
+
     def union(self, other: "IntervalSet") -> "IntervalSet":
         """Set union."""
         return IntervalSet(list(self._intervals) + list(other._intervals))

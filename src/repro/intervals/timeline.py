@@ -141,57 +141,34 @@ class LinkStateTimeline:
             if direction not in (UP, DOWN):
                 raise ValueError(f"unknown transition direction {direction!r}")
 
-        raw: List[Tuple[float, float, LinkState]] = []
-        anomalies: List[StateAnomaly] = []
-        cursor = horizon_start
-        state = initial_state
-        last_message_time: float | None = None
+        # Delegate to the canonical engine core: an exhaustive feed of the
+        # per-link builder replays exactly the classic batch loop.  The
+        # import is function-level to keep this module a leaf.
+        from repro.core.events import Transition
+        from repro.engine.timeline import TimelineBuilder
 
+        builder = TimelineBuilder(
+            "",
+            horizon_start,
+            horizon_end,
+            strategy,
+            "",
+            initial_state=initial_state,
+            capture=True,
+        )
         for time, direction in events:
-            new_state = LinkState.DOWN if direction == DOWN else LinkState.UP
-            if new_state == state:
-                if last_message_time is None:
-                    # Agrees with the assumed initial state; the assumption is
-                    # not a message, so this is not an anomaly.
-                    last_message_time = time
-                    continue
-                anomalies.append(StateAnomaly(last_message_time, time, direction))
-                window = _window_state(strategy, state)
-                if window != state:
-                    raw.append((cursor, last_message_time, state))
-                    raw.append((last_message_time, time, window))
-                    cursor = time
-                last_message_time = time
-            else:
-                raw.append((cursor, time, state))
-                cursor = time
-                state = new_state
-                last_message_time = time
-        raw.append((cursor, horizon_end, state))
-
-        # Merge contiguous equal-state segments and attach censoring flags.
-        merged: List[Tuple[float, float, LinkState]] = []
-        for start, end, seg_state in raw:
-            if start == end:
-                continue
-            if merged and merged[-1][2] == seg_state and merged[-1][1] == start:
-                merged[-1] = (merged[-1][0], end, seg_state)
-            else:
-                merged.append((start, end, seg_state))
-        if not merged:
-            merged.append((horizon_start, horizon_end, initial_state))
-
-        spans = [
-            StateSpan(
-                start,
-                end,
-                seg_state,
-                censored_left=(start == horizon_start),
-                censored_right=(end == horizon_end),
+            builder.feed(
+                Transition(
+                    time=time,
+                    link="",
+                    direction=direction,
+                    source="",
+                    reporters=frozenset(("",)),
+                    messages=(),
+                )
             )
-            for start, end, seg_state in merged
-        ]
-        return cls(spans, anomalies, horizon_start, horizon_end)
+        builder.flush()
+        return builder.timeline()
 
     @property
     def spans(self) -> Tuple[StateSpan, ...]:

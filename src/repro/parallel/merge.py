@@ -312,21 +312,17 @@ def ordered_timelines(
     timelines: Dict[str, LinkStateTimeline],
     trailing_links: Sequence[str],
 ) -> Dict[str, LinkStateTimeline]:
-    """Rebuild a timelines dict in the sequential insertion order.
+    """Rebuild a timelines dict in the sequential (sorted-link) order.
 
-    :func:`repro.core.reconstruct.build_timelines` inserts links in
-    first-appearance order over the transition stream, then appends the
-    ``links`` parameter's leftovers; dict iteration order is observable
-    downstream, so the merge replicates it exactly.
+    :func:`repro.core.reconstruct.reconstruct_channel` covers the links
+    seen in the transition stream plus the ``links`` parameter's
+    leftovers, inserting in sorted-link order; dict iteration order is
+    observable downstream, so the merge replicates both the membership
+    and the order exactly.
     """
-    ordered: Dict[str, LinkStateTimeline] = {}
-    for transition in transitions:
-        if transition.link not in ordered:
-            ordered[transition.link] = timelines[transition.link]
-    for link in trailing_links:
-        if link not in ordered:
-            ordered[link] = timelines[link]
-    return ordered
+    selected = {transition.link for transition in transitions}
+    selected.update(trailing_links)
+    return {link: timelines[link] for link in sorted(selected)}
 
 
 def collect_link_results(

@@ -338,7 +338,7 @@ def run_parallel_analysis(
         failure_match=failure_match,
         coverage=coverage,
         flap_episodes=episodes,
-        flap_intervals=flap_intervals(episodes),
+        flap_intervals=flap_intervals(episodes, horizon_start=horizon_start),
         horizon_start=horizon_start,
         horizon_end=horizon_end,
         options=options,

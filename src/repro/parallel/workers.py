@@ -38,9 +38,8 @@ from repro.core.matching import (
     match_failures,
 )
 from repro.core.reconstruct import (
-    build_timelines,
-    failures_from_timelines,
     merge_messages,
+    reconstruct_channel,
 )
 from repro.core.sanitize import (
     SanitizationConfig,
@@ -227,29 +226,25 @@ def _process_link(item: LinkWorkItem, context: LinkChunkContext) -> LinkResult:
     # the IS-IS channel for every link its IS transitions name plus all
     # single links (in practice the same set, see §3.4).
     if item.is_single:
-        timelines = build_timelines(
+        timelines, result.syslog_failures = reconstruct_channel(
             result.syslog_isis_transitions,
             context.horizon_start,
             context.horizon_end,
             strategy=context.syslog.strategy,
             links=[item.link],
+            source=SOURCE_SYSLOG,
         )
         result.syslog_timeline = timelines[item.link]
-        result.syslog_failures = failures_from_timelines(
-            timelines, result.syslog_isis_transitions, SOURCE_SYSLOG
-        )
     if item.is_single or result.isis_is_transitions:
-        timelines = build_timelines(
+        timelines, result.isis_failures = reconstruct_channel(
             result.isis_is_transitions,
             context.horizon_start,
             context.horizon_end,
             strategy=context.isis.strategy,
             links=[item.link],
+            source=SOURCE_ISIS_IS,
         )
         result.isis_timeline = timelines[item.link]
-        result.isis_failures = failures_from_timelines(
-            timelines, result.isis_is_transitions, SOURCE_ISIS_IS
-        )
 
     tickets = (
         TicketSystem(item.tickets) if item.tickets is not None else None

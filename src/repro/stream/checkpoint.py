@@ -316,7 +316,7 @@ def decode_engine(
 
 
 # ------------------------------------------------------- component codecs
-def _encode_merger(merger: "OnlineRunMerger") -> Dict[str, Any]:  # noqa: F821
+def _encode_merger(merger: "RunMerger") -> Dict[str, Any]:  # noqa: F821
     return {
         "transition_count": merger.transition_count,
         "open_runs": {
@@ -327,14 +327,14 @@ def _encode_merger(merger: "OnlineRunMerger") -> Dict[str, Any]:  # noqa: F821
 
 
 def _decode_merger(
-    merger: "OnlineRunMerger", raw: Dict[str, Any]  # noqa: F821
+    merger: "RunMerger", raw: Dict[str, Any]  # noqa: F821
 ) -> None:
     merger.transition_count = raw["transition_count"]
     for link, run in raw["open_runs"].items():
         merger.open_runs[link] = [decode_message(m) for m in run]
 
 
-def _encode_sanitizer(sanitizer: "OnlineSanitizer") -> Dict[str, Any]:  # noqa: F821
+def _encode_sanitizer(sanitizer: "Sanitizer") -> Dict[str, Any]:  # noqa: F821
     return {
         "report": encode_report(sanitizer.report),
         "held": {
@@ -345,14 +345,14 @@ def _encode_sanitizer(sanitizer: "OnlineSanitizer") -> Dict[str, Any]:  # noqa: 
 
 
 def _decode_sanitizer(
-    sanitizer: "OnlineSanitizer", raw: Dict[str, Any]  # noqa: F821
+    sanitizer: "Sanitizer", raw: Dict[str, Any]  # noqa: F821
 ) -> None:
     sanitizer.report = decode_report(raw["report"])
     for link, queue in raw["held"].items():
         sanitizer.held[link] = deque(decode_failure(f) for f in queue)
 
 
-def _encode_timeline(timeline: "OnlineTimeline") -> Dict[str, Any]:  # noqa: F821
+def _encode_timeline(timeline: "TimelineBuilder") -> Dict[str, Any]:  # noqa: F821
     return {
         "cursor": timeline.cursor,
         "state": timeline.state.value,
@@ -377,12 +377,12 @@ def _decode_timeline(
     channel: str,
     link: str,
     raw: Dict[str, Any],
-) -> "OnlineTimeline":  # noqa: F821
+) -> "TimelineBuilder":  # noqa: F821
     from repro.core.events import SOURCE_ISIS_IS, SOURCE_SYSLOG
     from repro.stream.sources import SYSLOG_CHANNEL
-    from repro.stream.state import OnlineTimeline
+    from repro.engine.timeline import TimelineBuilder
 
-    timeline = OnlineTimeline(
+    timeline = TimelineBuilder(
         link,
         engine.horizon_start,
         engine.horizon_end,
@@ -410,7 +410,7 @@ def _decode_timeline(
     return timeline
 
 
-def _encode_matcher(matcher: "OnlineMatcher") -> Dict[str, Any]:  # noqa: F821
+def _encode_matcher(matcher: "Matcher") -> Dict[str, Any]:  # noqa: F821
     return {
         "pairs": [
             [encode_failure(fa), encode_failure(fb)] for fa, fb in matcher.pairs
@@ -433,7 +433,7 @@ def _encode_matcher(matcher: "OnlineMatcher") -> Dict[str, Any]:  # noqa: F821
 
 
 def _decode_matcher(
-    matcher: "OnlineMatcher", raw: Dict[str, Any]  # noqa: F821
+    matcher: "Matcher", raw: Dict[str, Any]  # noqa: F821
 ) -> None:
     matcher.pairs = [
         (decode_failure(fa), decode_failure(fb)) for fa, fb in raw["pairs"]
@@ -456,7 +456,7 @@ def _decode_matcher(
         state.b_pending = deque(raw_state["b_pending"])
 
 
-def _encode_coverage(coverage: "OnlineCoverage") -> Dict[str, Any]:  # noqa: F821
+def _encode_coverage(coverage: "CoverageScorer") -> Dict[str, Any]:  # noqa: F821
     return {
         "counts": {
             direction: {str(bucket): count for bucket, count in buckets.items()}
@@ -472,7 +472,7 @@ def _encode_coverage(coverage: "OnlineCoverage") -> Dict[str, Any]:  # noqa: F82
 
 
 def _decode_coverage(
-    coverage: "OnlineCoverage", raw: Dict[str, Any]  # noqa: F821
+    coverage: "CoverageScorer", raw: Dict[str, Any]  # noqa: F821
 ) -> None:
     coverage.counts = {
         direction: {int(bucket): count for bucket, count in buckets.items()}
@@ -486,7 +486,7 @@ def _decode_coverage(
         )
 
 
-def _encode_flaps(flaps: "OnlineFlapDetector") -> Dict[str, Any]:  # noqa: F821
+def _encode_flaps(flaps: "FlapDetector") -> Dict[str, Any]:  # noqa: F821
     return {
         "episodes": [encode_episode(e) for e in flaps.episodes],
         "runs": {
@@ -497,13 +497,13 @@ def _encode_flaps(flaps: "OnlineFlapDetector") -> Dict[str, Any]:  # noqa: F821
 
 
 def _decode_flaps(
-    flaps: "OnlineFlapDetector", raw: Dict[str, Any]  # noqa: F821
+    flaps: "FlapDetector", raw: Dict[str, Any]  # noqa: F821
 ) -> None:
-    from repro.stream.flaps import _FlapRun
+    from repro.engine.flaps import FlapRun
 
     flaps.episodes = [decode_episode(e) for e in raw["episodes"]]
     for link, (start, end, count) in raw["runs"].items():
-        run = _FlapRun.__new__(_FlapRun)
+        run = FlapRun.__new__(FlapRun)
         run.start = start
         run.end = end
         run.count = count

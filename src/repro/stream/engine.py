@@ -4,13 +4,19 @@
 :class:`~repro.stream.sources.StreamEvent` at a time and maintains the
 whole §3–§4 methodology online:
 
-* messages route into per-category :class:`OnlineRunMerger` machines
-  (message → transition merging);
-* finalised transitions drive per-link :class:`OnlineTimeline` machines
-  (transition → failure reconstruction) and the Table 3 coverage scorer;
-* emitted failures pass through the :class:`OnlineSanitizer` and the
-  kept ones feed the greedy :class:`OnlineMatcher` and the
-  :class:`OnlineFlapDetector`.
+* messages route into per-category :class:`~repro.engine.merge.RunMerger`
+  machines (message → transition merging);
+* finalised transitions drive per-link
+  :class:`~repro.engine.timeline.TimelineBuilder` machines (transition →
+  failure reconstruction) and the Table 3 coverage scorer;
+* emitted failures pass through the
+  :class:`~repro.engine.sanitize.Sanitizer` and the kept ones feed the
+  greedy :class:`~repro.engine.matching.Matcher` and the
+  :class:`~repro.engine.flaps.FlapDetector`.
+
+The machines are the same canonical :mod:`repro.engine` core the batch,
+columnar, parallel and service modes drive; this engine is the
+watermark-by-watermark driver.
 
 Every *drain* (a periodic sweep, plus the end-of-stream flush) advances
 each machine to the current watermark, so everything the stream's
@@ -43,12 +49,15 @@ from repro.core.matching import FailureMatchResult, TransitionCoverage
 from repro.core.links import LinkResolver
 from repro.core.pipeline import AnalysisOptions
 from repro.core.sanitize import SanitizationReport
+from repro.engine.flaps import FlapDetector
+from repro.engine.matching import CoverageScorer, Matcher
+from repro.engine.merge import RunMerger
+from repro.engine.sanitize import Sanitizer
+from repro.engine.timeline import TimelineBuilder
 from repro.faults.ledger import IngestReport
 from repro.intervals import AmbiguityStrategy, IntervalSet
 from repro.simulation.dataset import Dataset
 from repro.stream import checkpoint as checkpoint_codec
-from repro.stream.flaps import OnlineFlapDetector, OnlineSanitizer
-from repro.stream.matching import OnlineCoverage, OnlineMatcher
 from repro.stream.sources import (
     ISIS_CHANNEL,
     KIND_REJECTED,
@@ -57,7 +66,6 @@ from repro.stream.sources import (
     StreamEvent,
     dataset_event_stream,
 )
-from repro.stream.state import OnlineRunMerger, OnlineTimeline
 from repro.ticketing import TicketSystem
 
 #: Merger keys, one per message category.
@@ -133,33 +141,33 @@ class StreamEngine:
         self.events_consumed = 0
         self.finished = False
 
-        self.mergers: Dict[str, OnlineRunMerger] = {
-            "syslog-isis": OnlineRunMerger(
+        self.mergers: Dict[str, RunMerger] = {
+            "syslog-isis": RunMerger(
                 analysis.syslog.merge_window, SOURCE_SYSLOG
             ),
-            "syslog-physical": OnlineRunMerger(
+            "syslog-physical": RunMerger(
                 analysis.syslog.merge_window, SOURCE_SYSLOG
             ),
-            "isis-is": OnlineRunMerger(analysis.isis.merge_window, SOURCE_ISIS_IS),
-            "isis-ip": OnlineRunMerger(analysis.isis.merge_window, SOURCE_ISIS_IP),
+            "isis-is": RunMerger(analysis.isis.merge_window, SOURCE_ISIS_IS),
+            "isis-ip": RunMerger(analysis.isis.merge_window, SOURCE_ISIS_IP),
         }
-        self.timelines: Dict[str, Dict[str, OnlineTimeline]] = {
+        self.timelines: Dict[str, Dict[str, TimelineBuilder]] = {
             SYSLOG_CHANNEL: {},
             ISIS_CHANNEL: {},
         }
-        self.sanitizers: Dict[str, OnlineSanitizer] = {
-            SYSLOG_CHANNEL: OnlineSanitizer(
+        self.sanitizers: Dict[str, Sanitizer] = {
+            SYSLOG_CHANNEL: Sanitizer(
                 listener_outages, tickets, analysis.sanitization
             ),
-            ISIS_CHANNEL: OnlineSanitizer(
+            ISIS_CHANNEL: Sanitizer(
                 listener_outages, None, analysis.sanitization
             ),
         }
-        self.matcher = OnlineMatcher(analysis.matching.window)
-        self.coverage = OnlineCoverage(
+        self.matcher = Matcher(analysis.matching.window)
+        self.coverage = CoverageScorer(
             analysis.matching.window, analysis.isis.merge_window
         )
-        self.flaps = OnlineFlapDetector(analysis.flap_gap_threshold)
+        self.flaps = FlapDetector(analysis.flap_gap_threshold)
         self.raw_failures: Dict[str, List[FailureEvent]] = {
             SYSLOG_CHANNEL: [],
             ISIS_CHANNEL: [],
@@ -218,7 +226,7 @@ class StreamEngine:
         if event.channel == SYSLOG_CHANNEL:
             if event.kind == "isis":
                 self.counters["syslog_isis_messages"] += 1
-                self.coverage.feed_message(message)
+                self.coverage.feed(message)
                 closed = self.mergers["syslog-isis"].feed(message)
                 if closed is not None:
                     self._route_transition("syslog-isis", closed)
@@ -243,13 +251,13 @@ class StreamEngine:
             if transition.link in self.single_links:
                 self._feed_timeline(SYSLOG_CHANNEL, transition)
         elif merger_key == "isis-is":
-            self.coverage.feed_transition(transition)
+            self.coverage.feed(transition)
             self._feed_timeline(ISIS_CHANNEL, transition)
 
     def _feed_timeline(self, channel: str, transition: Transition) -> None:
         timeline = self.timelines[channel].get(transition.link)
         if timeline is None:
-            timeline = self.timelines[channel][transition.link] = OnlineTimeline(
+            timeline = self.timelines[channel][transition.link] = TimelineBuilder(
                 transition.link,
                 self.horizon_start,
                 self.horizon_end,
@@ -267,7 +275,7 @@ class StreamEngine:
             else analysis.isis.strategy
         )
 
-    def _collect_failures(self, channel: str, timeline: OnlineTimeline) -> None:
+    def _collect_failures(self, channel: str, timeline: TimelineBuilder) -> None:
         for failure in timeline.collect():
             self.raw_failures[channel].append(failure)
             released = self.sanitizers[channel].feed(failure, self.watermark)
@@ -276,9 +284,9 @@ class StreamEngine:
 
     def _route_kept(self, channel: str, failure: FailureEvent) -> None:
         if channel == SYSLOG_CHANNEL:
-            self.matcher.feed_a(failure)
+            self.matcher.feed("a", failure)
         else:
-            self.matcher.feed_b(failure)
+            self.matcher.feed("b", failure)
             self.flaps.feed(failure)
 
     # ----------------------------------------------------------- drains

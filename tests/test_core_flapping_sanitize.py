@@ -1,5 +1,7 @@
 """Tests for flap detection (§4.1) and sanitisation (§4.2)."""
 
+import math
+
 import pytest
 
 from repro.core.events import FailureEvent
@@ -13,6 +15,8 @@ from repro.core.flapping import (
 from repro.core.matching import match_failures
 from repro.core.events import Transition
 from repro.core.sanitize import SanitizationConfig, sanitize_failures
+from repro.engine.flaps import FlapDetector
+from repro.engine.sanitize import Sanitizer
 from repro.intervals import Interval, IntervalSet
 from repro.ticketing import TicketSystem, TroubleTicket
 
@@ -203,3 +207,151 @@ class TestSanitization:
             SanitizationConfig(long_failure_threshold=0.0)
         with pytest.raises(ValueError):
             SanitizationConfig(ticket_slack=-1.0)
+
+
+class TestOverlappingFailureChaining:
+    """Regression: episode gaps are measured against the running maximum
+    end of the run, not the most recent failure's end.
+
+    Per-link failures arrive in start order, but a long failure can
+    entirely contain a later short one.  Chaining off the short one's
+    earlier end both split episodes the ten-minute rule keeps together
+    and truncated the episode span to before its longest member ended.
+    """
+
+    # The envelope failure ends at 1000; the nested one at 200.  The
+    # third starts 700s after the nested end (would split) but inside
+    # the envelope (must chain).
+    FAILURES = [
+        failure(0.0, 1000.0),
+        failure(100.0, 200.0),
+        failure(900.0, 910.0),
+    ]
+
+    def test_gap_measured_against_running_max_end(self):
+        episodes = detect_flap_episodes(self.FAILURES, gap_threshold=600.0)
+        assert [(e.start, e.end, e.failure_count) for e in episodes] == [
+            (0.0, 1000.0, 3)
+        ]
+
+    def test_episode_span_covers_the_longest_member(self):
+        # Even when the *last* failure ends first, the episode end is the
+        # furthest end seen, never an earlier one.
+        failures = [failure(0.0, 1000.0), failure(100.0, 200.0)]
+        (episode,) = detect_flap_episodes(failures, gap_threshold=600.0)
+        assert episode.end == 1000.0
+
+    def test_stream_detector_agrees_with_batch(self):
+        detector = FlapDetector(600.0)
+        for event in self.FAILURES:
+            detector.feed(event)
+        detector.flush()
+        assert detector.result() == detect_flap_episodes(
+            self.FAILURES, gap_threshold=600.0
+        )
+
+
+class TestFlapIntervalHorizonClamp:
+    """Regression: guard widening clamps at the analysis horizon start.
+
+    Clamping at an absolute 0.0 silently widened guards toward the epoch
+    on datasets whose time axis does not start at zero — the guarded flap
+    interval then swallowed every pre-episode transition in the horizon.
+    """
+
+    EPISODES = [FlapEpisode("l1", 1000.0, 1200.0, failure_count=3)]
+
+    def test_guard_clips_at_horizon_start(self):
+        intervals = flap_intervals(
+            self.EPISODES, guard=5000.0, horizon_start=800.0
+        )
+        (span,) = intervals["l1"].intervals
+        assert span.start == 800.0
+        assert span.end == 6200.0
+
+    def test_guard_inside_horizon_is_untouched(self):
+        intervals = flap_intervals(
+            self.EPISODES, guard=50.0, horizon_start=800.0
+        )
+        (span,) = intervals["l1"].intervals
+        assert (span.start, span.end) == (950.0, 1250.0)
+
+    def test_default_floor_remains_absolute_zero(self):
+        intervals = flap_intervals(self.EPISODES, guard=5000.0)
+        (span,) = intervals["l1"].intervals
+        assert span.start == 0.0
+
+
+class TestOutageBoundaryOverlap:
+    """Regression: listener-outage masking uses closed-interval overlap.
+
+    Half-open intersection let zero-duration failures sitting exactly on
+    an outage boundary — and failures abutting an outage end-to-start —
+    slip through the measure-zero crack, even though they were observed
+    while the listener was blind.
+    """
+
+    OUTAGES = IntervalSet([Interval(1000.0, 2000.0)])
+
+    def test_zero_duration_failure_at_outage_start_dropped(self):
+        report = sanitize_failures(
+            [failure(1000.0, 1000.0)], self.OUTAGES, tickets=None
+        )
+        assert report.kept == []
+        assert len(report.removed_listener_overlap) == 1
+
+    def test_zero_duration_failure_at_outage_end_dropped(self):
+        report = sanitize_failures(
+            [failure(2000.0, 2000.0)], self.OUTAGES, tickets=None
+        )
+        assert report.kept == []
+        assert len(report.removed_listener_overlap) == 1
+
+    def test_failure_ending_at_outage_start_dropped(self):
+        report = sanitize_failures(
+            [failure(900.0, 1000.0)], self.OUTAGES, tickets=None
+        )
+        assert report.kept == []
+
+    def test_failure_starting_at_outage_end_dropped(self):
+        report = sanitize_failures(
+            [failure(2000.0, 2100.0)], self.OUTAGES, tickets=None
+        )
+        assert report.kept == []
+
+    def test_failure_strictly_clear_of_outage_kept(self):
+        report = sanitize_failures(
+            [failure(0.0, 999.0)], self.OUTAGES, tickets=None
+        )
+        assert len(report.kept) == 1
+
+    def test_zero_width_outage_masks_nothing(self):
+        # A zero-width member interval carries no blind time and is
+        # dropped at IntervalSet normalisation, so it masks no failure.
+        outages = IntervalSet([Interval(1500.0, 1500.0)])
+        report = sanitize_failures(
+            [failure(1400.0, 1600.0)], outages, tickets=None
+        )
+        assert len(report.kept) == 1
+
+    def test_stream_sanitizer_agrees_on_boundary_touches(self):
+        probes = [
+            failure(0.0, 999.0),
+            failure(1000.0, 1000.0),
+            failure(2000.0, 2000.0),
+            failure(2000.0, 2100.0),
+        ]
+        batch = sanitize_failures(probes, self.OUTAGES, tickets=None)
+
+        sanitizer = Sanitizer(self.OUTAGES, None, SanitizationConfig())
+        for probe in probes:
+            sanitizer.feed(probe, math.inf)
+        sanitizer.flush()
+        stream = sanitizer.finalized_report()
+
+        assert stream.kept == batch.kept == [probes[0]]
+        assert (
+            stream.removed_listener_overlap
+            == batch.removed_listener_overlap
+            == probes[1:]
+        )

@@ -7,8 +7,8 @@ from hypothesis import strategies as st
 from repro.core.events import LinkMessage
 from repro.core.reconstruct import (
     build_timelines,
-    failures_from_timelines,
     merge_messages,
+    reconstruct_channel,
 )
 from repro.intervals.timeline import AmbiguityStrategy
 
@@ -112,22 +112,27 @@ class TestBuildTimelines:
         assert not keep["l1"].ambiguous_intervals
 
 
-class TestFailuresFromTimelines:
+class TestReconstructChannel:
     def test_failure_carries_transitions(self):
         messages = [msg(10.0), msg(20.0, direction="up")]
         transitions = merge_messages(messages, 30.0, "syslog")
-        timelines = build_timelines(transitions, 0.0, 100.0)
-        failures = failures_from_timelines(timelines, transitions, "syslog")
+        timelines, failures = reconstruct_channel(
+            transitions, 0.0, 100.0, source="syslog"
+        )
         assert len(failures) == 1
         failure = failures[0]
         assert (failure.start, failure.end) == (10.0, 20.0)
         assert failure.start_transition is transitions[0]
         assert failure.end_transition is transitions[1]
+        assert timelines["l1"].downtime() == 10.0
 
     def test_censored_down_is_not_a_failure(self):
         transitions = merge_messages([msg(90.0)], 30.0, "syslog")
-        timelines = build_timelines(transitions, 0.0, 100.0)
-        assert failures_from_timelines(timelines, transitions, "syslog") == []
+        timelines, failures = reconstruct_channel(
+            transitions, 0.0, 100.0, source="syslog"
+        )
+        assert failures == []
+        assert timelines["l1"].downtime() == 10.0
 
     def test_failures_sorted_across_links(self):
         messages = [
@@ -137,6 +142,23 @@ class TestFailuresFromTimelines:
             msg(20.0, link="a", direction="up"),
         ]
         transitions = merge_messages(messages, 5.0, "syslog")
-        timelines = build_timelines(transitions, 0.0, 100.0)
-        failures = failures_from_timelines(timelines, transitions, "syslog")
+        _, failures = reconstruct_channel(
+            transitions, 0.0, 100.0, source="syslog"
+        )
         assert [f.link for f in failures] == ["a", "b"]
+
+    def test_links_argument_adds_quiet_links(self):
+        timelines, failures = reconstruct_channel(
+            [], 0.0, 100.0, links=["quiet"], source="syslog"
+        )
+        assert failures == []
+        assert timelines["quiet"].downtime() == 0.0
+
+    def test_matches_offline_build_timelines(self):
+        messages = [msg(10.0), msg(20.0, direction="up"), msg(40.0)]
+        transitions = merge_messages(messages, 5.0, "syslog")
+        timelines, _ = reconstruct_channel(
+            transitions, 0.0, 100.0, source="syslog"
+        )
+        offline = build_timelines(transitions, 0.0, 100.0)
+        assert timelines["l1"].spans == offline["l1"].spans

@@ -1,10 +1,11 @@
 """Codec-drift detection against the real stream checkpoint codec.
 
-The point of C001 is to fail the build when someone adds state to
-``stream/state.py`` without teaching ``stream/checkpoint.py`` to carry
-it.  These tests prove that property on the real modules: the shipped
-pair is clean, and a synthetic field injected into a *copy* of the
-``OnlineTimeline`` AST makes the rule fire by name.
+The point of C001 is to fail the build when someone adds state to an
+engine machine in ``src/repro/engine/`` without teaching
+``stream/checkpoint.py`` to carry it.  These tests prove that property
+on the real modules: the shipped pair is clean, and a synthetic field
+injected into a *copy* of the ``TimelineBuilder`` AST makes the rule
+fire by name.
 """
 
 import ast
@@ -14,7 +15,13 @@ import repro.devtools.rules  # noqa: F401  (registry side effect)
 from repro.devtools.base import Project, REGISTRY, SourceModule
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-STATE_PATH = REPO_ROOT / "src" / "repro" / "stream" / "state.py"
+ENGINE_DIR = REPO_ROOT / "src" / "repro" / "engine"
+ENGINE_PATHS = tuple(
+    ENGINE_DIR / name
+    for name in ("merge.py", "timeline.py", "sanitize.py", "matching.py", "flaps.py")
+)
+TIMELINE_PATH = ENGINE_DIR / "timeline.py"
+MERGE_PATH = ENGINE_DIR / "merge.py"
 CHECKPOINT_PATH = REPO_ROOT / "src" / "repro" / "stream" / "checkpoint.py"
 
 
@@ -31,9 +38,10 @@ def run_codec_rules(*modules: SourceModule):
     return findings
 
 
-def test_shipped_state_and_checkpoint_are_in_sync():
+def test_shipped_engine_and_checkpoint_are_in_sync():
     findings = run_codec_rules(
-        load_module(STATE_PATH), load_module(CHECKPOINT_PATH)
+        *(load_module(path) for path in ENGINE_PATHS),
+        load_module(CHECKPOINT_PATH),
     )
     assert findings == [], [f.message for f in findings]
 
@@ -55,29 +63,30 @@ def inject_field(source: str, class_name: str, field_name: str) -> str:
     raise AssertionError(f"{class_name}.__init__ not found")
 
 
-def test_injected_field_in_online_timeline_trips_c001():
+def test_injected_field_in_timeline_builder_trips_c001():
     drifted = inject_field(
-        STATE_PATH.read_text(encoding="utf-8"),
-        "OnlineTimeline",
+        TIMELINE_PATH.read_text(encoding="utf-8"),
+        "TimelineBuilder",
         "injected_sentinel",
     )
     findings = run_codec_rules(
-        SourceModule(str(STATE_PATH), drifted), load_module(CHECKPOINT_PATH)
+        SourceModule(str(TIMELINE_PATH), drifted),
+        load_module(CHECKPOINT_PATH),
     )
     hits = [f for f in findings if f.rule == "C001"]
     assert hits, "C001 should fire on the injected state field"
     assert any("injected_sentinel" in f.message for f in hits)
-    assert any("OnlineTimeline" in f.message for f in hits)
+    assert any("TimelineBuilder" in f.message for f in hits)
 
 
 def test_injected_field_in_run_merger_trips_c001():
     drifted = inject_field(
-        STATE_PATH.read_text(encoding="utf-8"),
-        "OnlineRunMerger",
+        MERGE_PATH.read_text(encoding="utf-8"),
+        "RunMerger",
         "injected_sentinel",
     )
     findings = run_codec_rules(
-        SourceModule(str(STATE_PATH), drifted), load_module(CHECKPOINT_PATH)
+        SourceModule(str(MERGE_PATH), drifted), load_module(CHECKPOINT_PATH)
     )
     hits = [f for f in findings if f.rule == "C001"]
     assert any("injected_sentinel" in f.message for f in hits)

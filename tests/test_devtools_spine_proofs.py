@@ -12,10 +12,12 @@ not background noise.
 * S402 — the merge window replaced by a literal ``300.0`` in
   ``stream/engine.py``, and a non-canonical sort key planted in
   ``parallel/pipeline.py``;
-* S403 — the timeline/failure stages swapped in
+* S403 — the sanitise/match stages swapped in
   ``parallel/workers.py``, reached through the real dispatch chain;
-* S404 — a new function calling ``detect_flap_episodes`` from a module
-  no execution mode reaches;
+* S404 — a new function calling the flap phase from a module no
+  execution mode reaches;
+* S405 — a re-grown private twin registered for an engine-core phase:
+  the sink-reachability and one-implementation checks both fire;
 * A501/A502/A503 — the rename-atomic discipline severed in
   ``service/files.py``, a bare truncating write and an f-string ledger
   reason injected into ``service/worker.py``.
@@ -33,6 +35,8 @@ PIPELINE_PATH = SRC / "repro" / "core" / "pipeline.py"
 ENGINE_PATH = SRC / "repro" / "stream" / "engine.py"
 PARALLEL_PATH = SRC / "repro" / "parallel" / "pipeline.py"
 WORKERS_PATH = SRC / "repro" / "parallel" / "workers.py"
+SANITIZE_PATH = SRC / "repro" / "engine" / "sanitize.py"
+FLAPPING_PATH = SRC / "repro" / "core" / "flapping.py"
 STATS_PATH = SRC / "repro" / "core" / "statistics.py"
 FILES_PATH = SRC / "repro" / "service" / "files.py"
 WORKER_PATH = SRC / "repro" / "service" / "worker.py"
@@ -93,7 +97,8 @@ def test_dropped_flap_phase_in_pipeline_trips_s401():
     # The flap result feeds flap_intervals below; sever that read too so
     # the drifted module still parses into a runnable-looking pipeline.
     text = ast.unparse(tree).replace(
-        "flap_intervals(result.flap_episodes)", "flap_intervals([])"
+        "flap_intervals(episodes, horizon_start=horizon_start)",
+        "flap_intervals([], horizon_start=horizon_start)",
     )
     modules = src_modules(PIPELINE_PATH, text)
     hits = run_rule("S401", modules, PIPELINE_PATH)
@@ -134,7 +139,7 @@ def test_cross_mode_impl_leak_in_engine_trips_s401():
 def test_shipped_tree_is_clean_for_s_rules():
     modules = src_modules(PIPELINE_PATH, PIPELINE_PATH.read_text("utf-8"))
     project = Project(modules)
-    for rule_id in ("S401", "S402", "S403", "S404"):
+    for rule_id in ("S401", "S402", "S403", "S404", "S405"):
         rule = REGISTRY[rule_id]
         hits = [
             f
@@ -148,7 +153,7 @@ def test_shipped_tree_is_clean_for_s_rules():
 # ------------------------------------------------------------- S402
 class _MergeWindowHardcoder(ast.NodeTransformer):
     """Replace the syslog merge window with a literal 300.0 in the
-    engine's ``OnlineRunMerger`` construction — twin constant drift."""
+    engine's ``RunMerger`` construction — binding-site constant drift."""
 
     def __init__(self):
         self.planted = 0
@@ -157,7 +162,7 @@ class _MergeWindowHardcoder(ast.NodeTransformer):
         self.generic_visit(node)
         if (
             isinstance(node.func, ast.Name)
-            and node.func.id == "OnlineRunMerger"
+            and node.func.id == "RunMerger"
             and node.args
             and self.planted == 0
         ):
@@ -199,8 +204,8 @@ def test_noncanonical_sort_key_in_parallel_trips_s402():
 
 # ------------------------------------------------------------- S403
 class _StageSwapper(ast.NodeTransformer):
-    """Swap the timeline/failure stages inside ``_process_link``: the
-    drifted worker derives failures before reconstructing timelines."""
+    """Swap the sanitise/match stages inside ``_process_link``: the
+    drifted worker matches raw failures before sanitising them."""
 
     def __init__(self):
         self.swapped = 0
@@ -215,10 +220,10 @@ class _StageSwapper(ast.NodeTransformer):
                 if isinstance(inner, ast.Call) and isinstance(
                     inner.func, ast.Name
                 ):
-                    if inner.func.id == "build_timelines":
-                        return "timeline"
-                    if inner.func.id == "failures_from_timelines":
-                        return "failure"
+                    if inner.func.id == "sanitize_failures":
+                        return "sanitize"
+                    if inner.func.id == "match_failures":
+                        return "match"
             return None
 
         for container in ast.walk(node):
@@ -226,9 +231,9 @@ class _StageSwapper(ast.NodeTransformer):
             if not isinstance(body, list):
                 continue
             stages = [stage_of(stmt) for stmt in body]
-            if "timeline" in stages and "failure" in stages:
-                i = stages.index("timeline")
-                j = stages.index("failure")
+            if "sanitize" in stages and "match" in stages:
+                i = stages.index("sanitize")
+                j = stages.index("match")
                 if i < j and self.swapped == 0:
                     body[i], body[j] = body[j], body[i]
                     self.swapped += 1
@@ -243,10 +248,13 @@ def test_swapped_stages_in_workers_trips_s403():
     assert swapper.swapped == 1
     ast.fix_missing_locations(tree)
     modules = src_modules(WORKERS_PATH, ast.unparse(tree))
-    hits = run_rule("S403", modules, WORKERS_PATH)
-    assert hits, "S403 should fire on the failure-before-timeline order"
+    # The out-of-order phase is recorded at its implementation's call
+    # site — classify_failure inside the engine sanitiser — so the
+    # finding anchors there, not in the drifted worker module.
+    hits = run_rule("S403", modules, SANITIZE_PATH)
+    assert hits, "S403 should fire on the match-before-sanitise order"
     assert any(
-        "`timeline`" in f.message and "`failure`" in f.message
+        "`sanitize`" in f.message and "`match`" in f.message
         for f in hits
     )
 
@@ -254,8 +262,12 @@ def test_swapped_stages_in_workers_trips_s403():
 # ------------------------------------------------------------- S404
 INJECTED_SIDE_ANALYSIS = '''
 def _injected_offline_flaps(failures):
-    from repro.core.flapping import detect_flap_episodes
-    return detect_flap_episodes(failures)
+    from repro.engine.flaps import FlapDetector
+    detector = FlapDetector(600.0)
+    for failure in failures:
+        detector.feed(failure)
+    detector.flush()
+    return detector.result()
 '''
 
 
@@ -267,7 +279,28 @@ def test_injected_unregistered_caller_trips_s404():
     hits = run_rule("S404", modules, STATS_PATH)
     assert hits, "S404 should fire on the unregistered entry point"
     assert any("_injected_offline_flaps" in f.message for f in hits)
-    assert any("detect_flap_episodes" in f.message for f in hits)
+    assert any("FlapDetector.feed" in f.message for f in hits)
+
+
+# ------------------------------------------------------------- S405
+def test_regrown_twin_correspondence_trips_s405(monkeypatch):
+    """Registering a second implementation for an engine-core phase is
+    exactly the re-grown triplication S405 exists to block: the twin
+    never reaches the phase sink, and the mode resolves the phase to
+    two implementations."""
+    import repro.devtools.spine as spine
+
+    corr = dict(spine.CORRESPONDENCES)
+    corr[("batch", "flaps")] = spine.Correspondence(
+        ("repro.core.flapping.flap_intervals",),
+        "injected: a re-grown private flap engine",
+    )
+    monkeypatch.setattr(spine, "CORRESPONDENCES", corr)
+    modules = src_modules(FLAPPING_PATH, FLAPPING_PATH.read_text("utf-8"))
+    hits = run_rule("S405", modules, FLAPPING_PATH)
+    assert hits, "S405 should fire on the re-grown twin"
+    assert any("never reaches the phase sink" in f.message for f in hits)
+    assert any("distinct" in f.message for f in hits)
 
 
 # ------------------------------------------------------------- A501

@@ -1,10 +1,12 @@
-"""Unit tests for the streaming machinery's individual machines.
+"""Unit tests for the engine core's individual machines.
 
-The equivalence suite proves the assembled engine matches the batch
-pipeline; these tests pin the contracts of each part in isolation —
-ordering guarantees of the sources, watermark semantics of the run
-merger and timeline, frontier-driven decisions of the matcher and flap
-detector, deferral rules of the sanitiser, and JSON codec round-trips.
+The machines now live in :mod:`repro.engine` and are shared by all
+five execution modes; the conformance and equivalence suites prove the
+assembled modes agree, while these tests pin the contracts of each part
+in isolation — ordering guarantees of the sources, watermark semantics
+of the run merger and timeline builder, frontier-driven decisions of
+the matcher and flap detector, deferral rules of the sanitiser, and
+JSON codec round-trips.
 """
 
 from __future__ import annotations
@@ -25,9 +27,12 @@ from repro.core.flapping import FlapEpisode
 from repro.core.sanitize import SanitizationConfig, SanitizationReport
 from repro.intervals import Interval, IntervalSet
 from repro.intervals.timeline import AmbiguityStrategy
+from repro.engine.flaps import FlapDetector
+from repro.engine.matching import CoverageScorer, Matcher
+from repro.engine.merge import RunMerger
+from repro.engine.sanitize import Sanitizer
+from repro.engine.timeline import TimelineBuilder
 from repro.stream import checkpoint as codec
-from repro.stream.flaps import OnlineFlapDetector, OnlineSanitizer
-from repro.stream.matching import OnlineCoverage, OnlineMatcher
 from repro.stream.sources import (
     ISIS_CHANNEL,
     SYSLOG_CHANNEL,
@@ -35,7 +40,6 @@ from repro.stream.sources import (
     StreamEvent,
     merge_events,
 )
-from repro.stream.state import OnlineRunMerger, OnlineTimeline
 from repro.ticketing import TicketSystem, TroubleTicket
 
 
@@ -126,9 +130,9 @@ class TestMergeEvents:
         assert [e.channel for e in merged] == [SYSLOG_CHANNEL, ISIS_CHANNEL]
 
 
-class TestOnlineRunMerger:
+class TestRunMerger:
     def test_same_direction_within_window_merges(self):
-        merger = OnlineRunMerger(30.0, SOURCE_SYSLOG)
+        merger = RunMerger(30.0, SOURCE_SYSLOG)
         assert merger.feed(message(0.0, reporter="r1")) is None
         assert merger.feed(message(10.0, reporter="r2")) is None
         closed = merger.advance(100.0)
@@ -138,30 +142,30 @@ class TestOnlineRunMerger:
         assert merger.transition_count == 1
 
     def test_direction_change_closes_run(self):
-        merger = OnlineRunMerger(30.0, SOURCE_SYSLOG)
+        merger = RunMerger(30.0, SOURCE_SYSLOG)
         merger.feed(message(0.0, direction="down"))
         closed = merger.feed(message(5.0, direction="up"))
         assert closed is not None and closed.direction == "down"
 
     def test_watermark_must_pass_window_to_close(self):
-        merger = OnlineRunMerger(30.0, SOURCE_SYSLOG)
+        merger = RunMerger(30.0, SOURCE_SYSLOG)
         merger.feed(message(0.0))
         assert merger.advance(30.0) == []  # a message at t=30 could join
         assert len(merger.advance(30.0001)) == 1
 
     def test_frontier_accounts_for_open_run(self):
-        merger = OnlineRunMerger(30.0, SOURCE_SYSLOG)
+        merger = RunMerger(30.0, SOURCE_SYSLOG)
         merger.feed(message(7.0))
         assert merger.frontier("lk-a", 20.0) == 7.0
         assert merger.frontier("lk-other", 20.0) == 20.0
 
     def test_negative_window_rejected(self):
         with pytest.raises(ValueError):
-            OnlineRunMerger(-1.0, SOURCE_SYSLOG)
+            RunMerger(-1.0, SOURCE_SYSLOG)
 
 
-class TestOnlineTimeline:
-    def make(self, **kwargs) -> OnlineTimeline:
+class TestTimelineBuilder:
+    def make(self, **kwargs) -> TimelineBuilder:
         defaults = dict(
             link="lk-a",
             horizon_start=0.0,
@@ -170,7 +174,7 @@ class TestOnlineTimeline:
             source=SOURCE_ISIS_IS,
         )
         defaults.update(kwargs)
-        return OnlineTimeline(**defaults)
+        return TimelineBuilder(**defaults)
 
     def test_down_up_span_becomes_failure_before_flush(self):
         timeline = self.make()
@@ -222,11 +226,11 @@ class TestOnlineTimeline:
         assert timeline.down_frontier() == math.inf
 
 
-class TestOnlineMatcher:
+class TestMatcher:
     def test_pair_decided_once_frontiers_pass(self):
-        matcher = OnlineMatcher(10.0)
-        matcher.feed_a(failure(100.0, 200.0))
-        matcher.feed_b(failure(103.0, 205.0))
+        matcher = Matcher(10.0)
+        matcher.feed("a", failure(100.0, 200.0))
+        matcher.feed("b", failure(103.0, 205.0))
         matcher.advance(lambda _l: 120.0, lambda _l: 120.0)
         assert len(matcher.pairs) == 0  # b frontier hasn't cleared fa.end
         matcher.advance(lambda _l: 300.0, lambda _l: 300.0)
@@ -234,8 +238,8 @@ class TestOnlineMatcher:
         assert matcher.pending_count == 0
 
     def test_only_b_waits_for_undecided_a(self):
-        matcher = OnlineMatcher(10.0)
-        matcher.feed_b(failure(100.0, 200.0))
+        matcher = Matcher(10.0)
+        matcher.feed("b", failure(100.0, 200.0))
         # The a channel's frontier is behind fb.start + window: an a
         # failure could still arrive and consume fb.
         matcher.advance(lambda _l: 105.0, lambda _l: 300.0)
@@ -244,9 +248,9 @@ class TestOnlineMatcher:
         assert [f.start for f in matcher.only_b] == [100.0]
 
     def test_flush_decides_everything(self):
-        matcher = OnlineMatcher(10.0)
-        matcher.feed_a(failure(100.0, 200.0))
-        matcher.feed_b(failure(500.0, 600.0))
+        matcher = Matcher(10.0)
+        matcher.feed("a", failure(100.0, 200.0))
+        matcher.feed("b", failure(500.0, 600.0))
         matcher.flush()
         result = matcher.result()
         assert result.pairs == []
@@ -254,9 +258,9 @@ class TestOnlineMatcher:
         assert [f.start for f in result.only_b] == [500.0]
 
     def test_partial_overlap_accounting(self):
-        matcher = OnlineMatcher(10.0)
-        matcher.feed_a(failure(100.0, 200.0))
-        matcher.feed_b(failure(150.0, 400.0))  # overlaps, far from matching
+        matcher = Matcher(10.0)
+        matcher.feed("a", failure(100.0, 200.0))
+        matcher.feed("b", failure(150.0, 400.0))  # overlaps, far from matching
         matcher.flush()
         result = matcher.result()
         assert [f.start for f in result.partial_a] == [100.0]
@@ -264,37 +268,37 @@ class TestOnlineMatcher:
 
     def test_negative_window_rejected(self):
         with pytest.raises(ValueError):
-            OnlineMatcher(-1.0)
+            Matcher(-1.0)
 
 
-class TestOnlineCoverage:
+class TestCoverageScorer:
     def test_counts_distinct_reporters_in_window(self):
-        coverage = OnlineCoverage(10.0, 30.0)
-        coverage.feed_message(message(95.0, reporter="r1"))
-        coverage.feed_message(message(105.0, reporter="r2"))
-        coverage.feed_transition(transition(100.0, direction="down"))
+        coverage = CoverageScorer(10.0, 30.0)
+        coverage.feed(message(95.0, reporter="r1"))
+        coverage.feed(message(105.0, reporter="r2"))
+        coverage.feed(transition(100.0, direction="down"))
         coverage.advance(200.0)
         assert coverage.counts["down"][2] == 1
         assert coverage.result().unmatched == []
 
     def test_unmatched_transition_recorded(self):
-        coverage = OnlineCoverage(10.0, 30.0)
-        coverage.feed_transition(transition(100.0, direction="down"))
+        coverage = CoverageScorer(10.0, 30.0)
+        coverage.feed(transition(100.0, direction="down"))
         coverage.flush()
         assert coverage.counts["down"][0] == 1
         assert [t.time for t in coverage.result().unmatched] == [100.0]
 
     def test_rings_prune_as_watermark_advances(self):
-        coverage = OnlineCoverage(10.0, 30.0)
+        coverage = CoverageScorer(10.0, 30.0)
         for t in range(0, 1000, 50):
-            coverage.feed_message(message(float(t)))
+            coverage.feed(message(float(t)))
             coverage.advance(float(t))
         assert coverage.message_buffer_size < 5
 
 
-class TestOnlineSanitizer:
+class TestSanitizer:
     def test_short_failure_released_immediately(self):
-        sanitizer = OnlineSanitizer(
+        sanitizer = Sanitizer(
             IntervalSet(), TicketSystem(), SanitizationConfig()
         )
         released = sanitizer.feed(failure(100.0, 200.0), watermark=150.0)
@@ -303,7 +307,7 @@ class TestOnlineSanitizer:
 
     def test_listener_outage_overlap_dropped(self):
         outages = IntervalSet([Interval(150.0, 160.0)])
-        sanitizer = OnlineSanitizer(outages, None, SanitizationConfig())
+        sanitizer = Sanitizer(outages, None, SanitizationConfig())
         released = sanitizer.feed(failure(100.0, 200.0), watermark=300.0)
         assert released == []
         assert [f.start for f in sanitizer.report.removed_listener_overlap] == [
@@ -316,7 +320,7 @@ class TestOnlineSanitizer:
         tickets = TicketSystem(
             [TroubleTicket("t1", "lk-a", 0.0, day + 1000.0, "outage")]
         )
-        sanitizer = OnlineSanitizer(IntervalSet(), tickets, config)
+        sanitizer = Sanitizer(IntervalSet(), tickets, config)
         long_failure = failure(0.0, day + 1000.0)
         assert sanitizer.feed(long_failure, watermark=day + 1000.0) == []
         assert sanitizer.held_frontier("lk-a") == 0.0
@@ -328,7 +332,7 @@ class TestOnlineSanitizer:
 
     def test_unverified_long_failure_dropped_at_horizon(self):
         config = SanitizationConfig()
-        sanitizer = OnlineSanitizer(IntervalSet(), TicketSystem(), config)
+        sanitizer = Sanitizer(IntervalSet(), TicketSystem(), config)
         long_failure = failure(0.0, config.long_failure_threshold + 5.0)
         sanitizer.feed(long_failure, watermark=long_failure.end)
         assert sanitizer.flush() == []
@@ -339,7 +343,7 @@ class TestOnlineSanitizer:
     def test_held_long_failure_queues_followers(self):
         config = SanitizationConfig()
         tickets = TicketSystem()
-        sanitizer = OnlineSanitizer(IntervalSet(), tickets, config)
+        sanitizer = Sanitizer(IntervalSet(), tickets, config)
         long_failure = failure(0.0, config.long_failure_threshold + 5.0)
         short_after = failure(config.long_failure_threshold + 10.0,
                               config.long_failure_threshold + 20.0)
@@ -352,13 +356,13 @@ class TestOnlineSanitizer:
 
     def test_no_tickets_means_no_deferral(self):
         config = SanitizationConfig()
-        sanitizer = OnlineSanitizer(IntervalSet(), None, config)
+        sanitizer = Sanitizer(IntervalSet(), None, config)
         long_failure = failure(0.0, config.long_failure_threshold + 5.0)
         released = sanitizer.feed(long_failure, watermark=long_failure.end)
         assert [f.start for f in released] == [0.0]
 
     def test_finalized_report_sorted(self):
-        sanitizer = OnlineSanitizer(IntervalSet(), None, SanitizationConfig())
+        sanitizer = Sanitizer(IntervalSet(), None, SanitizationConfig())
         sanitizer.feed(failure(300.0, 400.0, link="lk-b"), watermark=500.0)
         sanitizer.feed(failure(100.0, 200.0, link="lk-a"), watermark=500.0)
         report = sanitizer.finalized_report()
@@ -366,9 +370,9 @@ class TestOnlineSanitizer:
         assert [f.start for f in report.kept] == [100.0, 300.0]
 
 
-class TestOnlineFlapDetector:
+class TestFlapDetector:
     def test_rapid_failures_form_episode(self):
-        detector = OnlineFlapDetector(600.0)
+        detector = FlapDetector(600.0)
         detector.feed(failure(0.0, 10.0))
         detector.feed(failure(100.0, 110.0))
         detector.feed(failure(200.0, 210.0))
@@ -379,13 +383,13 @@ class TestOnlineFlapDetector:
         ]
 
     def test_single_failure_is_not_an_episode(self):
-        detector = OnlineFlapDetector(600.0)
+        detector = FlapDetector(600.0)
         detector.feed(failure(0.0, 10.0))
         detector.flush()
         assert detector.result() == []
 
     def test_run_not_closed_while_frontier_is_near(self):
-        detector = OnlineFlapDetector(600.0)
+        detector = FlapDetector(600.0)
         detector.feed(failure(0.0, 10.0))
         detector.feed(failure(100.0, 110.0))
         detector.advance(lambda _l: 500.0)  # a failure at 500 could extend it
@@ -396,7 +400,7 @@ class TestOnlineFlapDetector:
 
     def test_gap_threshold_must_be_positive(self):
         with pytest.raises(ValueError):
-            OnlineFlapDetector(0.0)
+            FlapDetector(0.0)
 
 
 class TestCodecs:
